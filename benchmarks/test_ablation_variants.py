@@ -1,0 +1,30 @@
+"""Ablation — the section 5 optimizations the paper defers to future work.
+
+Expected shape: mark-and-undelete substitutes undeletions for a large
+share of duplications; replace-on-full eliminates classic deletions; wide
+messages keep the system healthy with the same number of (bigger)
+messages; all variants preserve the outdegree floor.
+"""
+
+from conftest import emit
+
+from repro.experiments import ablation_variants
+
+
+def run_full():
+    return ablation_variants.run(n=300, loss_rate=0.05, seed=55)
+
+
+def test_ablation_variants(benchmark):
+    result = benchmark.pedantic(run_full, rounds=1, iterations=1)
+    emit("Section 5 optimizations — ablation", result.format())
+
+    base = result.row("base")
+    marked = result.row("mark-and-undelete")
+    replacing = result.row("replace-on-full")
+
+    assert marked.undeletions > 0
+    assert marked.duplication < base.duplication
+    assert replacing.deletion == 0.0
+    for row in result.rows:
+        assert row.mean_outdegree >= result.params.d_low

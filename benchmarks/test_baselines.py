@@ -1,0 +1,28 @@
+"""§3.1-cmp — S&F vs shuffle vs push vs push-pull under loss.
+
+The paper's motivating comparison: delete-on-send shuffles leak ids under
+loss until nodes starve; keep-on-send push protocols survive loss but
+accumulate mutual-edge dependence; S&F keeps its edge count level with
+only mildly elevated dependence.
+"""
+
+from conftest import emit
+
+from repro.experiments import baselines
+
+
+def run_full():
+    return baselines.run(n=300, loss_rate=0.05, rounds=200, sample_every=25, seed=31)
+
+
+def test_baselines(benchmark):
+    result = benchmark.pedantic(run_full, rounds=1, iterations=1)
+    emit("Section 3.1 — baseline comparison under 5% loss", result.format())
+
+    assert result.edge_retention("shuffle") < 0.1
+    assert result.isolated_nodes["shuffle"] > 0.5 * result.n
+    assert result.edge_retention("sandf") > 0.8
+    assert result.isolated_nodes["sandf"] == 0
+    assert result.edge_retention("push") >= 1.0
+    assert result.mutual_fraction["sandf"] < 0.5 * result.mutual_fraction["push"]
+    assert result.mutual_fraction["sandf"] < 0.5 * result.mutual_fraction["pushpull"]

@@ -1,0 +1,25 @@
+"""C6.14 — Corollary 6.14: joiner integration within 2s rounds.
+
+With s/dL = 2 and low loss, a fresh joiner is expected to create at least
+Din/4 instances of its id within 2s rounds, after which it operates
+normally (outdegree off the duplication floor).
+"""
+
+from conftest import emit
+
+from repro.experiments import join_integration
+
+
+def run_full():
+    return join_integration.run(n=400, joiners=10, warmup_rounds=300, seed=614)
+
+
+def test_cor_6_14(benchmark):
+    result = benchmark.pedantic(run_full, rounds=1, iterations=1)
+    emit("Corollary 6.14 — join integration", result.format())
+
+    assert result.satisfied(), (
+        f"mean created {result.mean_instances():.1f} < bound "
+        f"{result.bound_instances:.1f}"
+    )
+    assert all(d >= result.params.d_low for d in result.joiner_outdegrees)

@@ -1,0 +1,22 @@
+"""F6.1 — Figure 6.1: degree distributions vs binomial (s=90, dL=0, ℓ=0).
+
+Paper claims reproduced: all curves centered at dm/3 = 30; the S&F
+indegree distribution is much narrower than the binomial reference; the
+analytical and Markov outdegree curves have similar form and variance.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig_6_1
+
+
+def test_fig_6_1(benchmark):
+    result = benchmark.pedantic(fig_6_1.run, kwargs={"dm": 90}, rounds=1, iterations=1)
+    emit("Figure 6.1 — degree distributions (s=90, dL=0, l=0, ds=90)", result.format())
+
+    moments = result.moments()
+    for key in ("outdegree/markov", "indegree/markov", "outdegree/analytical"):
+        assert moments[key]["mean"] == __import__("pytest").approx(30.0, abs=0.5)
+    assert moments["indegree/markov"]["std"] < 0.85 * moments["indegree/binomial"]["std"]
+    ratio = moments["outdegree/markov"]["std"] / moments["outdegree/binomial"]["std"]
+    assert 0.8 < ratio < 1.25

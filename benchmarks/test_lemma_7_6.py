@@ -1,0 +1,27 @@
+"""L7.6 — Property M3: uniform representation in views.
+
+Exact on a tiny lossy global MC (all ordered pairs share one membership
+probability) and empirical via pooled-replication occupancy counts.
+"""
+
+from conftest import emit
+
+from repro.experiments import uniformity_exp
+
+
+def run_both():
+    exact = uniformity_exp.run_exact(loss_rate=0.2)
+    empirical = uniformity_exp.run_empirical(seed=76)
+    return exact, empirical
+
+
+def test_lemma_7_6(benchmark):
+    exact, empirical = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        "Lemma 7.6 — membership uniformity",
+        exact.format() + "\n\n" + empirical.format(),
+    )
+
+    assert exact.spread() < 1e-10
+    assert empirical.relative_spread < 0.5
+    assert min(empirical.pooled_counts) > 0

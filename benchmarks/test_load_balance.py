@@ -1,0 +1,25 @@
+"""M2 — load balance: indegree variance converges from adversarial starts.
+
+From a maximally indegree-skewed hubs topology and a high-diameter ring,
+the indegree variance moves toward the degree-MC stationary level.
+"""
+
+from conftest import emit
+
+from repro.experiments import load_balance
+
+
+def run_full():
+    return load_balance.run(n=300, rounds=400, sample_every=50, seed=22)
+
+
+def test_load_balance(benchmark):
+    result = benchmark.pedantic(run_full, rounds=1, iterations=1)
+    emit("Property M2 — load balance from adversarial topologies", result.format())
+
+    hubs = result.variance_curves["hubs"]
+    assert hubs[-1] < 0.1 * hubs[0], "hub imbalance must collapse"
+    ring = result.variance_curves["ring"]
+    assert ring[-1] < 12 * max(result.mc_variance, 1.0)
+    # Both endpoints land in the same order of magnitude.
+    assert hubs[-1] < 20 * max(result.mc_variance, 1.0)

@@ -1,0 +1,32 @@
+"""Partition tolerance — splits shorter than the id half-life heal.
+
+Expected shape: cross-partition edge survival decays with split length
+(tracking the Lemma 6.10 bound from below); short splits re-merge after
+healing; a split much longer than the half-life drains all cross ids and
+the halves never find each other again.
+"""
+
+from conftest import emit
+
+from repro.experiments import partition_recovery
+
+
+def run_full():
+    return partition_recovery.run(
+        n=200, partition_lengths=(20, 60, 150, 400), seed=88
+    )
+
+
+def test_partition_recovery(benchmark):
+    result = benchmark.pedantic(run_full, rounds=1, iterations=1)
+    emit("Partition tolerance — the id half-life window", result.format())
+
+    survivals = [row.survival_measured for row in result.rows]
+    assert survivals == sorted(survivals, reverse=True)
+    for row in result.rows:
+        assert row.survival_measured <= row.survival_bound + 0.05
+    short = [row for row in result.rows if row.partition_rounds <= 60]
+    long = [row for row in result.rows if row.partition_rounds >= 400]
+    assert all(row.remerged for row in short)
+    assert all(not row.remerged for row in long)
+    assert all(row.cross_edges_at_heal == 0 for row in long)

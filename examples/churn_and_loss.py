@@ -1,0 +1,77 @@
+"""A dynamic deployment: sustained churn, bursty loss, asynchrony.
+
+Demonstrates the full operational story of section 6.5 on one system:
+
+* nodes join by copying part of a live peer's view (outdegree dL,
+  indegree 0) and integrate within ~2s rounds (Corollary 6.14);
+* leavers just stop; their ids drain at the Lemma 6.10 rate;
+* the overlay stays connected and load-balanced throughout, under a
+  bursty (Gilbert-Elliott) loss process the analysis doesn't even assume.
+
+Run:  python examples/churn_and_loss.py
+"""
+
+import numpy as np
+
+from repro import GilbertElliottLoss, SFParams, SendForget, SequentialEngine
+from repro.churn.process import ChurnProcess
+from repro.metrics.degrees import degree_summary, id_instance_count, indegree_variance
+from repro.metrics.graph_stats import graph_statistics
+
+N = 400
+EPOCHS = 12
+ROUNDS_PER_EPOCH = 25
+
+
+def main() -> None:
+    params = SFParams(view_size=40, d_low=20)  # s/dL = 2, as in Cor 6.14
+    protocol = SendForget(params)
+    for u in range(N):
+        protocol.add_node(u, [(u + k) % N for k in range(1, 31)])
+
+    loss = GilbertElliottLoss(
+        p_good_to_bad=0.02, p_bad_to_good=0.25, good_loss=0.0, bad_loss=0.4
+    )
+    engine = SequentialEngine(protocol, loss, seed=3)
+    churn = ChurnProcess(
+        protocol, join_rate=1.0, leave_rate=1.0, seed=4
+    )
+
+    print("warming up to the steady state...")
+    engine.run_rounds(150)
+
+    # Track one tagged joiner and one tagged leaver through the run.
+    tagged_joiner = churn.join_one()
+    tagged_leaver = protocol.node_ids()[10]
+    leaver_initial = id_instance_count(protocol, tagged_leaver)
+    protocol.remove_node(tagged_leaver)
+    print(f"tagged joiner {tagged_joiner} entered; "
+          f"tagged leaver {tagged_leaver} left holding {leaver_initial} id instances\n")
+
+    header = (f"{'epoch':>5} {'live':>5} {'indeg var':>9} {'connected':>9} "
+              f"{'joiner ids':>10} {'leaver ids':>10}")
+    print(header)
+    for epoch in range(1, EPOCHS + 1):
+        for _ in range(ROUNDS_PER_EPOCH):
+            churn.apply_round()
+            engine.run_rounds(1)
+        protocol.check_invariant()
+        stats = graph_statistics(protocol.export_graph(), compute_diameter=False)
+        print(f"{epoch:>5} {len(protocol.node_ids()):>5} "
+              f"{indegree_variance(protocol):>9.1f} "
+              f"{str(stats.largest_component_fraction > 0.99):>9} "
+              f"{id_instance_count(protocol, tagged_joiner):>10} "
+              f"{id_instance_count(protocol, tagged_leaver):>10}")
+
+    summary = degree_summary(protocol)
+    print(f"\nfinal degree profile: out {summary.outdegree_mean:.1f} ± "
+          f"{summary.outdegree_std:.1f}, in {summary.indegree_mean:.1f} ± "
+          f"{summary.indegree_std:.1f}")
+    print(f"total joins: {len(churn.joined) + 1}, leaves: {len(churn.left) + 1}")
+    survival = id_instance_count(protocol, tagged_leaver) / max(leaver_initial, 1)
+    print(f"tagged leaver id survival after {EPOCHS * ROUNDS_PER_EPOCH} rounds: "
+          f"{survival:.1%} (Lemma 6.10 bound decays below 1% by ~450 rounds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Closed-form results from the paper's analysis sections.
+
+* :mod:`repro.analysis.degree_analytic` — equation 6.1's degree law (§6.1).
+* :mod:`repro.analysis.decay` — leave/join dynamics bounds (§6.5).
+* :mod:`repro.analysis.independence` — spatial-independence bounds (§7.4).
+* :mod:`repro.analysis.temporal` — temporal-independence bound τε (§7.5).
+* :mod:`repro.analysis.connectivity` — minimal ``dL`` for ε-connectivity (§7.4).
+"""
+
+from repro.analysis.connectivity import (
+    min_d_low_for_connectivity,
+    partition_probability_bound,
+)
+from repro.analysis.decay import (
+    creation_rate_lower_bound,
+    expected_join_instances,
+    id_survival_bound,
+    join_integration_rounds,
+    survival_curve,
+)
+from repro.analysis.degree_analytic import (
+    analytical_indegree_distribution,
+    analytical_outdegree_distribution,
+    assignment_count,
+)
+from repro.analysis.independence import (
+    independence_lower_bound,
+    return_probability_bound,
+    self_edge_probability_bound,
+)
+from repro.analysis.temporal import (
+    actions_per_node_bound,
+    expected_conductance_bound,
+    temporal_independence_bound,
+)
+
+__all__ = [
+    "assignment_count",
+    "analytical_outdegree_distribution",
+    "analytical_indegree_distribution",
+    "id_survival_bound",
+    "survival_curve",
+    "creation_rate_lower_bound",
+    "expected_join_instances",
+    "join_integration_rounds",
+    "independence_lower_bound",
+    "return_probability_bound",
+    "self_edge_probability_bound",
+    "expected_conductance_bound",
+    "temporal_independence_bound",
+    "actions_per_node_bound",
+    "min_d_low_for_connectivity",
+    "partition_probability_bound",
+]

@@ -1,0 +1,62 @@
+"""Connectivity conditions (end of section 7.4).
+
+A membership graph is weakly connected with high probability when every
+node has at least three *independent* out-neighbors (the paper cites
+Fenner & Frieze's random m-orientable graph result [15]).  The paper
+speculates the number of independent ids in a view is close to a binomial
+with mean ``α·dL``; for a target failure probability ε one picks the
+minimal ``dL`` whose binomial lower tail below 3 is at most ε.
+
+Worked example in the paper: ``ℓ = δ = 1%`` and ``ε = 10⁻³⁰`` require
+``dL ≥ 26``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.independence import independence_lower_bound
+from repro.util.stats import binomial_tail_below
+
+MIN_INDEPENDENT_NEIGHBORS = 3
+
+
+def partition_probability_bound(
+    d_low: int, loss_rate: float, delta: float
+) -> float:
+    """Probability that a node has fewer than three independent neighbors.
+
+    Models the number of independent ids among the ``dL`` guaranteed view
+    entries as Binomial(dL, α) with ``α = 1 − 2(ℓ+δ)`` (Lemma 7.9's bound)
+    and returns ``P(X < 3)``.
+    """
+    if d_low < 0:
+        raise ValueError(f"d_low must be nonnegative, got {d_low}")
+    alpha = independence_lower_bound(loss_rate, delta)
+    if alpha <= 0.0:
+        return 1.0
+    return binomial_tail_below(MIN_INDEPENDENT_NEIGHBORS, d_low, alpha)
+
+
+def min_d_low_for_connectivity(
+    loss_rate: float, delta: float, epsilon: float, max_d_low: int = 1000
+) -> int:
+    """Minimal even ``dL`` with ``partition_probability_bound ≤ ε``.
+
+    Even because S&F outdegrees are always even (Observation 5.1).
+
+    Raises ``ValueError`` if no ``dL ≤ max_d_low`` suffices (e.g. when the
+    loss rate is so high that α = 0 and independence cannot be guaranteed).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    alpha = independence_lower_bound(loss_rate, delta)
+    if alpha <= 0.0:
+        raise ValueError(
+            f"independence bound is zero at loss_rate={loss_rate}, delta={delta}; "
+            "no d_low guarantees connectivity"
+        )
+    for d_low in range(4, max_d_low + 1, 2):
+        if partition_probability_bound(d_low, loss_rate, delta) <= epsilon:
+            return d_low
+    raise ValueError(
+        f"no d_low <= {max_d_low} achieves partition probability {epsilon}"
+    )

@@ -1,0 +1,128 @@
+"""Leave/join degree dynamics (section 6.5).
+
+In the steady state, actions that *forward* an instance of ``u``'s id keep
+the expected instance count unchanged (Lemma 6.8); only actions targeting
+``u`` remove instances, at a per-round rate of at least
+``(1 − ℓ − δ)·dL / s²`` per instance (Lemma 6.9).  From this follow:
+
+* the survival bound for a departed node's id (Lemma 6.10, Figure 6.4);
+* the creation-rate lower bound ``Δ ≥ (1−ℓ−δ)·dL/s² · Din`` (Lemma 6.11);
+* the joiner's slower creation rate, ≥ ``(dL/s)²·Δ`` (Lemma 6.12);
+* the integration bound: within ``s²/((1−ℓ−δ)·dL)`` rounds a joiner is
+  expected to create ≥ ``(dL/s)²·Din`` id instances (Lemma 6.13), which
+  for ``s/dL = 2`` and small ``ℓ+δ`` reads "≥ Din/4 within 2s rounds"
+  (Corollary 6.14).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _check_rates(loss_rate: float, delta: float) -> None:
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"delta must be in [0, 1], got {delta}")
+    if loss_rate + delta > 1.0:
+        raise ValueError(
+            f"loss_rate + delta must be at most 1, got {loss_rate + delta}"
+        )
+
+
+def per_round_removal_rate(d_low: int, view_size: int, loss_rate: float, delta: float) -> float:
+    """The Lemma 6.9 per-round, per-instance removal-rate lower bound.
+
+    ``(1 − ℓ − δ) · dL / s²``: each holder initiates once per round, selects
+    a nonempty slot pair with probability ≥ (dL/s)·((d−1)/(s−1)) ≥ ...
+    coarsely ≥ dL/s² with the chosen instance as target 1/d of the time,
+    and clears it unless it duplicates (probability ≤ ℓ + δ).
+    """
+    _check_rates(loss_rate, delta)
+    if d_low < 0 or view_size <= 0:
+        raise ValueError("need d_low >= 0 and view_size > 0")
+    if d_low > view_size:
+        raise ValueError(f"d_low {d_low} exceeds view_size {view_size}")
+    return (1.0 - loss_rate - delta) * d_low / view_size**2
+
+
+def id_survival_bound(
+    rounds: int, d_low: int, view_size: int, loss_rate: float, delta: float
+) -> float:
+    """Lemma 6.10: upper bound on the probability that one instance of a
+    departed node's id is still in some view ``rounds`` rounds after the
+    departure:  ``(1 − (1−ℓ−δ)·dL/s²)^rounds``.
+    """
+    if rounds < 0:
+        raise ValueError(f"rounds must be nonnegative, got {rounds}")
+    rate = per_round_removal_rate(d_low, view_size, loss_rate, delta)
+    return (1.0 - rate) ** rounds
+
+
+def survival_curve(
+    rounds: Sequence[int], d_low: int, view_size: int, loss_rate: float, delta: float
+) -> List[float]:
+    """The Figure 6.4 curve: ``id_survival_bound`` over a round schedule."""
+    return [
+        id_survival_bound(r, d_low, view_size, loss_rate, delta) for r in rounds
+    ]
+
+
+def half_life_rounds(d_low: int, view_size: int, loss_rate: float, delta: float) -> float:
+    """Rounds until the survival bound drops below 1/2.
+
+    The paper notes ≈70 rounds for ``dL=18, s=40`` across all moderate loss
+    rates ("after merely 70 rounds ... fewer than 50% ... remain").
+    """
+    import math
+
+    rate = per_round_removal_rate(d_low, view_size, loss_rate, delta)
+    if rate <= 0.0:
+        return math.inf
+    return math.log(0.5) / math.log(1.0 - rate)
+
+
+def creation_rate_lower_bound(
+    d_low: int, view_size: int, loss_rate: float, delta: float, expected_indegree: float
+) -> float:
+    """Lemma 6.11: steady-state per-round id-creation rate of a veteran node,
+    ``Δ ≥ (1−ℓ−δ)·dL/s² · Din``.
+    """
+    if expected_indegree < 0:
+        raise ValueError(f"expected_indegree must be nonnegative, got {expected_indegree}")
+    return per_round_removal_rate(d_low, view_size, loss_rate, delta) * expected_indegree
+
+
+def joiner_creation_rate_lower_bound(
+    d_low: int, view_size: int, loss_rate: float, delta: float, expected_indegree: float
+) -> float:
+    """Lemma 6.12: a fresh joiner creates ids at rate ≥ ``(dL/s)²·Δ``."""
+    veteran = creation_rate_lower_bound(
+        d_low, view_size, loss_rate, delta, expected_indegree
+    )
+    return (d_low / view_size) ** 2 * veteran
+
+
+def join_integration_rounds(d_low: int, view_size: int, loss_rate: float, delta: float) -> float:
+    """Lemma 6.13's horizon: ``s² / ((1−ℓ−δ)·dL)`` rounds.
+
+    For ``s/dL = 2`` and ``ℓ+δ ≪ 1`` this is ≈ ``2s`` (Corollary 6.14).
+    """
+    _check_rates(loss_rate, delta)
+    if d_low <= 0:
+        raise ValueError("join integration requires d_low > 0")
+    denominator = (1.0 - loss_rate - delta) * d_low
+    if denominator <= 0.0:
+        raise ValueError("loss_rate + delta = 1 gives an unbounded horizon")
+    return view_size**2 / denominator
+
+
+def expected_join_instances(
+    d_low: int, view_size: int, expected_indegree: float
+) -> float:
+    """Lemma 6.13: instances a joiner is expected to create within the
+    integration horizon — at least ``(dL/s)²·Din`` (= Din/4 when s/dL = 2).
+    """
+    if expected_indegree < 0:
+        raise ValueError(f"expected_indegree must be nonnegative, got {expected_indegree}")
+    return (d_low / view_size) ** 2 * expected_indegree

@@ -1,0 +1,62 @@
+"""Analytical degree-distribution approximation without loss (section 6.1).
+
+Under no loss, atomic actions, ``dL = 0``, and initialization with a common
+sum degree ``ds(u) = dm`` for every node, the protocol preserves each node's
+sum degree (Lemma 6.2) and reaches every membership graph satisfying the
+invariant equally often (Lemma 7.5).  Counting assignments of ``dm``
+potential neighbors to in/out/non-neighbor roles gives equation 6.1:
+
+    Pr(d(u) = d*)  ≈  a(d*) / Σ_{d' even} a(d')
+
+    a(d) = C(dm, d) · C(dm − d, (dm − d)/2)
+
+with the matching indegree ``din = (dm − d)/2``.  The average in/outdegree
+is ``dm/3`` (Lemma 6.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+
+def assignment_count(outdegree: int, dm: int) -> int:
+    """The count ``a(d)`` of neighbor-role assignments achieving ``d(u) = d``.
+
+    ``a(d) = C(dm, d) · C(dm − d, (dm − d)/2)``: choose which of the ``dm``
+    potential neighbors are out-neighbors, then split the rest evenly
+    between in-neighbors (each consuming 2 units of sum degree) and
+    non-neighbors.
+    """
+    if dm < 0:
+        raise ValueError(f"dm must be nonnegative, got {dm}")
+    if dm % 2 != 0:
+        raise ValueError(f"dm must be even, got {dm}")
+    if outdegree < 0 or outdegree > dm or outdegree % 2 != 0:
+        return 0
+    remaining = dm - outdegree
+    return math.comb(dm, outdegree) * math.comb(remaining, remaining // 2)
+
+
+def analytical_outdegree_distribution(dm: int) -> Dict[int, float]:
+    """Equation 6.1: pmf of the outdegree over even values ``0..dm``.
+
+    Figure 6.1 plots this (labeled "S&F Analytical") for ``dm = 90``.
+    """
+    counts = {d: assignment_count(d, dm) for d in range(0, dm + 1, 2)}
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError(f"degenerate distribution for dm={dm}")
+    return {d: count / total for d, count in counts.items()}
+
+
+def analytical_indegree_distribution(dm: int) -> Dict[int, float]:
+    """The matching indegree pmf: ``din = (dm − d)/2`` with ``d`` as above."""
+    out = analytical_outdegree_distribution(dm)
+    return {(dm - d) // 2: prob for d, prob in out.items()}
+
+
+def expected_outdegree(dm: int) -> float:
+    """Mean of the analytical outdegree distribution (≈ dm/3, Lemma 6.3)."""
+    dist = analytical_outdegree_distribution(dm)
+    return sum(d * prob for d, prob in dist.items())

@@ -1,0 +1,92 @@
+"""Spatial-independence bounds (section 7.4, Property M4).
+
+The only protocol event that creates dependent entries is duplication,
+whose probability per non-self-loop transformation is at most ``ℓ + δ``
+(Lemma 6.7).  Modeling a single entry's label as the two-state dependence
+MC of Figure 7.1 and bounding its transition rates yields the headline
+result (Lemma 7.9):
+
+    α ≥ 1 − 2(ℓ + δ)
+
+i.e. the expected fraction of independent view entries decreases only
+about twice as fast as the loss rate.  The supporting bounds are the
+return probability of a sent dependent entry (≤ 1/2, Lemma 7.8, under
+Assumption 7.7 that α ≥ 2/3) and the self-edge probability (β ≤ 1/6).
+"""
+
+from __future__ import annotations
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def return_probability_bound(alpha: float) -> float:
+    """Lemma 7.8: bound on a sent dependent entry returning to its origin.
+
+    The entry returns after traversing ``i`` edges with probability at most
+    ``(1 − α)^i``; summing the geometric series gives ``1/α − 1``, which is
+    at most 1/2 whenever ``α ≥ 2/3`` (Assumption 7.7).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    return 1.0 / alpha - 1.0
+
+
+def self_edge_probability_bound(alpha: float = 2.0 / 3.0) -> float:
+    """The paper's bound β ≤ (1 − α)·(1/2) on a random entry being a self-edge.
+
+    With Assumption 7.7 (α ≥ 2/3) this is at most 1/6.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    return (1.0 - alpha) * 0.5
+
+
+def dependent_to_independent_rate(loss_rate: float, delta: float) -> float:
+    """Lower bound on the dependence MC's dependent→independent transition.
+
+    An action removes a dependent entry when the target is another node
+    (probability ≥ 1 − β ≥ 5/6) and no re-duplication occurs
+    (probability ≥ 1 − (ℓ+δ)):  ``(5/6)·(1 − (ℓ+δ))``.
+    """
+    _check_rate("loss_rate", loss_rate)
+    _check_rate("delta", delta)
+    return (5.0 / 6.0) * (1.0 - (loss_rate + delta))
+
+
+def independent_to_dependent_rate(loss_rate: float, delta: float) -> float:
+    """Upper bound on the dependence MC's independent→dependent transition.
+
+    New dependence arises at rate at most ``ℓ+δ`` (duplication, Lemma 6.7);
+    returning dependent entries add at most half that again (Lemma 7.8):
+    ``(3/2)·(ℓ+δ)``.
+    """
+    _check_rate("loss_rate", loss_rate)
+    _check_rate("delta", delta)
+    return 1.5 * (loss_rate + delta)
+
+
+def independence_lower_bound(loss_rate: float, delta: float) -> float:
+    """Lemma 7.9: ``α ≥ 1 − 2(ℓ+δ)``, clamped to ``[0, 1]``.
+
+    Derived from the stationary distribution of the two-state dependence
+    MC with the rate bounds above; the paper simplifies the resulting
+    expression ``(ℓ+δ) / (5/9 + (4/9)(ℓ+δ))`` to the round ``2(ℓ+δ)``.
+    """
+    _check_rate("loss_rate", loss_rate)
+    _check_rate("delta", delta)
+    return max(0.0, 1.0 - 2.0 * (loss_rate + delta))
+
+
+def dependence_stationary_exact(loss_rate: float, delta: float) -> float:
+    """The un-simplified stationary dependent fraction from Lemma 7.9's
+    algebra: ``(ℓ+δ) / (5/9 + (4/9)(ℓ+δ))`` — always ≤ ``2(ℓ+δ)``.
+    """
+    _check_rate("loss_rate", loss_rate)
+    _check_rate("delta", delta)
+    x = loss_rate + delta
+    if x >= 1.0:
+        return 1.0
+    return x / (5.0 / 9.0 + (4.0 / 9.0) * x)

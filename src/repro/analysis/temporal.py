@@ -1,0 +1,89 @@
+"""Temporal-independence bounds (section 7.5, Property M5).
+
+The convergence-from-an-average-state time τε is bounded via the *expected
+conductance* of the global MC graph (Definition 7.13):
+
+    Φ(G) ≥ dE(dE − 1)·α / (2·s·(s−1))                 (Lemma 7.14)
+
+    τε(G) ≤ 16·s²(s−1)² / (dE²(dE−1)²·α²) · (n·s·log n + log(4/ε))
+                                                       (Lemma 7.15)
+
+For zero loss (α = 1) this is O(n·s·log n) transformations — i.e. each
+node initiates O(s·log n) actions — and O(log² n) rounds for logarithmic
+view sizes.  Positive moderate loss costs only a constant factor through α.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def expected_conductance_bound(
+    expected_outdegree: float, view_size: int, alpha: float
+) -> float:
+    """Lemma 7.14: ``Φ(G) ≥ dE(dE−1)·α / (2·s·(s−1))``."""
+    if expected_outdegree < 1.0:
+        raise ValueError(
+            f"expected_outdegree must be at least 1, got {expected_outdegree}"
+        )
+    if view_size < 2:
+        raise ValueError(f"view_size must be at least 2, got {view_size}")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    return (
+        expected_outdegree
+        * (expected_outdegree - 1.0)
+        * alpha
+        / (2.0 * view_size * (view_size - 1.0))
+    )
+
+
+def temporal_independence_bound(
+    n: int,
+    view_size: int,
+    expected_outdegree: float,
+    alpha: float,
+    epsilon: float,
+) -> float:
+    """Lemma 7.15: the τε bound in *transformations* (system-wide actions).
+
+    ``16·s²(s−1)² / (dE²(dE−1)²·α²) · (n·s·log n + log(4/ε))``.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    phi = expected_conductance_bound(expected_outdegree, view_size, alpha)
+    # 16 s²(s−1)²/(dE²(dE−1)² α²) equals 4/Φ² by Lemma 7.14's bound.
+    prefactor = 4.0 / phi**2
+    return prefactor * (n * view_size * math.log(n) + math.log(4.0 / epsilon))
+
+
+def actions_per_node_bound(
+    n: int,
+    view_size: int,
+    expected_outdegree: float,
+    alpha: float,
+    epsilon: float,
+) -> float:
+    """τε divided by n: expected actions *each node* initiates — the
+    paper's O(s·log n) headline for constant α.
+    """
+    return (
+        temporal_independence_bound(n, view_size, expected_outdegree, alpha, epsilon)
+        / n
+    )
+
+
+def rounds_bound_logarithmic_views(n: int, alpha: float, epsilon: float) -> float:
+    """The O(log² n) reading: rounds until ε-independence when ``s = ⌈log₂ n⌉``
+    and the expected degree is a constant fraction of ``s``.
+
+    Uses ``dE = (2/3)·s`` (no-loss mean outdegree is dm/3 = (2/3)·s when
+    views run near capacity; the constant is immaterial to the scaling).
+    """
+    if n < 4:
+        raise ValueError(f"n must be at least 4, got {n}")
+    view_size = max(6, 2 * math.ceil(math.log2(n) / 2))  # even, ≥ 6
+    expected_outdegree = max(2.0, (2.0 / 3.0) * view_size)
+    return actions_per_node_bound(n, view_size, expected_outdegree, alpha, epsilon)

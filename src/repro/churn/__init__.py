@@ -1,0 +1,26 @@
+"""Churn: node join/leave processes and replayable traces (section 6.5).
+
+Joins follow the paper's bootstrap rule — a joiner copies (part of)
+another node's view, entering with outdegree ≥ ``dL`` and indegree 0;
+leavers simply stop participating, and their ids drain out at the rate
+bounded in section 6.5.2.
+"""
+
+from repro.churn.process import ChurnProcess, bootstrap_from_peer
+from repro.churn.traces import (
+    ChurnEvent,
+    generate_trace,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+
+__all__ = [
+    "ChurnProcess",
+    "bootstrap_from_peer",
+    "ChurnEvent",
+    "generate_trace",
+    "replay_trace",
+    "save_trace",
+    "load_trace",
+]

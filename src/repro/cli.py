@@ -1,0 +1,405 @@
+"""Command-line interface: run experiments and simulations from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig-6.1
+    python -m repro run table-6.4 --fast
+    python -m repro report --fast --output report/
+    python -m repro simulate --nodes 500 --view-size 40 --d-low 18 \
+        --loss 0.01 --rounds 300
+    python -m repro size --target-degree 30 --delta 0.01 --loss 0.01
+
+``run`` executes one of the paper's experiments (see DESIGN.md's index)
+and prints the same rows/series the paper reports.  ``--fast`` shrinks
+simulation sizes for a quick look.  ``simulate`` runs a custom S&F
+deployment and summarizes its steady state; ``size`` applies the §6.3 and
+§7.4 sizing rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.core.params import SFParams
+
+# ----------------------------------------------------------------------
+# Experiment registry
+# ----------------------------------------------------------------------
+
+
+def _fig_6_1(fast: bool):
+    from repro.experiments import fig_6_1
+
+    return fig_6_1.run(dm=30 if fast else 90)
+
+
+def _fig_6_2(fast: bool):
+    from repro.experiments import fig_6_2
+
+    return fig_6_2.run()
+
+
+def _table_6_3(fast: bool):
+    from repro.experiments import table_6_3
+
+    return table_6_3.run(d_hats=(30,) if fast else (10, 20, 30, 40, 50))
+
+
+def _fig_6_3(fast: bool):
+    from repro.experiments import fig_6_3
+
+    if fast:
+        return fig_6_3.run(simulate=False)
+    return fig_6_3.run(simulate=True, simulate_n=300, simulate_rounds=(400.0, 150.0))
+
+
+def _fig_6_4(fast: bool):
+    from repro.experiments import fig_6_4
+
+    if fast:
+        return fig_6_4.run(max_round=200, step=50)
+    return fig_6_4.run(simulate=True, simulate_n=300, warmup_rounds=200)
+
+
+def _cor_6_14(fast: bool):
+    from repro.experiments import join_integration
+
+    if fast:
+        return join_integration.run(n=200, joiners=4, warmup_rounds=150)
+    return join_integration.run(n=400, joiners=10, warmup_rounds=300)
+
+
+def _lemma_6_6(fast: bool):
+    from repro.experiments import dup_del_balance
+
+    if fast:
+        return dup_del_balance.run(
+            losses=(0.0, 0.05), n=200, warmup_rounds=250, measure_rounds=100
+        )
+    return dup_del_balance.run(n=300, warmup_rounds=400, measure_rounds=250)
+
+
+def _lemma_7_5(fast: bool):
+    from repro.experiments import lemma_7_5
+
+    class _Bundle:
+        def format(self) -> str:
+            return "\n".join(
+                [
+                    lemma_7_5.run_lossless_simple().format(),
+                    lemma_7_5.run_lossless_multiedge().format(),
+                    lemma_7_5.run_lossy(0.3).format(),
+                ]
+            )
+
+    return _Bundle()
+
+
+def _lemma_7_6(fast: bool):
+    from repro.experiments import uniformity_exp
+
+    class _Bundle:
+        def format(self) -> str:
+            exact = uniformity_exp.run_exact(loss_rate=0.2)
+            empirical = uniformity_exp.run_empirical(
+                replications=3 if fast else 6
+            )
+            return exact.format() + "\n" + empirical.format()
+
+    return _Bundle()
+
+
+def _lemma_7_9(fast: bool):
+    from repro.experiments import independence_exp
+
+    if fast:
+        return independence_exp.run(
+            losses=(0.0, 0.05), n=300, warmup_rounds=200, measure_rounds=60
+        )
+    return independence_exp.run(n=600, warmup_rounds=300, measure_rounds=100)
+
+
+def _lemma_7_15(fast: bool):
+    from repro.experiments import temporal_exp
+
+    class _Bundle:
+        def format(self) -> str:
+            bounds = temporal_exp.run_bounds()
+            decay = temporal_exp.run_decay(
+                n=150 if fast else 300,
+                max_rounds=120 if fast else 200,
+                sample_every=20 if fast else 10,
+            )
+            return bounds.format() + "\n\n" + decay.format()
+
+    return _Bundle()
+
+
+def _connectivity(fast: bool):
+    from repro.experiments import connectivity_exp
+
+    return connectivity_exp.run(simulate=not fast, simulate_n=300)
+
+
+def _load_balance(fast: bool):
+    from repro.experiments import load_balance
+
+    rounds = 150 if fast else 400
+    return load_balance.run(n=200 if fast else 300, rounds=rounds, sample_every=50)
+
+
+def _baselines(fast: bool):
+    from repro.experiments import baselines
+
+    return baselines.run(
+        n=200 if fast else 300, rounds=120 if fast else 200, sample_every=40
+    )
+
+
+def _random_walks(fast: bool):
+    from repro.experiments import random_walk_exp
+
+    return random_walk_exp.run(attempts=800 if fast else 2000)
+
+
+def _ablation(fast: bool):
+    from repro.experiments import ablation_variants
+
+    if fast:
+        return ablation_variants.run(n=150, warmup_rounds=120, measure_rounds=80)
+    return ablation_variants.run(n=300)
+
+
+def _loss_sweep(fast: bool):
+    from repro.experiments import loss_sweep
+
+    if fast:
+        return loss_sweep.run(losses=(0.0, 0.01, 0.05, 0.1))
+    return loss_sweep.run()
+
+
+def _parameter_sweep(fast: bool):
+    from repro.experiments import parameter_sweep
+
+    if fast:
+        return parameter_sweep.run(d_lows=(10, 18), view_sizes=(40,))
+    return parameter_sweep.run()
+
+
+def _partition(fast: bool):
+    from repro.experiments import partition_recovery
+
+    if fast:
+        return partition_recovery.run(
+            n=100, partition_lengths=(20, 300), warmup_rounds=80
+        )
+    return partition_recovery.run()
+
+
+def _samplers(fast: bool):
+    from repro.experiments import sampler_exp
+
+    if fast:
+        return sampler_exp.run(n=100, epochs=5, rounds_per_epoch=20)
+    return sampler_exp.run()
+
+
+def _mixing(fast: bool):
+    from repro.experiments import mixing_exp
+
+    return mixing_exp.run(epsilon=0.1 if fast else 0.05)
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
+    "fig-6.1": _fig_6_1,
+    "fig-6.2": _fig_6_2,
+    "table-6.3": _table_6_3,
+    "fig-6.3": _fig_6_3,
+    "table-6.4": _fig_6_3,  # the §6.4 table is Fig 6.3's moment summary
+    "fig-6.4": _fig_6_4,
+    "cor-6.14": _cor_6_14,
+    "lemma-6.6": _lemma_6_6,
+    "lemma-7.5": _lemma_7_5,
+    "lemma-7.6": _lemma_7_6,
+    "lemma-7.9": _lemma_7_9,
+    "lemma-7.15": _lemma_7_15,
+    "connectivity": _connectivity,
+    "load-balance": _load_balance,
+    "baselines": _baselines,
+    "random-walks": _random_walks,
+    "ablation": _ablation,
+    "loss-sweep": _loss_sweep,
+    "parameter-sweep": _parameter_sweep,
+    "partition-recovery": _partition,
+    "samplers": _samplers,
+    "mixing-exact": _mixing,
+}
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Available experiments (see DESIGN.md for the paper mapping):")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+    result = runner(args.fast)
+    print(result.format())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.sandf import SendForget
+    from repro.engine.sequential import SequentialEngine
+    from repro.metrics.degrees import degree_summary
+    from repro.metrics.graph_stats import graph_statistics
+    from repro.net.loss import UniformLoss
+
+    params = SFParams(view_size=args.view_size, d_low=args.d_low)
+    protocol = SendForget(params)
+    boot = min(args.view_size - 2, max(args.d_low + 2, (3 * args.view_size // 4) & ~1))
+    if boot >= args.nodes:
+        print("need more nodes than the bootstrap outdegree", file=sys.stderr)
+        return 2
+    for u in range(args.nodes):
+        protocol.add_node(u, [(u + k) % args.nodes for k in range(1, boot + 1)])
+    engine = SequentialEngine(protocol, UniformLoss(args.loss), seed=args.seed)
+    engine.run_rounds(args.rounds)
+    protocol.check_invariant()
+
+    summary = degree_summary(protocol)
+    stats = graph_statistics(
+        protocol.export_graph(), compute_diameter=args.nodes <= 2000
+    )
+    print(f"n={args.nodes} s={args.view_size} dL={args.d_low} "
+          f"loss={args.loss} rounds={args.rounds}")
+    print(f"outdegree {summary.outdegree_mean:.1f} ± {summary.outdegree_std:.1f}, "
+          f"indegree {summary.indegree_mean:.1f} ± {summary.indegree_std:.1f}")
+    print(f"dup {protocol.stats.duplication_probability():.4f}, "
+          f"del {protocol.stats.deletion_probability():.4f}, "
+          f"dependent {protocol.dependent_fraction():.4f}")
+    print(f"connected={stats.weakly_connected} "
+          f"diameter={stats.undirected_diameter} "
+          f"self-edges={stats.self_edges}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run a set of experiments, archiving text and JSON per experiment."""
+    from pathlib import Path
+
+    from repro.util.serialization import dump_result
+
+    names = args.experiments or sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    output_dir = Path(args.output)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        print(f"== {name} ==")
+        result = EXPERIMENTS[name](args.fast)
+        text = result.format()
+        print(text)
+        print()
+        slug = name.replace(".", "_")
+        (output_dir / f"{slug}.txt").write_text(text + "\n")
+        try:
+            dump_result(result, output_dir / f"{slug}.json")
+        except TypeError:
+            pass  # wrapper bundles without dataclass payloads: text only
+    print(f"report written to {output_dir}/")
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    from repro.analysis.connectivity import min_d_low_for_connectivity
+    from repro.core.thresholds import select_thresholds
+
+    selection = select_thresholds(args.target_degree, args.delta)
+    print(f"§6.3 rule: d̂={args.target_degree}, δ={args.delta} → "
+          f"dL={selection.d_low}, s={selection.view_size} "
+          f"(tails {selection.low_tail:.4f}/{selection.high_tail:.4f})")
+    required = min_d_low_for_connectivity(args.loss, args.delta, args.epsilon)
+    print(f"§7.4 connectivity at l={args.loss}, ε={args.epsilon:.0e}: dL ≥ {required}")
+    d_low = max(selection.d_low, required)
+    view_size = max(selection.view_size, d_low + 6)
+    print(f"recommended: dL={d_low}, s={view_size}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'Correctness of gossip-based "
+        "membership under message loss' (Gurevich & Keidar, PODC 2009).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (see 'list')")
+    run_parser.add_argument(
+        "--fast", action="store_true", help="shrink sizes for a quick look"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    simulate_parser = sub.add_parser("simulate", help="run a custom S&F deployment")
+    simulate_parser.add_argument("--nodes", type=int, default=500)
+    simulate_parser.add_argument("--view-size", type=int, default=40)
+    simulate_parser.add_argument("--d-low", type=int, default=18)
+    simulate_parser.add_argument("--loss", type=float, default=0.01)
+    simulate_parser.add_argument("--rounds", type=float, default=300.0)
+    simulate_parser.add_argument("--seed", type=int, default=0)
+    simulate_parser.set_defaults(func=_cmd_simulate)
+
+    report_parser = sub.add_parser(
+        "report", help="run experiments and archive text+JSON results"
+    )
+    report_parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: all)",
+    )
+    report_parser.add_argument("--output", default="report", help="output directory")
+    report_parser.add_argument("--fast", action="store_true")
+    report_parser.set_defaults(func=_cmd_report)
+
+    size_parser = sub.add_parser("size", help="apply the paper's sizing rules")
+    size_parser.add_argument("--target-degree", type=int, default=30)
+    size_parser.add_argument("--delta", type=float, default=0.01)
+    size_parser.add_argument("--loss", type=float, default=0.01)
+    size_parser.add_argument("--epsilon", type=float, default=1e-30)
+    size_parser.set_defaults(func=_cmd_size)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

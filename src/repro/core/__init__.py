@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the Send & Forget (S&F) protocol.
+
+``SendForget`` implements Figure 5.1 exactly — nonatomic actions made of a
+send step and a receive step, duplication when the sender's outdegree is at
+the lower threshold ``dL``, and deletion when the receiver's view is full.
+``SFParams`` carries the two protocol parameters, and ``select_thresholds``
+implements the section 6.3 rule for choosing them.
+"""
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.core.thresholds import ThresholdSelection, select_thresholds
+from repro.core.view import View, ViewEntry
+
+__all__ = [
+    "SFParams",
+    "SendForget",
+    "View",
+    "ViewEntry",
+    "ThresholdSelection",
+    "select_thresholds",
+]

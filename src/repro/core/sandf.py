@@ -1,0 +1,221 @@
+"""The Send & Forget protocol (section 5, Figure 5.1).
+
+Each node ``u`` keeps a view of ``s`` slots.  One *action*:
+
+``S&F-InitiateAction_u()``
+    1. select two distinct slots ``i ≠ j`` uniformly at random;
+    2. let ``v = u.lv[i]``, ``w = u.lv[j]``; if either is ⊥ do nothing
+       (a *self-loop transformation*);
+    3. send ``[u, w]`` to ``v``;
+    4. if ``d(u) > dL`` clear both slots, otherwise keep them
+       (*duplication* — the loss-compensation mechanism).
+
+``S&F-Receive_u(v1, v2)``
+    If ``d(u) < s``, store both received ids into uniformly random empty
+    slots; otherwise *delete* them (drop the message content).
+
+The protocol never retransmits and keeps no bookkeeping about in-flight
+messages: after sending, it forgets.  Message loss therefore simply means
+the receive step never runs — the sender has already cleared (or kept) its
+slots either way, which is exactly the nonatomic-action model the paper
+analyzes.
+
+Dependence labels (see :mod:`repro.core.view`) are carried so experiments
+can measure spatial independence (Property M4) against the
+``α ≥ 1 − 2(ℓ+δ)`` bound of Lemma 7.9.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.params import SFParams
+from repro.core.view import NodeId, View, ViewEntry
+from repro.model.membership_graph import MembershipGraph
+from repro.protocols.base import GossipProtocol, Message
+
+
+class SendForget(GossipProtocol):
+    """Population of nodes running S&F with shared parameters.
+
+    Args:
+        params: the validated ``(s, dL)`` pair.
+
+    Node state is owned here; drive the protocol with an engine from
+    :mod:`repro.engine` or call :meth:`initiate`/:meth:`deliver` directly.
+    """
+
+    def __init__(self, params: SFParams):
+        super().__init__()
+        self.params = params
+        self._views: Dict[NodeId, View] = {}
+
+    # ------------------------------------------------------------------
+    # Population management
+    # ------------------------------------------------------------------
+
+    def node_ids(self) -> List[NodeId]:
+        return list(self._views)
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._views
+
+    def add_node(self, node_id: NodeId, bootstrap_ids: Sequence[NodeId]) -> None:
+        """Join with a bootstrap view.
+
+        The paper requires a joiner to know at least ``dL`` live ids (and
+        S&F keeps outdegrees even), so ``bootstrap_ids`` must have even
+        length of at least ``dL``; ids may repeat (e.g. copied from another
+        node's view) and must fit in the view.
+        """
+        if node_id in self._views:
+            raise ValueError(f"node {node_id} already exists")
+        ids = list(bootstrap_ids)
+        if len(ids) % 2 != 0:
+            raise ValueError(
+                f"bootstrap view must have even size (Observation 5.1), got {len(ids)}"
+            )
+        if len(ids) < self.params.d_low:
+            raise ValueError(
+                f"joiner needs at least d_low={self.params.d_low} ids, got {len(ids)}"
+            )
+        if len(ids) > self.params.view_size:
+            raise ValueError(
+                f"bootstrap view exceeds view size {self.params.view_size}"
+            )
+        view = View(self.params.view_size)
+        for index, bootstrap_id in enumerate(ids):
+            view.store_into(index, ViewEntry(bootstrap_id))
+        self._views[node_id] = view
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Leave/fail: simply stop participating (no explicit action, §5).
+
+        Other nodes' views still hold the id; every message sent to the
+        departed node is effectively lost, so the id drains out of the
+        system at the rate analyzed in section 6.5.2.
+        """
+        if node_id not in self._views:
+            raise KeyError(f"unknown node {node_id}")
+        del self._views[node_id]
+
+    # ------------------------------------------------------------------
+    # Protocol steps
+    # ------------------------------------------------------------------
+
+    def initiate(self, node_id: NodeId, rng) -> Optional[Message]:
+        """``S&F-InitiateAction`` at ``node_id``.  Returns the message, if any."""
+        view = self._views[node_id]
+        self.stats.actions += 1
+        i, j = view.sample_two_slots(rng)
+        target_entry = view.get(i)
+        payload_entry = view.get(j)
+        if target_entry is None or payload_entry is None:
+            self.stats.self_loops += 1
+            return None
+        self.stats.non_self_loop_actions += 1
+        self.stats.messages_sent += 1
+        duplicated = view.outdegree <= self.params.d_low
+        if duplicated:
+            # Duplication (Fig 5.2(c)): the entries stay put and the receiver
+            # gains correlated copies.  The paper labels "all but one" edge of
+            # each dependent group as dependent; we keep the sender's entries
+            # as the representatives and label the receiver's new copies.
+            self.stats.duplications += 1
+            payload_flag = True
+            sender_flag = True
+        else:
+            view.clear_slot(i)
+            view.clear_slot(j)
+            # "Sent without duplication": the moved information becomes
+            # independent at the receiver (Fig 7.1's dependent→independent
+            # transition).
+            payload_flag = False
+            sender_flag = False
+        return Message(
+            sender=node_id,
+            target=target_entry.node_id,
+            payload=[(node_id, sender_flag), (payload_entry.node_id, payload_flag)],
+            kind="sandf",
+        )
+
+    def deliver(self, message: Message, rng) -> Optional[Message]:
+        """``S&F-Receive`` at the message target.  Never produces a reply."""
+        view = self._views.get(message.target)
+        if view is None:
+            # Target departed: indistinguishable from loss for the sender.
+            return None
+        self.stats.deliveries += 1
+        if view.empty_count < len(message.payload):
+            # Full view (Fig 5.2(d)): received ids are deleted.
+            self.stats.deletions += 1
+            return None
+        for node_id, dependent in message.payload:
+            view.store_random_empty(ViewEntry(node_id, dependent), rng)
+        return None
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def view_of(self, node_id: NodeId) -> Counter:
+        return self._views[node_id].ids()
+
+    def raw_view(self, node_id: NodeId) -> View:
+        """The live :class:`View` object (slot-level, with dependence flags)."""
+        return self._views[node_id]
+
+    def outdegree(self, node_id: NodeId) -> int:
+        return self._views[node_id].outdegree
+
+    def check_invariant(self) -> None:
+        """Assert Observation 5.1 for every node: outdegree even, in [dL, s].
+
+        A node that bootstrapped with outdegree exactly ``dL`` may only grow;
+        clearing requires ``d > dL`` and changes degree by 2, so parity and
+        bounds are preserved by every step.
+        """
+        for node_id, view in self._views.items():
+            d = view.outdegree
+            if d % 2 != 0:
+                raise AssertionError(f"node {node_id} has odd outdegree {d}")
+            if not self.params.d_low <= d <= self.params.view_size:
+                raise AssertionError(
+                    f"node {node_id} outdegree {d} outside "
+                    f"[{self.params.d_low}, {self.params.view_size}]"
+                )
+            view.validate()
+
+    def dependent_fraction(self) -> float:
+        """Fraction of nonempty entries labeled dependent, plus structural
+        dependents (self-edges and in-view duplicates not already labeled).
+
+        This is the empirical ``1 − α`` compared against ``2(ℓ+δ)`` in the
+        Lemma 7.9 benchmark.
+        """
+        dependent = 0
+        total = 0
+        for node_id, view in self._views.items():
+            seen: Counter = Counter()
+            for _, entry in view.entries():
+                total += 1
+                if entry.dependent:
+                    dependent += 1
+                elif entry.node_id == node_id:
+                    dependent += 1  # self-edges are always dependent
+                elif seen[entry.node_id] >= 1:
+                    dependent += 1  # all but one copy of a duplicate id
+                seen[entry.node_id] += 1
+        if total == 0:
+            return 0.0
+        return dependent / total
+
+    def export_graph(self) -> MembershipGraph:
+        graph = MembershipGraph(self._views)
+        for node_id, view in self._views.items():
+            for _, entry in view.entries():
+                if not graph.has_node(entry.node_id):
+                    graph.add_node(entry.node_id)
+                graph.add_edge(node_id, entry.node_id)
+        return graph

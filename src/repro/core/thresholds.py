@@ -1,0 +1,116 @@
+"""Threshold selection (section 6.3): choosing ``dL`` and ``s``.
+
+Given a desired expected outdegree ``d̂`` (application-driven) and a
+maximum duplication/deletion probability ``δ``, the paper sets, using the
+no-loss analytical distribution of equation 6.1 with ``dm = 3·d̂``
+(Lemma 6.3):
+
+    dL = max { d' even ≤ d̂ : Pr(d(u) ≤ d') ≤ δ }
+    s  = min { d' even ≥ d̂ : Pr(d(u) > d') ≤ δ }
+
+The worked example in the paper: ``d̂ = 30, δ = 0.01 → dL = 18, s = 40``.
+Note the upper rule uses the *strict* tail ``Pr(d > d')``: with
+``Pr(d ≥ 40) ≈ 0.025`` but ``Pr(d > 40) ≈ 0.0086``, only the strict
+reading reproduces the paper's ``s = 40`` (the weak reading would give 42).
+Deletions occur when a message arrives while the receiver already sits at
+``d = s``, i.e. when the degree would exceed ``s``, which matches the
+strict tail.  Typically ``δ = 0.01`` balances low dependence creation
+under no loss against the ability to repair degree imbalance under loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.degree_analytic import analytical_outdegree_distribution
+from repro.core.params import SFParams
+
+
+@dataclass(frozen=True)
+class ThresholdSelection:
+    """The outcome of the section 6.3 rule.
+
+    Attributes:
+        d_hat: the requested expected outdegree.
+        delta: the requested duplication/deletion probability cap.
+        d_low: the selected lower threshold ``dL``.
+        view_size: the selected view size ``s``.
+        low_tail: achieved ``Pr(d(u) ≤ dL)`` (duplication probability bound).
+        high_tail: achieved ``Pr(d(u) ≥ s)`` (deletion probability bound).
+    """
+
+    d_hat: int
+    delta: float
+    d_low: int
+    view_size: int
+    low_tail: float
+    high_tail: float
+
+    def params(self) -> SFParams:
+        """The selected thresholds as validated protocol parameters."""
+        return SFParams(view_size=self.view_size, d_low=self.d_low)
+
+
+def select_thresholds(d_hat: int, delta: float) -> ThresholdSelection:
+    """Apply the section 6.3 rule; see module docstring.
+
+    Args:
+        d_hat: desired expected outdegree without loss (must be even, ≥ 2).
+        delta: cap on duplication and deletion probabilities, in (0, 1/2).
+
+    Returns:
+        The selected ``(dL, s)`` with the achieved tail probabilities.
+
+    Raises:
+        ValueError: for invalid inputs or if no even threshold satisfies
+            the tail conditions.
+    """
+    if d_hat < 2 or d_hat % 2 != 0:
+        raise ValueError(f"d_hat must be an even integer >= 2, got {d_hat}")
+    if not 0.0 < delta < 0.5:
+        raise ValueError(f"delta must be in (0, 1/2), got {delta}")
+
+    dm = 3 * d_hat
+    pmf: Dict[int, float] = analytical_outdegree_distribution(dm)
+    degrees = sorted(pmf)
+
+    d_low = None
+    cumulative = 0.0
+    for d in degrees:
+        if d > d_hat:
+            break
+        cumulative += pmf[d]
+        if cumulative <= delta:
+            d_low = d
+    if d_low is None:
+        # Even Pr(d ≤ 0) exceeds δ; the only safe lower threshold is 0 when
+        # its tail qualifies, otherwise the request is unsatisfiable.
+        raise ValueError(
+            f"no even d' <= d_hat={d_hat} has lower tail <= delta={delta}"
+        )
+
+    view_size = None
+    tail = 0.0  # running Pr(d > d') as d' sweeps downward
+    achieved_high = 0.0
+    for d in reversed(degrees):
+        if d < d_hat:
+            break
+        if tail <= delta:
+            view_size = d
+            achieved_high = tail
+        tail += pmf[d]
+    if view_size is None:
+        raise ValueError(
+            f"no even d' >= d_hat={d_hat} has upper tail <= delta={delta}"
+        )
+
+    low_tail = sum(pmf[d] for d in degrees if d <= d_low)
+    return ThresholdSelection(
+        d_hat=d_hat,
+        delta=delta,
+        d_low=d_low,
+        view_size=view_size,
+        low_tail=low_tail,
+        high_tail=achieved_high,
+    )

@@ -1,0 +1,16 @@
+"""Simulation engines.
+
+* :class:`~repro.engine.sequential.SequentialEngine` — the paper's analysis
+  model: a central scheduler repeatedly picks a uniformly random node,
+  invokes its initiate action, and completes the (possibly lost) receive
+  before the next action.  A *round* is ``n`` actions.
+* :class:`~repro.engine.des.DiscreteEventEngine` — an asynchronous engine
+  with per-node timers and message delays, where actions overlap in time.
+  S&F's steps are atomic at a single node, so it runs unchanged here —
+  demonstrating the "no atomicity needed" design point of section 5.
+"""
+
+from repro.engine.des import DiscreteEventEngine
+from repro.engine.sequential import EngineStats, SequentialEngine
+
+__all__ = ["SequentialEngine", "EngineStats", "DiscreteEventEngine"]

@@ -1,0 +1,12 @@
+"""Per-figure/table experiment runners.
+
+Each module reproduces one artifact of the paper's evaluation and returns
+a result object with the raw series plus a ``format()`` method printing
+the same rows/series the paper reports.  The benchmark suite under
+``benchmarks/`` is a thin timing/printing wrapper around these runners;
+see DESIGN.md for the experiment index.
+"""
+
+from repro.experiments.common import build_sf_system, warm_up
+
+__all__ = ["build_sf_system", "warm_up"]

@@ -1,0 +1,129 @@
+"""Ablation of the section 5 optimizations.
+
+Runs the base protocol and each optimization (plus all combined) on the
+same population and loss rate, and reports the design-relevant outcomes:
+
+* duplication rate (dependence creation) — mark-and-undelete should cut it;
+* deletion rate (information discarded) — replace-on-full removes it;
+* dependent-entry fraction — the Lemma 7.9 quantity per variant;
+* mean outdegree and message count — wide messages move the overhead
+  trade-off.
+
+This is the experiment the paper's "we leave optimizations to future
+work" remark invites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.params import SFParams
+from repro.core.variants import SendForgetVariant
+from repro.engine.sequential import SequentialEngine
+from repro.net.loss import UniformLoss
+from repro.util.tables import format_table
+
+
+@dataclass
+class VariantRow:
+    name: str
+    duplication: float
+    deletion: float
+    undeletions: int
+    replacements: int
+    dependent_fraction: float
+    mean_outdegree: float
+    messages_per_round: float
+
+
+@dataclass
+class AblationResult:
+    n: int
+    loss_rate: float
+    params: SFParams
+    rows: List[VariantRow] = field(default_factory=list)
+
+    def row(self, name: str) -> VariantRow:
+        for entry in self.rows:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def format(self) -> str:
+        table_rows = [
+            [
+                row.name,
+                f"{row.duplication:.4f}",
+                f"{row.deletion:.4f}",
+                row.undeletions,
+                row.replacements,
+                f"{row.dependent_fraction:.4f}",
+                f"{row.mean_outdegree:.1f}",
+                f"{row.messages_per_round:.1f}",
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            ["variant", "dup", "del", "undel", "repl", "dep frac", "outdeg", "msgs/round"],
+            table_rows,
+            title=(
+                f"Section 5 optimization ablation "
+                f"(n={self.n}, l={self.loss_rate}, dL={self.params.d_low}, "
+                f"s={self.params.view_size})"
+            ),
+        )
+
+
+VARIANTS: Dict[str, Dict[str, object]] = {
+    "base": {},
+    "mark-and-undelete": {"mark_and_undelete": True},
+    "replace-on-full": {"replace_on_full": True},
+    "wide-messages(3)": {"ids_per_message": 3},
+    "all-combined": {
+        "mark_and_undelete": True,
+        "replace_on_full": True,
+        "ids_per_message": 3,
+    },
+}
+
+
+def run(
+    n: int = 300,
+    loss_rate: float = 0.05,
+    params: Optional[SFParams] = None,
+    warmup_rounds: float = 200.0,
+    measure_rounds: float = 150.0,
+    seed: int = 55,
+) -> AblationResult:
+    """Run every variant on an identical population/loss configuration."""
+    if params is None:
+        params = SFParams(view_size=16, d_low=6)
+    result = AblationResult(n=n, loss_rate=loss_rate, params=params)
+    for name, kwargs in VARIANTS.items():
+        protocol = SendForgetVariant(params, **kwargs)
+        for u in range(n):
+            protocol.add_node(u, [(u + k) % n for k in range(1, 11)])
+        engine = SequentialEngine(protocol, UniformLoss(loss_rate), seed=seed)
+        engine.run_rounds(warmup_rounds)
+        protocol.stats.reset()
+        engine.run_rounds(measure_rounds)
+        protocol.check_invariant()
+        mean_out = float(
+            np.mean([protocol.outdegree(u) for u in protocol.node_ids()])
+        )
+        result.rows.append(
+            VariantRow(
+                name=name,
+                duplication=protocol.stats.duplication_probability(),
+                deletion=protocol.stats.deletion_probability(),
+                undeletions=protocol.undeletion_count(),
+                replacements=protocol.replacement_count(),
+                dependent_fraction=protocol.dependent_fraction(),
+                mean_outdegree=mean_out,
+                messages_per_round=protocol.stats.messages_sent / measure_rounds,
+            )
+        )
+    return result

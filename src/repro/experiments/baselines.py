@@ -1,0 +1,140 @@
+"""Section 3.1 comparison: S&F vs shuffle vs push vs push-pull under loss.
+
+The paper positions S&F between two failure modes:
+
+* protocols that **delete sent ids** (shuffle/Cyclon/flipper) leak ids
+  under loss — the system "gradually loses more and more ids";
+* protocols that **keep sent ids** (lpbcast-style push, Allavena-style
+  push-pull) are loss-immune but induce spatial dependence between
+  neighbor views.
+
+The experiment subjects all four protocols to the same population, loss
+rate, and horizon, then reports (a) total id instances over time — the
+attrition signal — and (b) the neighbor-view overlap excess — the
+dependence signal.  Expected shape: shuffle's edges decay toward zero;
+S&F's stay level; push/push-pull stay level but with markedly higher
+overlap than S&F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.engine.sequential import SequentialEngine
+from repro.metrics.independence import mutual_edge_fraction, neighbor_overlap_fraction
+from repro.net.loss import UniformLoss
+from repro.protocols.push import PushProtocol
+from repro.protocols.pushpull import PushPullProtocol
+from repro.protocols.shuffle import ShuffleProtocol
+from repro.util.tables import format_series, format_table
+
+
+@dataclass
+class BaselineComparisonResult:
+    n: int
+    loss_rate: float
+    rounds: List[float]
+    edge_curves: Dict[str, List[int]] = field(default_factory=dict)
+    final_overlap: Dict[str, float] = field(default_factory=dict)
+    mutual_fraction: Dict[str, float] = field(default_factory=dict)
+    isolated_nodes: Dict[str, int] = field(default_factory=dict)
+
+    def edge_retention(self, protocol_name: str) -> float:
+        curve = self.edge_curves[protocol_name]
+        if curve[0] == 0:
+            raise ValueError("empty initial system")
+        return curve[-1] / curve[0]
+
+    def format(self) -> str:
+        body = format_series(
+            {name: [float(v) for v in curve] for name, curve in self.edge_curves.items()},
+            "round",
+            [int(r) for r in self.rounds],
+            title=(
+                f"Baseline comparison (n={self.n}, l={self.loss_rate}): "
+                "total id instances over time"
+            ),
+            precision=0,
+        )
+        rows = [
+            [
+                name,
+                f"{self.edge_retention(name):.3f}",
+                f"{self.final_overlap[name]:.4f}",
+                f"{self.mutual_fraction[name]:.4f}",
+                self.isolated_nodes[name],
+            ]
+            for name in self.edge_curves
+        ]
+        summary = format_table(
+            ["protocol", "edge retention", "neighbor overlap", "mutual edges", "isolated nodes"],
+            rows,
+            title="Final-state summary",
+        )
+        return f"{body}\n\n{summary}"
+
+
+def _total_instances(protocol) -> int:
+    return sum(
+        sum(protocol.view_of(u).values()) for u in protocol.node_ids()
+    )
+
+
+def run(
+    n: int = 300,
+    loss_rate: float = 0.05,
+    view_size: int = 16,
+    d_low: int = 6,
+    rounds: int = 150,
+    sample_every: int = 15,
+    seed: int = 31,
+) -> BaselineComparisonResult:
+    """Run the four protocols on identical populations under the same loss."""
+    init_outdegree = min(view_size - 6, 8)
+    if init_outdegree % 2 != 0:
+        init_outdegree -= 1
+
+    def bootstrap(u: int) -> List[int]:
+        return [(u + k) % n for k in range(1, init_outdegree + 1)]
+
+    protocols = {
+        "sandf": SendForget(SFParams(view_size=view_size, d_low=d_low)),
+        "shuffle": ShuffleProtocol(view_size=view_size, shuffle_length=3),
+        "push": PushProtocol(view_size=view_size, gossip_length=2),
+        "pushpull": PushPullProtocol(view_size=view_size),
+    }
+    for protocol in protocols.values():
+        for u in range(n):
+            protocol.add_node(u, bootstrap(u))
+
+    result = BaselineComparisonResult(n=n, loss_rate=loss_rate, rounds=[])
+    for name, protocol in protocols.items():
+        engine = SequentialEngine(protocol, UniformLoss(loss_rate), seed=seed)
+        xs: List[float] = [0.0]
+        ys: List[int] = [_total_instances(protocol)]
+        elapsed = 0
+        while elapsed < rounds:
+            step = min(sample_every, rounds - elapsed)
+            engine.run_rounds(step)
+            elapsed += step
+            xs.append(float(elapsed))
+            ys.append(_total_instances(protocol))
+        result.rounds = xs
+        result.edge_curves[name] = ys
+        try:
+            result.final_overlap[name] = neighbor_overlap_fraction(protocol)
+            result.mutual_fraction[name] = mutual_edge_fraction(protocol)
+        except ValueError:
+            result.final_overlap[name] = float("nan")
+            result.mutual_fraction[name] = float("nan")
+        isolated = getattr(protocol, "isolated_count", None)
+        if isolated is not None:
+            result.isolated_nodes[name] = isolated()
+        else:
+            result.isolated_nodes[name] = sum(
+                1 for u in protocol.node_ids() if protocol.outdegree(u) == 0
+            )
+    return result

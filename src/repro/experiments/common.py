@@ -1,0 +1,64 @@
+"""Shared experiment scaffolding: system construction and warm-up.
+
+All simulation experiments start from a "sufficiently connected" initial
+topology (section 2's premise): each node bootstraps with ``init_outdegree``
+distinct ring neighbors, giving a regular, weakly connected start, and the
+engine runs a warm-up period so measurements happen in the steady state
+(section 6's setting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.engine.sequential import SequentialEngine
+from repro.net.loss import LossModel, UniformLoss
+from repro.util.rng import SeedLike
+
+
+def build_sf_system(
+    n: int,
+    params: SFParams,
+    loss_rate: float = 0.0,
+    seed: SeedLike = None,
+    init_outdegree: Optional[int] = None,
+    loss_model: Optional[LossModel] = None,
+) -> Tuple[SendForget, SequentialEngine]:
+    """Create ``n`` S&F nodes on a ring bootstrap plus a sequential engine.
+
+    Node ``u`` starts with out-edges to ``u+1 .. u+init_outdegree`` (mod n),
+    so the initial graph is regular and weakly connected.  The default
+    initial outdegree is three quarters of the view size, rounded to an
+    even value within ``[d_low, s]`` — comfortably inside the protocol's
+    working range.
+    """
+    if n < 3:
+        raise ValueError(f"need at least 3 nodes, got {n}")
+    s = params.view_size
+    if init_outdegree is None:
+        init_outdegree = min(s - 2, max(params.d_low + 2, (3 * s // 4) & ~1))
+    if init_outdegree % 2 != 0:
+        raise ValueError(f"init_outdegree must be even, got {init_outdegree}")
+    if init_outdegree >= n:
+        raise ValueError(
+            f"init_outdegree={init_outdegree} needs n > init_outdegree, got n={n}"
+        )
+    params.validate_outdegree(init_outdegree)
+    protocol = SendForget(params)
+    for u in range(n):
+        bootstrap = [(u + k) % n for k in range(1, init_outdegree + 1)]
+        protocol.add_node(u, bootstrap)
+    loss = loss_model if loss_model is not None else UniformLoss(loss_rate)
+    engine = SequentialEngine(protocol, loss, seed=seed)
+    return protocol, engine
+
+
+def warm_up(engine: SequentialEngine, rounds: float) -> None:
+    """Run ``rounds`` rounds and reset protocol counters.
+
+    After this, statistics reflect steady-state behavior only.
+    """
+    engine.run_rounds(rounds)
+    engine.protocol.stats.reset()

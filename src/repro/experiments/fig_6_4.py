@@ -1,0 +1,121 @@
+"""Figure 6.4: decay of a departed node's id instances (section 6.5.2).
+
+The paper plots the Lemma 6.10 *upper bound* on the probability that an
+id instance of a left/failed node remains in some view, for
+``δ = 0.01, dL = 18, s = 40`` and ``ℓ ∈ {0, 0.01, 0.05, 0.1}``, over 500
+rounds.  Shape claims: the curves for different loss rates almost
+coincide (the decay rate is "almost unaffected by loss"), and fewer than
+50% of instances survive after ~70 rounds... for the *bound*; the actual
+protocol decays at least that fast.
+
+This runner computes the bound curves and (optionally) overlays a
+simulated survival curve: a batch of nodes leaves a steady-state system
+and the surviving instances of their ids are counted each round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.decay import half_life_rounds, survival_curve
+from repro.core.params import SFParams
+from repro.metrics.degrees import id_instance_count
+from repro.util.tables import format_series
+
+
+@dataclass
+class Fig64Result:
+    params: SFParams
+    delta: float
+    rounds: List[int]
+    bound_curves: Dict[float, List[float]] = field(default_factory=dict)
+    simulated_curves: Dict[float, List[float]] = field(default_factory=dict)
+
+    def half_lives(self) -> Dict[float, float]:
+        return {
+            loss: half_life_rounds(
+                self.params.d_low, self.params.view_size, loss, self.delta
+            )
+            for loss in self.bound_curves
+        }
+
+    def format(self) -> str:
+        series = {
+            f"bound l={loss}": curve for loss, curve in self.bound_curves.items()
+        }
+        for loss, curve in self.simulated_curves.items():
+            series[f"sim l={loss}"] = curve
+        title = (
+            f"Figure 6.4: survival of a departed id "
+            f"(dL={self.params.d_low}, s={self.params.view_size}, δ={self.delta})"
+        )
+        body = format_series(series, "round", self.rounds, title=title)
+        half = ", ".join(
+            f"l={loss}: {rounds:.0f}" for loss, rounds in self.half_lives().items()
+        )
+        return f"{body}\n50% bound crossings (rounds): {half}"
+
+
+def run(
+    losses: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
+    params: Optional[SFParams] = None,
+    delta: float = 0.01,
+    max_round: int = 500,
+    step: int = 25,
+    simulate: bool = False,
+    simulate_n: int = 400,
+    simulate_leavers: int = 20,
+    warmup_rounds: float = 300.0,
+    seed: int = 64,
+) -> Fig64Result:
+    """Compute the Lemma 6.10 curves; optionally simulate actual decay."""
+    if params is None:
+        params = SFParams(view_size=40, d_low=18)
+    rounds = list(range(0, max_round + 1, step))
+    result = Fig64Result(params=params, delta=delta, rounds=rounds)
+    for loss in losses:
+        result.bound_curves[loss] = survival_curve(
+            rounds, params.d_low, params.view_size, loss, delta
+        )
+        if simulate:
+            result.simulated_curves[loss] = _simulate_decay(
+                params,
+                loss,
+                rounds,
+                simulate_n,
+                simulate_leavers,
+                warmup_rounds,
+                seed,
+            )
+    return result
+
+
+def _simulate_decay(
+    params: SFParams,
+    loss: float,
+    rounds: Sequence[int],
+    n: int,
+    leavers: int,
+    warmup_rounds: float,
+    seed: int,
+) -> List[float]:
+    from repro.experiments.common import build_sf_system, warm_up
+
+    protocol, engine = build_sf_system(n, params, loss_rate=loss, seed=seed)
+    warm_up(engine, warmup_rounds)
+    victims = protocol.node_ids()[:leavers]
+    for victim in victims:
+        protocol.remove_node(victim)
+    initial = sum(id_instance_count(protocol, v) for v in victims)
+    if initial == 0:
+        raise RuntimeError("victims had no id instances at departure")
+    curve: List[float] = []
+    elapsed = 0
+    for target in rounds:
+        if target > elapsed:
+            engine.run_rounds(target - elapsed)
+            elapsed = target
+        surviving = sum(id_instance_count(protocol, v) for v in victims)
+        curve.append(surviving / initial)
+    return curve

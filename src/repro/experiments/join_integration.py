@@ -1,0 +1,130 @@
+"""Corollary 6.14: integration speed of joining nodes (section 6.5.3).
+
+"For ℓ+δ ≪ 1 and s/dL = 2, after 2s rounds, a newly joined node is
+expected to create at least Din/4 instances of its id in other views."
+
+The experiment: bring a system to the steady state, measure the expected
+indegree ``Din``, join fresh nodes with the minimal bootstrap (outdegree
+``dL``, indegree 0, per section 6.5), run ``2s`` rounds, and compare each
+joiner's representation (instances of its id in other views) against the
+``Din/4`` bound.  Also reports outdegree recovery — the paper's remark
+that after creating ~Din/4 in-neighbors the joiner starts receiving
+messages and re-enters the normal operating regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.decay import expected_join_instances, join_integration_rounds
+from repro.core.params import SFParams
+from repro.metrics.degrees import id_instance_count
+from repro.util.tables import format_table
+
+
+@dataclass
+class JoinIntegrationResult:
+    params: SFParams
+    loss_rate: float
+    expected_indegree: float
+    bound_instances: float
+    horizon_rounds: float
+    joiner_instances: List[int]
+    joiner_outdegrees: List[int]
+
+    def mean_instances(self) -> float:
+        return float(np.mean(self.joiner_instances))
+
+    def satisfied(self) -> bool:
+        """Does the *average* joiner meet the Corollary 6.14 expectation?"""
+        return self.mean_instances() >= self.bound_instances
+
+    def format(self) -> str:
+        rows = [
+            [i, inst, outd]
+            for i, (inst, outd) in enumerate(
+                zip(self.joiner_instances, self.joiner_outdegrees)
+            )
+        ]
+        table = format_table(
+            ["joiner", "id instances", "outdegree"],
+            rows,
+            title=(
+                f"Corollary 6.14 (dL={self.params.d_low}, s={self.params.view_size}, "
+                f"l={self.loss_rate}): after {self.horizon_rounds:.0f} rounds"
+            ),
+        )
+        return (
+            f"{table}\n"
+            f"Din={self.expected_indegree:.1f}  bound=Din/4={self.bound_instances:.1f}  "
+            f"mean created={self.mean_instances():.1f}  "
+            f"satisfied={self.satisfied()}"
+        )
+
+
+def run(
+    n: int = 400,
+    params: Optional[SFParams] = None,
+    loss_rate: float = 0.01,
+    joiners: int = 8,
+    warmup_rounds: float = 300.0,
+    horizon_rounds: Optional[float] = None,
+    seed: int = 614,
+) -> JoinIntegrationResult:
+    """Run the join-integration experiment.
+
+    Defaults use ``s/dL = 2`` (``s = 40, dL = 20``) as in the corollary.
+    ``horizon_rounds`` defaults to ``2s``.
+    """
+    from repro.experiments.common import build_sf_system, warm_up
+
+    if params is None:
+        params = SFParams(view_size=40, d_low=20)
+    if horizon_rounds is None:
+        horizon_rounds = 2.0 * params.view_size
+    protocol, engine = build_sf_system(n, params, loss_rate=loss_rate, seed=seed)
+    warm_up(engine, warmup_rounds)
+    expected_indegree = float(np.mean(list(protocol.indegrees().values())))
+
+    rng = engine.rng
+    live = protocol.node_ids()
+    joiner_ids = list(range(n, n + joiners))
+    for joiner in joiner_ids:
+        bootstrap = [
+            live[int(rng.integers(len(live)))] for _ in range(params.d_low)
+        ]
+        protocol.add_node(joiner, bootstrap)
+    engine.run_rounds(horizon_rounds)
+
+    instances = [id_instance_count(protocol, j) for j in joiner_ids]
+    outdegrees = [protocol.outdegree(j) for j in joiner_ids]
+    return JoinIntegrationResult(
+        params=params,
+        loss_rate=loss_rate,
+        expected_indegree=expected_indegree,
+        bound_instances=expected_join_instances(
+            params.d_low, params.view_size, expected_indegree
+        ),
+        horizon_rounds=horizon_rounds,
+        joiner_instances=instances,
+        joiner_outdegrees=outdegrees,
+    )
+
+
+def theoretical_summary(
+    params: SFParams, loss_rate: float, delta: float, expected_indegree: float
+) -> str:
+    """The Lemma 6.13 numbers for reporting alongside the simulation."""
+    horizon = join_integration_rounds(
+        params.d_low, params.view_size, loss_rate, delta
+    )
+    bound = expected_join_instances(
+        params.d_low, params.view_size, expected_indegree
+    )
+    return (
+        f"Lemma 6.13: within {horizon:.0f} rounds a joiner creates >= "
+        f"{bound:.1f} instances (Din={expected_indegree:.1f})"
+    )

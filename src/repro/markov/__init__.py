@@ -1,0 +1,39 @@
+"""Markov-chain machinery for the paper's analyses.
+
+* :mod:`repro.markov.chain` — generic finite MCs (section 3.2 toolkit).
+* :mod:`repro.markov.degree_mc` — the two-dimensional degree MC of §6.2,
+  solved by the paper's iterative fixed-point scheme.
+* :mod:`repro.markov.dependence_mc` — the two-state dependence MC of §7.4.
+* :mod:`repro.markov.global_mc` — exhaustive enumeration of the global MC
+  over membership graphs for tiny systems, used to check Lemmas 7.3–7.5.
+* :mod:`repro.markov.conductance` — boundary/conductance computations
+  (Definitions 7.11–7.13).
+"""
+
+from repro.markov.chain import MarkovChain
+from repro.markov.degree_mc import DegreeMarkovChain, DegreeMCResult
+from repro.markov.dependence_mc import DependenceMarkovChain
+from repro.markov.global_mc import GlobalMarkovChain
+from repro.markov.conductance import conductance, expected_conductance
+from repro.markov.mixing import (
+    epsilon_independence_time,
+    mixing_time,
+    relaxation_time,
+    spectral_gap,
+    tv_decay_curve,
+)
+
+__all__ = [
+    "MarkovChain",
+    "DegreeMarkovChain",
+    "DegreeMCResult",
+    "DependenceMarkovChain",
+    "GlobalMarkovChain",
+    "conductance",
+    "expected_conductance",
+    "mixing_time",
+    "epsilon_independence_time",
+    "tv_decay_curve",
+    "spectral_gap",
+    "relaxation_time",
+]

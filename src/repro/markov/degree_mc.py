@@ -1,0 +1,409 @@
+"""The two-dimensional degree Markov chain (section 6.2, Figures 6.1–6.3).
+
+The chain tracks the joint evolution of a single tagged node's
+``(outdegree d, indegree k)`` under S&F in a large system (``n ≫ s`` — the
+construction is independent of ``n``).  Three event families change the
+tagged state, with per-round rates (one round = each node initiates once):
+
+* **initiate** (rate 1): the tagged node selects two slots; with
+  probability ``q = d(d−1)/(s(s−1))`` both are nonempty.  Unless its
+  outdegree sits at ``dL`` (duplication) it drops to ``d−2``; if the
+  message is delivered (prob ``1−ℓ``) to a non-full receiver (prob
+  ``1−P_full``), the receiver stores the tagged id: ``k+1``.
+* **targeted** (rate ``k·r``): a holder of the tagged id picks that
+  instance as the message *target*.  The holder clears the instance
+  (``k−1``) unless it duplicates (prob ``p_dup``); the tagged node, if the
+  message arrives (``1−ℓ``) and it has room (``d < s``), stores two ids:
+  ``d+2`` — otherwise it deletes them.
+* **forwarded** (rate ``k·r``): a holder picks the instance as the
+  *payload*.  The instance moves: removed at the holder unless duplicated,
+  recreated at the message target if delivered to a non-full node.
+
+The environment parameters are distributional quantities of the chain's
+own stationary distribution π, creating the circularity the paper resolves
+iteratively ("we search the correct degree distributions iteratively"):
+
+* ``r = E[D(D−1)] / (E[D]·s(s−1))`` — holders are sampled proportionally
+  to outdegree (an id instance lives in a uniformly random nonempty slot),
+  and target/payload selection is proportional to ``D−1``;
+* ``p_dup = μ(dL)·dL·(dL−1) / E[D(D−1)]`` — the holder-duplication
+  probability, size-biased exactly as Lemma 6.9 warns ("preferring nodes
+  with higher outdegrees");
+* ``P_full = E[k·1{d=s}] / E[k]`` — message targets are sampled
+  proportionally to indegree, so receiver fullness is indegree-weighted.
+
+Sum degrees are capped at ``3s`` exactly as in the paper ("we consider sum
+degrees to be bounded by 3s ... replacing edges leading to these states
+with self-loops").
+
+With ``ℓ = 0`` and ``dL = 0`` the chain conserves the sum degree
+``d + 2k`` (Lemma 6.2) and is not ergodic on the full grid; pass
+``conserved_sum_degree=dm`` to restrict the state space to that line —
+this reproduces the "S&F Markov" curves of Figure 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix, lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.core.params import SFParams
+
+State = Tuple[int, int]  # (outdegree, indegree)
+
+
+@dataclass
+class DegreeMCResult:
+    """Solved stationary behavior of the degree MC.
+
+    Attributes:
+        states: state list aligned with ``stationary``.
+        stationary: π over states.
+        outdegree_pmf / indegree_pmf: stationary marginals.
+        p_full: indegree-weighted receiver-fullness probability.
+        p_dup_holder: size-biased holder duplication probability.
+        duplication_probability: Pr(duplication | non-self-loop action) of
+            a random initiator — the δ-side quantity of Lemmas 6.6/6.7.
+        deletion_probability: Pr(deletion | non-self-loop action), i.e.
+            ``(1−ℓ)·P_full``.
+        iterations: fixed-point iterations used.
+    """
+
+    states: List[State]
+    stationary: np.ndarray
+    outdegree_pmf: Dict[int, float]
+    indegree_pmf: Dict[int, float]
+    p_full: float
+    p_dup_holder: float
+    duplication_probability: float
+    deletion_probability: float
+    iterations: int
+
+    def expected_outdegree(self) -> float:
+        return sum(d * p for d, p in self.outdegree_pmf.items())
+
+    def expected_indegree(self) -> float:
+        return sum(k * p for k, p in self.indegree_pmf.items())
+
+    def outdegree_mean_std(self) -> Tuple[float, float]:
+        from repro.util.stats import distribution_mean_std
+
+        return distribution_mean_std(self.outdegree_pmf)
+
+    def indegree_mean_std(self) -> Tuple[float, float]:
+        from repro.util.stats import distribution_mean_std
+
+        return distribution_mean_std(self.indegree_pmf)
+
+
+@dataclass
+class _Environment:
+    """The self-consistent field: rates the chain imposes on itself."""
+
+    rate_per_instance: float
+    p_dup_holder: float
+    p_full: float
+
+    def distance(self, other: "_Environment") -> float:
+        return max(
+            abs(self.rate_per_instance - other.rate_per_instance),
+            abs(self.p_dup_holder - other.p_dup_holder),
+            abs(self.p_full - other.p_full),
+        )
+
+
+class DegreeMarkovChain:
+    """Builder/solver for the §6.2 degree MC.
+
+    Args:
+        params: protocol parameters ``(s, dL)``.
+        loss_rate: the uniform loss probability ℓ.
+        conserved_sum_degree: restrict states to the line ``d + 2k = dm``
+            (requires ``ℓ = 0`` and ``dL = 0``; Lemma 6.2's invariant).
+        sum_degree_cap: cap on ``d + 2k`` (default ``3s``, as in the paper).
+    """
+
+    def __init__(
+        self,
+        params: SFParams,
+        loss_rate: float = 0.0,
+        conserved_sum_degree: Optional[int] = None,
+        sum_degree_cap: Optional[int] = None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.params = params
+        self.loss_rate = loss_rate
+        s = params.view_size
+        self.sum_degree_cap = sum_degree_cap if sum_degree_cap is not None else 3 * s
+        if self.sum_degree_cap < params.d_low:
+            raise ValueError("sum_degree_cap below d_low leaves no states")
+        self.conserved_sum_degree = conserved_sum_degree
+        if conserved_sum_degree is not None:
+            if loss_rate != 0.0 or params.d_low != 0:
+                raise ValueError(
+                    "sum-degree conservation (Lemma 6.2) requires loss_rate=0 "
+                    "and d_low=0"
+                )
+            if conserved_sum_degree % 2 != 0:
+                raise ValueError("conserved sum degree must be even")
+            if not 0 < conserved_sum_degree <= s:
+                raise ValueError(
+                    f"conserved sum degree must be in (0, s={s}], got "
+                    f"{conserved_sum_degree}"
+                )
+        self.states = self._build_states()
+        self._index = {state: i for i, state in enumerate(self.states)}
+
+    # ------------------------------------------------------------------
+    # State space
+    # ------------------------------------------------------------------
+
+    def _build_states(self) -> List[State]:
+        s, d_low = self.params.view_size, self.params.d_low
+        states: List[State] = []
+        if self.conserved_sum_degree is not None:
+            dm = self.conserved_sum_degree
+            for d in range(0, min(s, dm) + 1, 2):
+                k = (dm - d) // 2
+                states.append((d, k))
+            return states
+        for d in range(d_low, s + 1, 2):
+            max_k = (self.sum_degree_cap - d) // 2
+            for k in range(0, max_k + 1):
+                if d == 0 and k == 0:
+                    continue  # the isolated state is unreachable (Fig 6.2)
+                states.append((d, k))
+        return states
+
+    # ------------------------------------------------------------------
+    # Transition construction
+    # ------------------------------------------------------------------
+
+    def _transitions(
+        self, state: State, env: _Environment
+    ) -> List[Tuple[State, float]]:
+        """Non-self-loop transition rates (per round) out of ``state``."""
+        s, d_low = self.params.view_size, self.params.d_low
+        loss = self.loss_rate
+        d, k = state
+        pair_choice = s * (s - 1)
+        q = d * (d - 1) / pair_choice
+        deliver_space = (1.0 - loss) * (1.0 - env.p_full)
+        moves: List[Tuple[State, float]] = []
+
+        # Initiate (rate 1).
+        if q > 0.0:
+            d_after = d if d <= d_low else d - 2
+            moves.append(((d_after, k + 1), q * deliver_space))
+            if d_after != d:
+                moves.append(((d_after, k), q * (1.0 - deliver_space)))
+            # Duplication with a lost/deleted message changes nothing.
+
+        if k > 0:
+            rate_events = k * env.rate_per_instance
+            p_dup = env.p_dup_holder
+
+            # Targeted (tagged node is the message destination).
+            gains_room = d < s
+            arrive = 1.0 - loss
+            if gains_room:
+                moves.append(((d + 2, k - 1), rate_events * (1.0 - p_dup) * arrive))
+                moves.append(((d, k - 1), rate_events * (1.0 - p_dup) * (1.0 - arrive)))
+                moves.append(((d + 2, k), rate_events * p_dup * arrive))
+            else:
+                # Full view: arriving ids are deleted; only the holder-side
+                # clearing matters.
+                moves.append(((d, k - 1), rate_events * (1.0 - p_dup)))
+
+            # Forwarded (tagged id is the payload).
+            moved_ok = deliver_space
+            moves.append(
+                ((d, k - 1), rate_events * (1.0 - p_dup) * (1.0 - moved_ok))
+            )
+            moves.append(((d, k + 1), rate_events * p_dup * moved_ok))
+
+        # Enforce the sum-degree cap / line restriction: redirect moves to
+        # missing states into self-loops (i.e. drop them).
+        valid = [
+            (target, rate)
+            for target, rate in moves
+            if rate > 0.0 and target in self._index
+        ]
+        return valid
+
+    def _environment_from(self, pi: np.ndarray) -> _Environment:
+        s = self.params.view_size
+        d_low = self.params.d_low
+        mean_d = 0.0
+        mean_dd1 = 0.0
+        dup_mass = 0.0
+        k_mass = 0.0
+        k_full_mass = 0.0
+        for prob, (d, k) in zip(pi, self.states):
+            mean_d += prob * d
+            mean_dd1 += prob * d * (d - 1)
+            if d == d_low:
+                dup_mass += prob * d * (d - 1)
+            k_mass += prob * k
+            if d == s:
+                k_full_mass += prob * k
+        if mean_d <= 0.0 or mean_dd1 <= 0.0:
+            # Degenerate distribution; fall back to inert environment.
+            return _Environment(0.0, 0.0, 0.0)
+        rate = mean_dd1 / (mean_d * s * (s - 1))
+        p_dup = dup_mass / mean_dd1
+        p_full = (k_full_mass / k_mass) if k_mass > 0.0 else 0.0
+        return _Environment(rate, p_dup, p_full)
+
+    def _build_matrix(self, env: _Environment) -> csr_matrix:
+        n = len(self.states)
+        rates = lil_matrix((n, n))
+        outflow = np.zeros(n)
+        for i, state in enumerate(self.states):
+            for target, rate in self._transitions(state, env):
+                j = self._index[target]
+                if j == i:
+                    continue
+                rates[i, j] += rate
+                outflow[i] += rate
+        lam = float(outflow.max())
+        if lam <= 0.0:
+            raise RuntimeError("degenerate chain: no transitions anywhere")
+        transition = (rates.tocsr() / lam).tolil()
+        for i in range(n):
+            transition[i, i] = 1.0 - outflow[i] / lam
+        return transition.tocsr()
+
+    @staticmethod
+    def _stationary(matrix: csr_matrix) -> np.ndarray:
+        n = matrix.shape[0]
+        a = (matrix.T - _sparse_eye(n)).tolil()
+        a[n - 1, :] = 1.0
+        b = np.zeros(n)
+        b[n - 1] = 1.0
+        pi = spsolve(a.tocsr(), b)
+        pi = np.clip(pi, 0.0, None)
+        total = pi.sum()
+        if total <= 0.0:
+            raise RuntimeError("failed to solve for a stationary distribution")
+        return pi / total
+
+    # ------------------------------------------------------------------
+    # Fixed point
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        max_iterations: int = 200,
+        tolerance: float = 1e-10,
+        damping: float = 0.5,
+    ) -> DegreeMCResult:
+        """Run the paper's iterative scheme to the self-consistent π.
+
+        Each iteration computes the stationary distribution for the current
+        environment and re-derives the environment from it; ``damping``
+        mixes old and new environments for stability.
+        """
+        s = self.params.view_size
+        # Neutral starting guess: moderately busy network.
+        env = _Environment(
+            rate_per_instance=0.5 / s,
+            p_dup_holder=0.01,
+            p_full=0.01,
+        )
+        pi = np.full(len(self.states), 1.0 / len(self.states))
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            matrix = self._build_matrix(env)
+            pi = self._stationary(matrix)
+            new_env = self._environment_from(pi)
+            blended = _Environment(
+                rate_per_instance=(
+                    damping * env.rate_per_instance
+                    + (1 - damping) * new_env.rate_per_instance
+                ),
+                p_dup_holder=(
+                    damping * env.p_dup_holder + (1 - damping) * new_env.p_dup_holder
+                ),
+                p_full=damping * env.p_full + (1 - damping) * new_env.p_full,
+            )
+            if new_env.distance(env) < tolerance:
+                env = new_env
+                break
+            env = blended
+        return self._result(pi, env, iterations)
+
+    def _result(
+        self, pi: np.ndarray, env: _Environment, iterations: int
+    ) -> DegreeMCResult:
+        out_pmf: Dict[int, float] = {}
+        in_pmf: Dict[int, float] = {}
+        for prob, (d, k) in zip(pi, self.states):
+            out_pmf[d] = out_pmf.get(d, 0.0) + float(prob)
+            in_pmf[k] = in_pmf.get(k, 0.0) + float(prob)
+        # Duplication probability of a random *initiator*, conditioned on a
+        # non-self-loop action: actions are weighted by q(d) ∝ d(d−1).
+        weight = 0.0
+        dup_weight = 0.0
+        for prob, (d, _) in zip(pi, self.states):
+            w = prob * d * (d - 1)
+            weight += w
+            if d == self.params.d_low:
+                dup_weight += w
+        duplication = dup_weight / weight if weight > 0 else 0.0
+        deletion = (1.0 - self.loss_rate) * env.p_full
+        return DegreeMCResult(
+            states=list(self.states),
+            stationary=pi,
+            outdegree_pmf=dict(sorted(out_pmf.items())),
+            indegree_pmf=dict(sorted(in_pmf.items())),
+            p_full=env.p_full,
+            p_dup_holder=env.p_dup_holder,
+            duplication_probability=duplication,
+            deletion_probability=deletion,
+            iterations=iterations,
+        )
+
+    # ------------------------------------------------------------------
+    # Structure (Figure 6.2)
+    # ------------------------------------------------------------------
+
+    def transition_classes(self) -> Dict[str, List[Tuple[State, State]]]:
+        """Classify non-self-loop transitions as in Figure 6.2.
+
+        ``atomic`` — transitions of lossless, duplication-free,
+        deletion-free actions (solid lines): ``(d,k) → (d−2,k+1)`` from an
+        initiate and ``(d,k) → (d+2,k−1)`` from being targeted.
+        ``lossy`` — transitions that require loss, duplication, or deletion
+        (dashed lines).
+        """
+        atomic: List[Tuple[State, State]] = []
+        lossy: List[Tuple[State, State]] = []
+        probe = _Environment(rate_per_instance=0.01, p_dup_holder=0.5, p_full=0.5)
+        s, d_low = self.params.view_size, self.params.d_low
+        for state in self.states:
+            d, k = state
+            seen = set()
+            for target, _ in self._transitions(state, probe):
+                if target == state or target in seen:
+                    continue
+                seen.add(target)
+                td, tk = target
+                if (td, tk) == (d - 2, k + 1) and d > d_low:
+                    atomic.append((state, target))
+                elif (td, tk) == (d + 2, k - 1) and d < s:
+                    atomic.append((state, target))
+                else:
+                    lossy.append((state, target))
+        return {"atomic": atomic, "lossy": lossy}
+
+
+def _sparse_eye(n: int):
+    from scipy.sparse import identity
+
+    return identity(n, format="csr")

@@ -1,0 +1,76 @@
+"""The two-state dependence Markov chain (section 7.4, Figure 7.1).
+
+Models the label of a single nonempty view entry across non-self-loop
+transformations:
+
+* **independent → dependent**: the entry is sent with duplication, or a
+  previously duplicated copy of it returns — rate at most
+  ``(3/2)·(ℓ+δ)`` (Lemma 6.7's duplication bound times Lemma 7.8's ≤ 1/2
+  return probability).
+* **dependent → independent**: the entry is sent without duplication to a
+  node other than its correlated partner — rate at least
+  ``(5/6)·(1 − (ℓ+δ))`` (the 5/6 absorbs the ≤ 1/6 self-edge mass β).
+
+The stationary dependent fraction is at most ``2(ℓ+δ)``, giving Lemma
+7.9's ``α ≥ 1 − 2(ℓ+δ)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.independence import (
+    dependent_to_independent_rate,
+    independent_to_dependent_rate,
+)
+from repro.markov.chain import MarkovChain
+
+INDEPENDENT = 0
+DEPENDENT = 1
+
+
+class DependenceMarkovChain(MarkovChain):
+    """The Figure 7.1 chain instantiated at the paper's worst-case rates.
+
+    Args:
+        loss_rate: ℓ, the uniform message-loss probability.
+        delta: δ, the no-loss duplication/deletion cap from section 6.3.
+
+    State 0 is *independent*, state 1 *dependent*.  Transition
+    probabilities use the paper's bounds, so the stationary dependent
+    fraction is an upper bound on the true one.
+    """
+
+    def __init__(self, loss_rate: float, delta: float):
+        to_dependent = independent_to_dependent_rate(loss_rate, delta)
+        to_independent = dependent_to_independent_rate(loss_rate, delta)
+        if to_dependent > 1.0:
+            raise ValueError(
+                f"loss_rate + delta too large: independent→dependent rate "
+                f"{to_dependent} exceeds 1"
+            )
+        matrix = np.array(
+            [
+                [1.0 - to_dependent, to_dependent],
+                [to_independent, 1.0 - to_independent],
+            ]
+        )
+        super().__init__(matrix, labels=["independent", "dependent"])
+        self.loss_rate = loss_rate
+        self.delta = delta
+
+    def stationary_dependent_fraction(self) -> float:
+        """π(dependent) — the bound on the expected dependent fraction."""
+        return float(self.stationary_distribution()[DEPENDENT])
+
+    def stationary_independence(self) -> float:
+        """α = π(independent); Lemma 7.9 guarantees α ≥ 1 − 2(ℓ+δ)."""
+        return float(self.stationary_distribution()[INDEPENDENT])
+
+    def rates(self) -> Tuple[float, float]:
+        """(independent→dependent, dependent→independent) probabilities."""
+        return float(self.P[INDEPENDENT, DEPENDENT]), float(
+            self.P[DEPENDENT, INDEPENDENT]
+        )

@@ -1,0 +1,37 @@
+"""Empirical measurement of the paper's desired properties (M1–M5).
+
+* :mod:`repro.metrics.degrees` — degree summaries and load balance (M2).
+* :mod:`repro.metrics.uniformity` — long-run view-occupancy uniformity (M3).
+* :mod:`repro.metrics.independence` — dependence fractions and
+  neighbor-view overlap (M4).
+* :mod:`repro.metrics.convergence` — temporal decorrelation of views (M5).
+* :mod:`repro.metrics.graph_stats` — connectivity/diameter of snapshots.
+"""
+
+from repro.metrics.convergence import (
+    temporal_decorrelation_series,
+    view_overlap_fraction,
+    view_snapshot,
+)
+from repro.metrics.degrees import DegreeSummary, degree_summary, indegree_variance
+from repro.metrics.graph_stats import graph_statistics
+from repro.metrics.independence import (
+    expected_iid_overlap,
+    mutual_edge_fraction,
+    neighbor_overlap_fraction,
+)
+from repro.metrics.uniformity import OccupancyTracker
+
+__all__ = [
+    "DegreeSummary",
+    "degree_summary",
+    "indegree_variance",
+    "OccupancyTracker",
+    "neighbor_overlap_fraction",
+    "mutual_edge_fraction",
+    "expected_iid_overlap",
+    "view_snapshot",
+    "view_overlap_fraction",
+    "temporal_decorrelation_series",
+    "graph_statistics",
+]

@@ -1,0 +1,84 @@
+"""Degree summaries and load-balance measurement (Properties M1/M2).
+
+Property M2 asks that, from any initial state, the variance of node
+indegrees eventually stays bounded; :func:`indegree_variance` is the
+quantity the load-balance experiment tracks over time from adversarial
+initial topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.protocols.base import GossipProtocol
+
+
+@dataclass
+class DegreeSummary:
+    """Moments and histograms of the current in/out degree profile."""
+
+    outdegree_mean: float
+    outdegree_std: float
+    indegree_mean: float
+    indegree_std: float
+    outdegree_min: int
+    outdegree_max: int
+    indegree_min: int
+    indegree_max: int
+    outdegree_histogram: Dict[int, int]
+    indegree_histogram: Dict[int, int]
+
+    def indegree_variance(self) -> float:
+        return self.indegree_std**2
+
+
+def degree_summary(protocol: GossipProtocol) -> DegreeSummary:
+    """Summarize the current degree profile of all live nodes."""
+    nodes = protocol.node_ids()
+    if not nodes:
+        raise ValueError("no live nodes")
+    outdegrees = [protocol.outdegree(u) for u in nodes]
+    indegree_map = protocol.indegrees()
+    indegrees = [indegree_map[u] for u in nodes]
+    return DegreeSummary(
+        outdegree_mean=float(np.mean(outdegrees)),
+        outdegree_std=float(np.std(outdegrees)),
+        indegree_mean=float(np.mean(indegrees)),
+        indegree_std=float(np.std(indegrees)),
+        outdegree_min=int(min(outdegrees)),
+        outdegree_max=int(max(outdegrees)),
+        indegree_min=int(min(indegrees)),
+        indegree_max=int(max(indegrees)),
+        outdegree_histogram=_histogram(outdegrees),
+        indegree_histogram=_histogram(indegrees),
+    )
+
+
+def indegree_variance(protocol: GossipProtocol) -> float:
+    """Variance of live-node indegrees — the Property M2 time series."""
+    values = list(protocol.indegrees().values())
+    if not values:
+        raise ValueError("no live nodes")
+    return float(np.var(values))
+
+
+def id_instance_count(protocol: GossipProtocol, node_id: int) -> int:
+    """Instances of ``node_id`` across all live views.
+
+    Unlike :meth:`GossipProtocol.indegrees` this also works for ids of
+    departed nodes — the quantity that decays in section 6.5.2.
+    """
+    total = 0
+    for u in protocol.node_ids():
+        total += protocol.view_of(u).get(node_id, 0)
+    return total
+
+
+def _histogram(values: List[int]) -> Dict[int, int]:
+    histogram: Dict[int, int] = {}
+    for value in values:
+        histogram[value] = histogram.get(value, 0) + 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,80 @@
+"""Long-run view-occupancy uniformity (Property M3, Lemma 7.6).
+
+In the steady state every id ``v ≠ u`` should appear in ``u``'s view with
+the same probability.  The tracker samples a set of observer nodes
+periodically and tallies, for each other id, how often it is present; a
+chi-square test against uniformity is the acceptance criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.protocols.base import GossipProtocol
+from repro.util.stats import chi_square_uniformity
+
+
+class OccupancyTracker:
+    """Tallies presence counts of every id in observer views over time.
+
+    Args:
+        observers: the nodes whose views are sampled; defaults to all.
+    """
+
+    def __init__(
+        self, protocol: GossipProtocol, observers: Optional[Sequence[int]] = None
+    ):
+        self.protocol = protocol
+        self.observers = (
+            list(observers) if observers is not None else list(protocol.node_ids())
+        )
+        self.samples = 0
+        # counts[(observer, id)] = number of samples in which observer held id
+        self._counts: Dict[Tuple[int, int], int] = {}
+
+    def sample(self) -> None:
+        """Record the current views of all observers."""
+        self.samples += 1
+        for observer in self.observers:
+            if not self.protocol.has_node(observer):
+                continue
+            for node_id in self.protocol.view_of(observer):
+                key = (observer, node_id)
+                self._counts[key] = self._counts.get(key, 0) + 1
+
+    def occupancy_counts(self, observer: int) -> Dict[int, int]:
+        """Presence counts of each id ever seen in ``observer``'s view."""
+        return {
+            node_id: count
+            for (obs, node_id), count in self._counts.items()
+            if obs == observer
+        }
+
+    def pooled_counts(self, population: Sequence[int]) -> List[int]:
+        """Presence counts of each id of ``population`` pooled over observers.
+
+        Self-observations are excluded (self-edges are labeled dependent and
+        Lemma 7.6 only covers ``v ≠ u``).
+        """
+        counts = []
+        for node_id in population:
+            total = 0
+            for observer in self.observers:
+                if observer == node_id:
+                    continue
+                total += self._counts.get((observer, node_id), 0)
+            counts.append(total)
+        return counts
+
+    def chi_square(self, population: Sequence[int]) -> Tuple[float, float]:
+        """Chi-square uniformity test over the pooled occupancy counts."""
+        counts = self.pooled_counts(population)
+        return chi_square_uniformity(counts)
+
+    def max_relative_spread(self, population: Sequence[int]) -> float:
+        """(max − min) / mean of the pooled counts — a scale-free spread."""
+        counts = self.pooled_counts(population)
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            raise ValueError("no occupancy recorded")
+        return (max(counts) - min(counts)) / mean

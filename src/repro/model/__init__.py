@@ -1,0 +1,23 @@
+"""The paper's membership-graph model (section 4).
+
+A membership graph is a directed multigraph whose vertices are node ids and
+whose edges mirror local-view contents: edge ``(u, v)`` appears once per
+occurrence of ``v`` in ``u``'s view.  Protocol actions are modeled as random
+transformations of this graph.
+"""
+
+from repro.model.membership_graph import MembershipGraph
+from repro.model.transformations import (
+    apply_receive,
+    apply_send,
+    degree_borrowing,
+    edge_exchange,
+)
+
+__all__ = [
+    "MembershipGraph",
+    "apply_send",
+    "apply_receive",
+    "edge_exchange",
+    "degree_borrowing",
+]

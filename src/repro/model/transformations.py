@@ -1,0 +1,219 @@
+"""Graph-level protocol transformations (sections 4, 5, and the appendix).
+
+These operate directly on :class:`~repro.model.membership_graph.MembershipGraph`
+objects and mirror the paper's modeling of protocol actions as random graph
+transformations.  The protocol engines in :mod:`repro.core` maintain richer
+slot-level state; this module is the analytical counterpart used by the
+global-Markov-chain enumeration (section 7.2) and by reachability tests of
+the appendix lemmas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.membership_graph import MembershipGraph, NodeId
+
+
+def apply_send(
+    graph: MembershipGraph,
+    initiator: NodeId,
+    target: NodeId,
+    payload: NodeId,
+    d_low: int,
+) -> bool:
+    """Apply the send step of an S&F action in place.
+
+    The initiator ``u`` selected view entries holding ``target`` and
+    ``payload``; it clears both unless its outdegree is at the lower
+    threshold ``d_low`` (a *duplication*, Figure 5.2(c)).
+
+    Returns ``True`` if the entries were cleared, ``False`` on duplication.
+    Raises ``KeyError`` if the named entries are not present.
+    """
+    if target == payload:
+        if graph.multiplicity(initiator, target) < 2:
+            raise KeyError(
+                f"node {initiator} lacks two copies of {target} to send"
+            )
+    else:
+        if not graph.has_edge(initiator, target):
+            raise KeyError(f"edge ({initiator}, {target}) not present")
+        if not graph.has_edge(initiator, payload):
+            raise KeyError(f"edge ({initiator}, {payload}) not present")
+    if graph.outdegree(initiator) > d_low:
+        graph.remove_edge(initiator, target)
+        graph.remove_edge(initiator, payload)
+        return True
+    return False
+
+
+def apply_receive(
+    graph: MembershipGraph,
+    receiver: NodeId,
+    sender: NodeId,
+    payload: NodeId,
+    view_size: int,
+) -> bool:
+    """Apply the receive step of an S&F action in place.
+
+    The receiver adds both ids from the message ``[sender, payload]`` into
+    empty view entries, unless its view is full (``d(receiver) = s``), in
+    which case the ids are *deleted* (Figure 5.2(d)) and nothing changes.
+
+    Returns ``True`` if the ids were stored, ``False`` on deletion.
+    """
+    if graph.outdegree(receiver) < view_size:
+        graph.add_edge(receiver, sender)
+        graph.add_edge(receiver, payload)
+        return True
+    return False
+
+
+def sandf_action(
+    graph: MembershipGraph,
+    initiator: NodeId,
+    target: NodeId,
+    payload: NodeId,
+    d_low: int,
+    view_size: int,
+    lost: bool,
+) -> MembershipGraph:
+    """Return the graph after one full S&F action (send + receive steps).
+
+    ``lost=True`` models message loss: the send step still executes (the
+    sender cannot detect loss and cannot retransmit), but the receive step
+    never runs.  The input graph is not mutated.
+    """
+    result = graph.copy()
+    apply_send(result, initiator, target, payload, d_low)
+    if not lost:
+        apply_receive(result, target, initiator, payload, view_size)
+    return result
+
+
+def enumerate_action_outcomes(
+    graph: MembershipGraph,
+    initiator: NodeId,
+    d_low: int,
+    view_size: int,
+    loss_rate: float,
+) -> List[Tuple[float, MembershipGraph]]:
+    """Enumerate all (probability, successor) outcomes of ``initiator`` acting.
+
+    Probabilities follow the protocol of Figure 5.1: two distinct slots out
+    of ``view_size`` are chosen uniformly at random; if either is empty the
+    action is a self-loop.  For nonempty ordered pairs with values
+    ``(target, payload)``, the message is lost with probability
+    ``loss_rate``.  The returned probabilities sum to 1 (self-loop mass is
+    aggregated onto the unchanged input graph).
+
+    This enumeration is the building block of the global Markov chain of
+    section 7.1; its cost is quadratic in the number of distinct ids in the
+    initiator's view.
+    """
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+    view = graph.out_view(initiator)
+    d = sum(view.values())
+    slots = view_size * (view_size - 1)
+    outcomes: Dict[MembershipGraph, float] = {}
+    self_loop = 1.0 - d * (d - 1) / slots
+
+    for target, target_count in view.items():
+        for payload, payload_count in view.items():
+            if target == payload:
+                pair_prob = target_count * (target_count - 1) / slots
+            else:
+                pair_prob = target_count * payload_count / slots
+            if pair_prob == 0.0:
+                continue
+            delivered = sandf_action(
+                graph, initiator, target, payload, d_low, view_size, lost=False
+            )
+            if loss_rate < 1.0:
+                _accumulate(outcomes, delivered, pair_prob * (1.0 - loss_rate))
+            if loss_rate > 0.0:
+                dropped = sandf_action(
+                    graph, initiator, target, payload, d_low, view_size, lost=True
+                )
+                _accumulate(outcomes, dropped, pair_prob * loss_rate)
+
+    results = [(prob, successor) for successor, prob in outcomes.items()]
+    if self_loop > 1e-15:
+        results.append((self_loop, graph.copy()))
+    return results
+
+
+def _accumulate(
+    outcomes: Dict[MembershipGraph, float], successor: MembershipGraph, prob: float
+) -> None:
+    outcomes[successor] = outcomes.get(successor, 0.0) + prob
+
+
+# ----------------------------------------------------------------------
+# Appendix transformations (used to test reachability lemmas)
+# ----------------------------------------------------------------------
+
+
+def edge_exchange(
+    graph: MembershipGraph,
+    u: NodeId,
+    w: NodeId,
+    v: NodeId,
+    z: NodeId,
+    d_low: int,
+    view_size: int,
+) -> MembershipGraph:
+    """The appendix's *edge exchange* between neighbors ``u`` and ``v``.
+
+    Removes edges ``(u, w)`` and ``(v, z)``, creating ``(u, z)`` and
+    ``(v, w)`` instead, implemented by two loss-free S&F actions exactly as
+    in the appendix: ``u`` sends ``[u, w]`` to ``v``; then ``v`` sends
+    ``[v, z]`` back to ``u``.
+
+    Prerequisites (checked): edge ``(u, v)`` exists, ``d(u) > d_low`` and
+    ``d(v) < view_size``.  The input graph is not mutated.
+    """
+    if not graph.has_edge(u, v):
+        raise ValueError(f"edge exchange requires edge ({u}, {v})")
+    if graph.outdegree(u) <= d_low:
+        raise ValueError(f"edge exchange requires d({u}) > d_low={d_low}")
+    if graph.outdegree(v) >= view_size:
+        raise ValueError(f"edge exchange requires d({v}) < s={view_size}")
+    step1 = sandf_action(graph, u, v, w, d_low, view_size, lost=False)
+    # After step 1, v holds u (just received) and z; v's send must clear, so
+    # its outdegree must exceed d_low — guaranteed because it just grew by 2.
+    step2 = sandf_action(step1, v, u, z, d_low, view_size, lost=False)
+    return step2
+
+
+def degree_borrowing(
+    graph: MembershipGraph,
+    u: NodeId,
+    v: NodeId,
+    d_low: int,
+    view_size: int,
+) -> MembershipGraph:
+    """The appendix's *degree borrowing* between neighbors ``u`` and ``v``.
+
+    Decreases ``d(u)`` by 2 and increases ``d(v)`` by 2 while keeping both
+    sum degrees invariant, implemented by ``u`` initiating one loss-free
+    action toward ``v``.  Prerequisites (checked): ``v ∈ u.lv``,
+    ``d(u) > d_low`` and ``d(v) < view_size``.
+    """
+    if not graph.has_edge(u, v):
+        raise ValueError(f"degree borrowing requires edge ({u}, {v})")
+    if graph.outdegree(u) <= d_low:
+        raise ValueError(f"degree borrowing requires d({u}) > d_low={d_low}")
+    if graph.outdegree(v) >= view_size:
+        raise ValueError(f"degree borrowing requires d({v}) < s={view_size}")
+    view = graph.out_view(u)
+    others = sorted(t for t in view if t != v)
+    if others:
+        payload = others[0]
+    elif view[v] >= 2:
+        payload = v
+    else:
+        raise ValueError(f"node {u} has no second entry to send")
+    return sandf_action(graph, u, v, payload, d_low, view_size, lost=False)

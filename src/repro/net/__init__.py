@@ -1,0 +1,29 @@
+"""Network substrate: message loss and delay models.
+
+The paper analyzes uniform i.i.d. loss (each message independently lost
+with probability ℓ, section 4.1).  :class:`UniformLoss` implements exactly
+that.  Real networks also exhibit bursty and link-dependent loss; the
+Gilbert–Elliott and per-link models are provided so experiments can probe
+robustness beyond the paper's model (its section 8 future work).
+"""
+
+from repro.net.delay import ConstantDelay, DelayModel, ExponentialDelay, UniformDelay
+from repro.net.loss import (
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+    PerLinkLoss,
+    UniformLoss,
+)
+
+__all__ = [
+    "LossModel",
+    "NoLoss",
+    "UniformLoss",
+    "GilbertElliottLoss",
+    "PerLinkLoss",
+    "DelayModel",
+    "ConstantDelay",
+    "ExponentialDelay",
+    "UniformDelay",
+]

@@ -1,0 +1,66 @@
+"""Message-delay models for the discrete-event engine.
+
+The paper's analysis serializes actions; the discrete-event engine uses
+these delay models to let actions overlap in time, demonstrating that S&F
+needs no atomicity (its design rationale in section 5).
+"""
+
+from __future__ import annotations
+
+import abc
+
+NodeId = int
+
+
+class DelayModel(abc.ABC):
+    """Samples an in-flight latency for each message."""
+
+    @abc.abstractmethod
+    def sample(self, sender: NodeId, target: NodeId, rng) -> float:
+        """Return a nonnegative delay for a message from sender to target."""
+
+
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0):
+        if delay < 0:
+            raise ValueError(f"delay must be nonnegative, got {delay}")
+        self.delay = delay
+
+    def sample(self, sender: NodeId, target: NodeId, rng) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay({self.delay})"
+
+
+class ExponentialDelay(DelayModel):
+    """Memoryless latency with the given mean — heavy overlap of actions."""
+
+    def __init__(self, mean: float = 1.0):
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self.mean = mean
+
+    def sample(self, sender: NodeId, target: NodeId, rng) -> float:
+        return float(rng.exponential(self.mean))
+
+    def __repr__(self) -> str:
+        return f"ExponentialDelay(mean={self.mean})"
+
+
+class UniformDelay(DelayModel):
+    """Latency uniform in ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5):
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, sender: NodeId, target: NodeId, rng) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"UniformDelay([{self.low}, {self.high}])"

@@ -1,0 +1,207 @@
+"""Message-loss models.
+
+The sender can never detect loss (section 4.1): these models are consulted
+by the engine *after* the send step has completed, so a lost message means
+the receive step silently never runs — no retransmission, no bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Tuple
+
+NodeId = int
+
+
+class LossModel(abc.ABC):
+    """Decides, per message, whether it is lost in transit."""
+
+    @abc.abstractmethod
+    def is_lost(self, sender: NodeId, target: NodeId, rng) -> bool:
+        """Return True if the message from ``sender`` to ``target`` is lost."""
+
+    def expected_rate(self) -> float:
+        """A nominal overall loss rate, for reporting (may be approximate)."""
+        return 0.0
+
+
+class UniformLoss(LossModel):
+    """The paper's model: i.i.d. loss with probability ``rate`` per message."""
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+
+    def is_lost(self, sender: NodeId, target: NodeId, rng) -> bool:
+        if self.rate == 0.0:
+            return False
+        if self.rate == 1.0:
+            return True
+        return bool(rng.random() < self.rate)
+
+    def expected_rate(self) -> float:
+        return self.rate
+
+    def __repr__(self) -> str:
+        return f"UniformLoss(rate={self.rate})"
+
+
+class NoLoss(UniformLoss):
+    """Lossless network (ℓ = 0) — the classical atomic-action setting."""
+
+    def __init__(self) -> None:
+        super().__init__(0.0)
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class GilbertElliottLoss(LossModel):
+    """Bursty loss: a two-state (good/bad) Markov channel per sender.
+
+    In the *good* state messages are lost with probability ``good_loss``
+    (typically ~0); in the *bad* state with probability ``bad_loss``
+    (typically high).  The channel flips state per message with the given
+    transition probabilities.  This violates the paper's independence
+    assumption and is used by robustness experiments only.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.3,
+        good_loss: float = 0.0,
+        bad_loss: float = 0.5,
+    ):
+        for name, value in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ]:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self._bad_state: Dict[NodeId, bool] = {}
+
+    def is_lost(self, sender: NodeId, target: NodeId, rng) -> bool:
+        bad = self._bad_state.get(sender, False)
+        # Evolve the channel state first, then sample loss in the new state.
+        if bad:
+            if rng.random() < self.p_bad_to_good:
+                bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                bad = True
+        self._bad_state[sender] = bad
+        loss_probability = self.bad_loss if bad else self.good_loss
+        return bool(rng.random() < loss_probability)
+
+    def expected_rate(self) -> float:
+        """Stationary loss rate of the two-state channel."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0.0:
+            return self.good_loss
+        stationary_bad = self.p_good_to_bad / denom
+        return stationary_bad * self.bad_loss + (1 - stationary_bad) * self.good_loss
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(p_gb={self.p_good_to_bad}, "
+            f"p_bg={self.p_bad_to_good}, good={self.good_loss}, bad={self.bad_loss})"
+        )
+
+
+class PartitionLoss(LossModel):
+    """A network partition: messages crossing group boundaries are lost.
+
+    While :attr:`active` is True, any message between nodes of different
+    groups is lost with probability ``cross_loss`` (1.0 = a clean cut);
+    intra-group messages see ``base_loss``.  Deactivate to heal the
+    partition.  Used by the partition-recovery experiment: S&F tolerates
+    partitions shorter than the id half-life (Lemma 6.10) because stale
+    cross-partition ids are still in views when connectivity returns.
+    """
+
+    def __init__(
+        self,
+        group_of: Dict[NodeId, int],
+        cross_loss: float = 1.0,
+        base_loss: float = 0.0,
+        default_group: int = 0,
+    ):
+        if not 0.0 <= cross_loss <= 1.0:
+            raise ValueError(f"cross_loss must be in [0, 1], got {cross_loss}")
+        if not 0.0 <= base_loss <= 1.0:
+            raise ValueError(f"base_loss must be in [0, 1], got {base_loss}")
+        self.group_of = dict(group_of)
+        self.cross_loss = cross_loss
+        self.base_loss = base_loss
+        self.default_group = default_group
+        self.active = True
+
+    def heal(self) -> None:
+        """End the partition: all traffic sees only ``base_loss``."""
+        self.active = False
+
+    def split(self) -> None:
+        """(Re)activate the partition."""
+        self.active = True
+
+    def is_lost(self, sender: NodeId, target: NodeId, rng) -> bool:
+        rate = self.base_loss
+        if self.active:
+            sender_group = self.group_of.get(sender, self.default_group)
+            target_group = self.group_of.get(target, self.default_group)
+            if sender_group != target_group:
+                rate = self.cross_loss
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return bool(rng.random() < rate)
+
+    def expected_rate(self) -> float:
+        return self.base_loss  # nominal; cross traffic depends on topology
+
+    def __repr__(self) -> str:
+        state = "split" if self.active else "healed"
+        return (
+            f"PartitionLoss({len(set(self.group_of.values()))} groups, "
+            f"{state}, cross={self.cross_loss}, base={self.base_loss})"
+        )
+
+
+class PerLinkLoss(LossModel):
+    """Heterogeneous loss: a fixed rate per (sender, target) pair.
+
+    Pairs not in ``rates`` use ``default_rate``.  Models persistently lossy
+    links (e.g. a badly connected region), a nonuniform regime the paper
+    explicitly leaves out of scope (§4.1) but which the robustness benches
+    exercise.
+    """
+
+    def __init__(self, rates: Dict[Tuple[NodeId, NodeId], float], default_rate: float = 0.0):
+        for pair, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"loss rate for {pair} must be in [0, 1], got {rate}")
+        if not 0.0 <= default_rate <= 1.0:
+            raise ValueError(f"default_rate must be in [0, 1], got {default_rate}")
+        self.rates = dict(rates)
+        self.default_rate = default_rate
+
+    def is_lost(self, sender: NodeId, target: NodeId, rng) -> bool:
+        rate = self.rates.get((sender, target), self.default_rate)
+        return bool(rng.random() < rate)
+
+    def expected_rate(self) -> float:
+        if not self.rates:
+            return self.default_rate
+        return sum(self.rates.values()) / len(self.rates)
+
+    def __repr__(self) -> str:
+        return f"PerLinkLoss({len(self.rates)} links, default={self.default_rate})"

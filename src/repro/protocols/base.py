@@ -1,0 +1,159 @@
+"""The common interface implemented by every membership protocol here.
+
+The split into :meth:`GossipProtocol.initiate` (the sender's step) and
+:meth:`GossipProtocol.deliver` (the receiver's step) mirrors the paper's
+notion of a *protocol step* — a transformation executable atomically at a
+single node (section 4.1).  The engine decides whether a message produced
+by ``initiate`` ever reaches ``deliver``; a lost message simply means the
+receive step never runs, exactly the paper's loss model.
+
+Pull-style protocols return a *reply* from ``deliver``; the engine subjects
+replies to the same loss model, so a push-pull action degrades gracefully
+into its constituent steps under loss instead of assuming atomicity.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.membership_graph import MembershipGraph
+
+NodeId = int
+
+
+@dataclass
+class Message:
+    """A protocol message: ids in flight from ``sender`` to ``target``.
+
+    ``payload`` carries (id, dependent-flag) pairs; for S&F it is
+    ``[(u, dep_u), (w, dep_w)]`` — the sender's own id and the forwarded id.
+    ``kind`` distinguishes message roles for multi-step protocols
+    (e.g. ``"pull-request"`` vs ``"pull-reply"``).
+    """
+
+    sender: NodeId
+    target: NodeId
+    payload: List[Tuple[NodeId, bool]]
+    kind: str = "push"
+
+
+@dataclass
+class ProtocolStats:
+    """Event counters every protocol maintains (section 6 quantities).
+
+    ``non_self_loop_actions`` counts actions where both selected entries
+    were nonempty; ``duplications`` and ``deletions`` are the loss-
+    compensation events whose balance Lemma 6.6 characterizes.
+    """
+
+    actions: int = 0
+    self_loops: int = 0
+    non_self_loop_actions: int = 0
+    messages_sent: int = 0
+    duplications: int = 0
+    deletions: int = 0
+    deliveries: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def duplication_probability(self) -> float:
+        """Empirical Pr(duplication | non-self-loop action) — Lemma 6.7."""
+        if self.non_self_loop_actions == 0:
+            return 0.0
+        return self.duplications / self.non_self_loop_actions
+
+    def deletion_probability(self) -> float:
+        """Empirical Pr(deletion | non-self-loop action)."""
+        if self.non_self_loop_actions == 0:
+            return 0.0
+        return self.deletions / self.non_self_loop_actions
+
+    def reset(self) -> None:
+        self.actions = 0
+        self.self_loops = 0
+        self.non_self_loop_actions = 0
+        self.messages_sent = 0
+        self.duplications = 0
+        self.deletions = 0
+        self.deliveries = 0
+        self.extra.clear()
+
+
+class GossipProtocol(abc.ABC):
+    """Abstract membership protocol over a population of nodes.
+
+    Concrete protocols own all per-node state.  The engine drives them via
+    ``initiate``/``deliver`` and observes state via ``view_of`` and
+    ``export_graph``.
+    """
+
+    def __init__(self) -> None:
+        self.stats = ProtocolStats()
+
+    # -- population management ------------------------------------------------
+
+    @abc.abstractmethod
+    def node_ids(self) -> List[NodeId]:
+        """All live node ids."""
+
+    @abc.abstractmethod
+    def add_node(self, node_id: NodeId, bootstrap_ids: Sequence[NodeId]) -> None:
+        """Join ``node_id`` with the given bootstrap view contents."""
+
+    @abc.abstractmethod
+    def remove_node(self, node_id: NodeId) -> None:
+        """Crash/leave: the node stops participating.
+
+        Its id may linger in other views (the engines keep delivering to it
+        only if it exists, so messages to a removed node are dropped —
+        indistinguishable from loss, as in the paper's leave model).
+        """
+
+    # -- protocol steps --------------------------------------------------------
+
+    @abc.abstractmethod
+    def initiate(self, node_id: NodeId, rng) -> Optional[Message]:
+        """Run one initiate action at ``node_id``; maybe produce a message."""
+
+    @abc.abstractmethod
+    def deliver(self, message: Message, rng) -> Optional[Message]:
+        """Run the receive step for ``message``; maybe produce a reply."""
+
+    # -- observation -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def view_of(self, node_id: NodeId) -> Counter:
+        """The multiset of ids in ``node_id``'s view."""
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in set(self.node_ids())
+
+    def outdegree(self, node_id: NodeId) -> int:
+        return sum(self.view_of(node_id).values())
+
+    def export_graph(self) -> MembershipGraph:
+        """Snapshot the global membership graph (section 4's object).
+
+        Dangling ids (pointing at removed nodes) are preserved as vertices
+        so indegree bookkeeping of departed nodes remains observable.
+        """
+        nodes = list(self.node_ids())
+        graph = MembershipGraph(nodes)
+        for u in nodes:
+            for v, multiplicity in self.view_of(u).items():
+                if not graph.has_node(v):
+                    graph.add_node(v)
+                for _ in range(multiplicity):
+                    graph.add_edge(u, v)
+        return graph
+
+    def indegrees(self) -> Dict[NodeId, int]:
+        """Indegree of every live node (for Property M2 measurement)."""
+        counts: Dict[NodeId, int] = {u: 0 for u in self.node_ids()}
+        for u in self.node_ids():
+            for v, multiplicity in self.view_of(u).items():
+                if v in counts:
+                    counts[v] += multiplicity
+        return counts

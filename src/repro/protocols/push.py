@@ -1,0 +1,109 @@
+"""A push baseline (lpbcast-style; the paper's ref [13]).
+
+Push protocols *keep the ids they send*: an action copies the sender's own
+id (reinforcement) and some view ids (mixing) to a random neighbor, which
+merges them into its view, evicting random entries on overflow.  Keeping
+sent ids makes the protocol trivially immune to loss — nothing is removed
+until an eviction — but every successful push leaves correlated copies in
+neighboring views.  The paper (section 3.1): "Most protocols ... keep the
+sent ids, thus inducing dependence between neighbor views."
+
+The baseline-comparison benchmark measures this as neighbor-view overlap
+growing well beyond the i.i.d.-uniform level, in contrast to S&F's bounded
+``2(ℓ+δ)`` dependence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.protocols.base import GossipProtocol, Message
+
+NodeId = int
+
+
+class PushProtocol(GossipProtocol):
+    """Copy-based membership: push own id plus ``gossip_length`` view ids.
+
+    Args:
+        view_size: capacity of each node's view.
+        gossip_length: number of view ids copied per push (in addition to
+            the sender's own id).
+    """
+
+    def __init__(self, view_size: int, gossip_length: int = 2):
+        super().__init__()
+        if view_size < 2:
+            raise ValueError(f"view_size must be at least 2, got {view_size}")
+        if not 0 <= gossip_length <= view_size:
+            raise ValueError(
+                f"gossip_length must be in [0, {view_size}], got {gossip_length}"
+            )
+        self.view_size = view_size
+        self.gossip_length = gossip_length
+        self._views: Dict[NodeId, List[NodeId]] = {}
+
+    # -- population ------------------------------------------------------
+
+    def node_ids(self) -> List[NodeId]:
+        return list(self._views)
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._views
+
+    def add_node(self, node_id: NodeId, bootstrap_ids: Sequence[NodeId]) -> None:
+        if node_id in self._views:
+            raise ValueError(f"node {node_id} already exists")
+        if len(bootstrap_ids) > self.view_size:
+            raise ValueError("bootstrap view exceeds view size")
+        self._views[node_id] = list(bootstrap_ids)
+
+    def remove_node(self, node_id: NodeId) -> None:
+        del self._views[node_id]
+
+    # -- protocol steps ----------------------------------------------------
+
+    def initiate(self, node_id: NodeId, rng) -> Optional[Message]:
+        view = self._views[node_id]
+        self.stats.actions += 1
+        if not view:
+            self.stats.self_loops += 1
+            return None
+        self.stats.non_self_loop_actions += 1
+        target = view[int(rng.integers(len(view)))]  # kept in the view
+        payload: List[NodeId] = [node_id]  # reinforcement component
+        budget = min(self.gossip_length, len(view))
+        for _ in range(budget):  # mixing component (ids copied, not moved)
+            payload.append(view[int(rng.integers(len(view)))])
+        self.stats.messages_sent += 1
+        return Message(
+            sender=node_id,
+            target=target,
+            payload=[(v, False) for v in payload],
+            kind="push",
+        )
+
+    def deliver(self, message: Message, rng) -> Optional[Message]:
+        view = self._views.get(message.target)
+        if view is None:
+            return None
+        self.stats.deliveries += 1
+        for value, _ in message.payload:
+            if value == message.target:
+                continue
+            if len(view) >= self.view_size:
+                evict = int(rng.integers(len(view)))
+                view[evict] = value
+                self.stats.deletions += 1
+            else:
+                view.append(value)
+        return None
+
+    # -- observation -------------------------------------------------------
+
+    def view_of(self, node_id: NodeId) -> Counter:
+        return Counter(self._views[node_id])
+
+    def total_edges(self) -> int:
+        return sum(len(view) for view in self._views.values())

@@ -1,0 +1,117 @@
+"""A push-pull baseline (Allavena/Demers/Hopcroft-style; the paper's ref [2]).
+
+Combines the two components section 3.1 identifies as crucial:
+
+* **reinforcement by push** — the initiator sends its own id to a random
+  neighbor, fixing representation nonuniformity;
+* **mixing by pull** — the neighbor replies with a random id from its own
+  view, spreading membership information.
+
+Both nodes keep the ids they send, so like the push baseline this builds
+neighbor-view dependence; and because the action is bidirectional, under
+loss a pull can silently fail after the push half succeeded — the kind of
+nonatomic interleaving prior analyses assumed away and that S&F was
+designed to avoid.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.protocols.base import GossipProtocol, Message
+
+NodeId = int
+
+
+class PushPullProtocol(GossipProtocol):
+    """Reinforcement-by-push + mixing-by-pull with fixed-size views.
+
+    Args:
+        view_size: capacity of each node's view; views are kept full by
+            replacing random entries on insertion once at capacity.
+    """
+
+    def __init__(self, view_size: int):
+        super().__init__()
+        if view_size < 2:
+            raise ValueError(f"view_size must be at least 2, got {view_size}")
+        self.view_size = view_size
+        self._views: Dict[NodeId, List[NodeId]] = {}
+
+    # -- population ------------------------------------------------------
+
+    def node_ids(self) -> List[NodeId]:
+        return list(self._views)
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._views
+
+    def add_node(self, node_id: NodeId, bootstrap_ids: Sequence[NodeId]) -> None:
+        if node_id in self._views:
+            raise ValueError(f"node {node_id} already exists")
+        if len(bootstrap_ids) > self.view_size:
+            raise ValueError("bootstrap view exceeds view size")
+        self._views[node_id] = list(bootstrap_ids)
+
+    def remove_node(self, node_id: NodeId) -> None:
+        del self._views[node_id]
+
+    # -- protocol steps ----------------------------------------------------
+
+    def initiate(self, node_id: NodeId, rng) -> Optional[Message]:
+        view = self._views[node_id]
+        self.stats.actions += 1
+        if not view:
+            self.stats.self_loops += 1
+            return None
+        self.stats.non_self_loop_actions += 1
+        target = view[int(rng.integers(len(view)))]
+        self.stats.messages_sent += 1
+        return Message(
+            sender=node_id,
+            target=target,
+            payload=[(node_id, False)],  # reinforcement: push own id
+            kind="pushpull-request",
+        )
+
+    def deliver(self, message: Message, rng) -> Optional[Message]:
+        view = self._views.get(message.target)
+        if view is None:
+            return None
+        self.stats.deliveries += 1
+        if message.kind == "pushpull-request":
+            self._insert(message.target, message.sender, rng)
+            if not view:
+                return None
+            pulled = view[int(rng.integers(len(view)))]  # mixing: pull a view id
+            self.stats.messages_sent += 1
+            return Message(
+                sender=message.target,
+                target=message.sender,
+                payload=[(pulled, False)],
+                kind="pushpull-reply",
+            )
+        # pushpull-reply: the initiator absorbs the pulled id.
+        for value, _ in message.payload:
+            self._insert(message.target, value, rng)
+        return None
+
+    def _insert(self, node_id: NodeId, value: NodeId, rng) -> None:
+        if value == node_id:
+            return
+        view = self._views[node_id]
+        if len(view) >= self.view_size:
+            evict = int(rng.integers(len(view)))
+            view[evict] = value
+            self.stats.deletions += 1
+        else:
+            view.append(value)
+
+    # -- observation -------------------------------------------------------
+
+    def view_of(self, node_id: NodeId) -> Counter:
+        return Counter(self._views[node_id])
+
+    def total_edges(self) -> int:
+        return sum(len(view) for view in self._views.values())

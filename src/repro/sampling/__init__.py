@@ -1,0 +1,24 @@
+"""Nonlocal sampling baselines: random walks on the membership graph.
+
+Section 3.1 argues against random-walk (RW) samplers in lossy dynamic
+networks: a walk of length L only succeeds with probability ``(1−ℓ)^L``
+(every hop is a message), and its sample is only uniform if the graph
+matches the assumptions baked into the walk.  This package implements
+both the plain walk and a Metropolis–Hastings-corrected walk so the
+benchmarks can demonstrate exactly those two failure modes next to S&F's
+local, loss-tolerant alternative.
+"""
+
+from repro.sampling.random_walk import (
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+    WalkOutcome,
+    walk_success_probability,
+)
+
+__all__ = [
+    "SimpleRandomWalk",
+    "MetropolisHastingsWalk",
+    "WalkOutcome",
+    "walk_success_probability",
+]

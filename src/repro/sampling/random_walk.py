@@ -1,0 +1,155 @@
+"""Random-walk samplers over a live membership protocol.
+
+A walk consists of hop messages: at each hop the current holder forwards
+the walk token to one of its out-neighbors.  Each hop message is lost
+independently with the network's loss rate, and a lost hop kills the walk
+(there is no acknowledgment — the same no-bookkeeping regime the paper
+assumes for gossip).  Hence ``P(success) = (1−ℓ)^L`` for an L-hop walk,
+the exponential sensitivity section 3.1 points out.
+
+Two kernels:
+
+* :class:`SimpleRandomWalk` — hop to a uniform out-neighbor.  Its
+  stationary distribution on a directed membership graph is *not*
+  uniform in general (it weights nodes by stationary in-flow), so on a
+  skewed topology the end-node sample is biased.
+* :class:`MetropolisHastingsWalk` — the standard degree-corrected kernel
+  on the *undirectional* view relation: propose a uniform neighbor,
+  accept with ``min(1, deg(u)/deg(v))``, else stay.  Uniform stationary
+  on a connected undirected graph, at the price of longer mixing and the
+  same per-hop loss exposure.
+
+Both operate on a snapshot adjacency taken from a
+:class:`~repro.protocols.base.GossipProtocol`, so they can be run against
+the very same overlay S&F maintains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.protocols.base import GossipProtocol
+from repro.util.rng import SeedLike, make_rng
+
+NodeId = int
+
+
+def walk_success_probability(loss_rate: float, length: int) -> float:
+    """``(1 − ℓ)^L`` — every hop is an unacknowledged message."""
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+    if length < 0:
+        raise ValueError(f"length must be nonnegative, got {length}")
+    return (1.0 - loss_rate) ** length
+
+
+@dataclass
+class WalkOutcome:
+    """Result of one walk attempt."""
+
+    start: NodeId
+    end: Optional[NodeId]          # None if a hop message was lost
+    hops_completed: int
+    requested_length: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.end is not None
+
+
+class _SnapshotWalker:
+    """Shared machinery: build adjacency from the protocol's live views."""
+
+    def __init__(self, protocol: GossipProtocol, loss_rate: float, seed: SeedLike = None):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.loss_rate = loss_rate
+        self.rng = make_rng(seed)
+        self._out: Dict[NodeId, List[NodeId]] = {}
+        live: Set[NodeId] = set(protocol.node_ids())
+        for u in live:
+            neighbors = [
+                v for v in protocol.view_of(u).elements() if v != u and v in live
+            ]
+            self._out[u] = neighbors
+
+    def refresh(self, protocol: GossipProtocol) -> None:
+        """Re-snapshot the adjacency (views evolve under the walk)."""
+        self.__init__(protocol, self.loss_rate, self.rng)
+
+    def _hop_lost(self) -> bool:
+        return self.loss_rate > 0.0 and bool(self.rng.random() < self.loss_rate)
+
+
+class SimpleRandomWalk(_SnapshotWalker):
+    """Uniform-out-neighbor walk (degree-biased stationary distribution)."""
+
+    def walk(self, start: NodeId, length: int) -> WalkOutcome:
+        if start not in self._out:
+            raise KeyError(f"unknown start node {start}")
+        if length < 0:
+            raise ValueError(f"length must be nonnegative, got {length}")
+        current = start
+        for hop in range(length):
+            neighbors = self._out[current]
+            if not neighbors:
+                return WalkOutcome(start, None, hop, length)
+            nxt = neighbors[int(self.rng.integers(len(neighbors)))]
+            if self._hop_lost():
+                return WalkOutcome(start, None, hop, length)
+            current = nxt
+        return WalkOutcome(start, current, length, length)
+
+    def sample_many(self, start: NodeId, length: int, attempts: int) -> List[WalkOutcome]:
+        """Run ``attempts`` independent walks from ``start``."""
+        if attempts <= 0:
+            raise ValueError(f"attempts must be positive, got {attempts}")
+        return [self.walk(start, length) for _ in range(attempts)]
+
+
+class MetropolisHastingsWalk(_SnapshotWalker):
+    """Degree-corrected walk over the undirected view relation.
+
+    Builds the symmetric neighbor relation (u ~ v if either holds the
+    other), proposes a uniform neighbor, and accepts with
+    ``min(1, deg(u)/deg(v))``; rejected proposals stay put (a hop message
+    is still spent and still exposed to loss — the proposal had to be
+    transmitted to be evaluated).
+    """
+
+    def __init__(self, protocol: GossipProtocol, loss_rate: float, seed: SeedLike = None):
+        super().__init__(protocol, loss_rate, seed)
+        undirected: Dict[NodeId, Set[NodeId]] = {u: set() for u in self._out}
+        for u, neighbors in self._out.items():
+            for v in neighbors:
+                undirected[u].add(v)
+                undirected[v].add(u)
+        self._neighbors: Dict[NodeId, List[NodeId]] = {
+            u: sorted(vs) for u, vs in undirected.items()
+        }
+
+    def walk(self, start: NodeId, length: int) -> WalkOutcome:
+        if start not in self._neighbors:
+            raise KeyError(f"unknown start node {start}")
+        if length < 0:
+            raise ValueError(f"length must be nonnegative, got {length}")
+        current = start
+        for hop in range(length):
+            neighbors = self._neighbors[current]
+            if not neighbors:
+                return WalkOutcome(start, None, hop, length)
+            proposal = neighbors[int(self.rng.integers(len(neighbors)))]
+            if self._hop_lost():
+                return WalkOutcome(start, None, hop, length)
+            degree_u = len(neighbors)
+            degree_v = len(self._neighbors[proposal])
+            if degree_v <= degree_u or self.rng.random() < degree_u / degree_v:
+                current = proposal
+            # else: stay (self-loop step of the MH kernel)
+        return WalkOutcome(start, current, length, length)
+
+    def sample_many(self, start: NodeId, length: int, attempts: int) -> List[WalkOutcome]:
+        if attempts <= 0:
+            raise ValueError(f"attempts must be positive, got {attempts}")
+        return [self.walk(start, length) for _ in range(attempts)]

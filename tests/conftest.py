@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.engine.sequential import SequentialEngine
+from repro.net.loss import UniformLoss
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return make_rng(12345)
+
+
+@pytest.fixture
+def small_params() -> SFParams:
+    """A small, fast parameter set: s=12, dL=2."""
+    return SFParams(view_size=12, d_low=2)
+
+
+@pytest.fixture
+def paper_params() -> SFParams:
+    """The paper's section 6.3 worked example: s=40, dL=18."""
+    return SFParams(view_size=40, d_low=18)
+
+
+def build_system(
+    n: int,
+    params: SFParams,
+    loss_rate: float = 0.0,
+    seed: int = 7,
+    init_outdegree: int = 6,
+):
+    """A ring-bootstrapped S&F system driven by a sequential engine."""
+    protocol = SendForget(params)
+    for u in range(n):
+        bootstrap = [(u + k) % n for k in range(1, init_outdegree + 1)]
+        protocol.add_node(u, bootstrap)
+    engine = SequentialEngine(protocol, UniformLoss(loss_rate), seed=seed)
+    return protocol, engine
+
+
+@pytest.fixture
+def small_system(small_params):
+    """A 40-node lossless S&F system."""
+    return build_system(40, small_params)
+
+
+@pytest.fixture
+def lossy_system(small_params):
+    """A 40-node S&F system with 5% uniform loss."""
+    return build_system(40, small_params, loss_rate=0.05)

@@ -1,0 +1,61 @@
+"""Tests for repro.analysis.connectivity (section 7.4 conditions)."""
+
+import pytest
+
+from repro.analysis.connectivity import (
+    min_d_low_for_connectivity,
+    partition_probability_bound,
+)
+
+
+class TestPartitionProbability:
+    def test_paper_example_values(self):
+        """l = δ = 1%, dL = 26 achieves 1e-30; dL = 24 does not."""
+        assert partition_probability_bound(26, 0.01, 0.01) <= 1e-30
+        assert partition_probability_bound(24, 0.01, 0.01) > 1e-30
+
+    def test_monotone_decreasing_in_d_low(self):
+        values = [partition_probability_bound(d, 0.01, 0.01) for d in range(4, 40, 2)]
+        assert values == sorted(values, reverse=True)
+
+    def test_total_loss_certain_partition(self):
+        assert partition_probability_bound(100, 0.5, 0.1) == 1.0
+
+    def test_zero_d_low_certain(self):
+        assert partition_probability_bound(0, 0.0, 0.0) == 1.0
+
+    def test_negative_d_low_rejected(self):
+        with pytest.raises(ValueError):
+            partition_probability_bound(-2, 0.0, 0.0)
+
+
+class TestMinDLow:
+    def test_paper_example(self):
+        """The §7.4 worked example: 1%, 1%, ε=1e-30 → dL = 26."""
+        assert min_d_low_for_connectivity(0.01, 0.01, 1e-30) == 26
+
+    def test_result_is_even(self):
+        for loss in (0.0, 0.02, 0.05):
+            assert min_d_low_for_connectivity(loss, 0.01, 1e-10) % 2 == 0
+
+    def test_larger_loss_needs_larger_d_low(self):
+        low = min_d_low_for_connectivity(0.0, 0.01, 1e-30)
+        high = min_d_low_for_connectivity(0.1, 0.01, 1e-30)
+        assert high >= low
+
+    def test_tighter_epsilon_needs_larger_d_low(self):
+        loose = min_d_low_for_connectivity(0.01, 0.01, 1e-5)
+        tight = min_d_low_for_connectivity(0.01, 0.01, 1e-40)
+        assert tight > loose
+
+    def test_hopeless_loss_rejected(self):
+        with pytest.raises(ValueError):
+            min_d_low_for_connectivity(0.5, 0.1, 1e-10)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            min_d_low_for_connectivity(0.01, 0.01, 0.0)
+
+    def test_cap_respected(self):
+        with pytest.raises(ValueError):
+            min_d_low_for_connectivity(0.01, 0.01, 1e-300, max_d_low=10)

@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.decay (section 6.5 bounds)."""
+
+import math
+
+import pytest
+
+from repro.analysis.decay import (
+    creation_rate_lower_bound,
+    expected_join_instances,
+    half_life_rounds,
+    id_survival_bound,
+    join_integration_rounds,
+    joiner_creation_rate_lower_bound,
+    per_round_removal_rate,
+    survival_curve,
+)
+
+
+class TestRemovalRate:
+    def test_formula(self):
+        # (1 - l - δ) dL / s²
+        assert per_round_removal_rate(18, 40, 0.05, 0.01) == pytest.approx(
+            0.94 * 18 / 1600
+        )
+
+    def test_zero_d_low_means_no_guarantee(self):
+        assert per_round_removal_rate(0, 40, 0.0, 0.0) == 0.0
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            per_round_removal_rate(18, 40, 0.9, 0.2)
+        with pytest.raises(ValueError):
+            per_round_removal_rate(18, 40, -0.1, 0.0)
+
+    def test_d_low_above_view_rejected(self):
+        with pytest.raises(ValueError):
+            per_round_removal_rate(50, 40, 0.0, 0.0)
+
+
+class TestSurvivalBound:
+    def test_round_zero_is_one(self):
+        assert id_survival_bound(0, 18, 40, 0.01, 0.01) == 1.0
+
+    def test_monotone_decreasing(self):
+        curve = survival_curve(range(0, 200, 20), 18, 40, 0.01, 0.01)
+        assert curve == sorted(curve, reverse=True)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            id_survival_bound(-1, 18, 40, 0.0, 0.0)
+
+    def test_paper_70_round_half_life(self):
+        """§6.5.2: 'after merely 70 rounds fewer than 50% remain'."""
+        for loss in (0.0, 0.01, 0.05, 0.1):
+            assert id_survival_bound(70, 18, 40, loss, 0.01) < 0.5
+
+    def test_loss_insensitivity(self):
+        """Fig 6.4: curves for all loss rates nearly coincide."""
+        at_100 = [
+            id_survival_bound(100, 18, 40, loss, 0.01)
+            for loss in (0.0, 0.01, 0.05, 0.1)
+        ]
+        assert max(at_100) - min(at_100) < 0.05
+
+
+class TestHalfLife:
+    def test_matches_survival_bound(self):
+        t = half_life_rounds(18, 40, 0.01, 0.01)
+        assert id_survival_bound(math.floor(t), 18, 40, 0.01, 0.01) >= 0.5 - 0.01
+        assert id_survival_bound(math.ceil(t) + 1, 18, 40, 0.01, 0.01) < 0.5
+
+    def test_infinite_when_rate_zero(self):
+        assert half_life_rounds(0, 40, 0.0, 0.0) == math.inf
+
+    def test_paper_value_near_70(self):
+        assert 55 < half_life_rounds(18, 40, 0.0, 0.01) < 75
+
+
+class TestCreationRates:
+    def test_lemma_6_11(self):
+        rate = creation_rate_lower_bound(18, 40, 0.01, 0.01, expected_indegree=27.0)
+        assert rate == pytest.approx(0.98 * 18 / 1600 * 27.0)
+
+    def test_lemma_6_12_ratio(self):
+        veteran = creation_rate_lower_bound(20, 40, 0.0, 0.01, 28.0)
+        joiner = joiner_creation_rate_lower_bound(20, 40, 0.0, 0.01, 28.0)
+        assert joiner == pytest.approx(veteran * 0.25)
+
+    def test_negative_indegree_rejected(self):
+        with pytest.raises(ValueError):
+            creation_rate_lower_bound(18, 40, 0.0, 0.0, -1.0)
+
+
+class TestJoinIntegration:
+    def test_lemma_6_13_horizon(self):
+        # s²/((1−l−δ)·dL)
+        assert join_integration_rounds(20, 40, 0.0, 0.0) == pytest.approx(80.0)
+
+    def test_corollary_6_14_reading(self):
+        """s/dL = 2 and l+δ ≪ 1 → horizon ≈ 2s, instances ≥ Din/4."""
+        horizon = join_integration_rounds(20, 40, 0.005, 0.005)
+        assert horizon == pytest.approx(2 * 40, rel=0.02)
+        assert expected_join_instances(20, 40, 28.0) == pytest.approx(7.0)
+
+    def test_zero_d_low_rejected(self):
+        with pytest.raises(ValueError):
+            join_integration_rounds(0, 40, 0.0, 0.0)
+
+    def test_total_loss_rejected(self):
+        with pytest.raises(ValueError):
+            join_integration_rounds(20, 40, 1.0, 0.0)

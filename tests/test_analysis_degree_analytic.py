@@ -1,0 +1,90 @@
+"""Tests for repro.analysis.degree_analytic (equation 6.1)."""
+
+import math
+
+import pytest
+
+from repro.analysis.degree_analytic import (
+    analytical_indegree_distribution,
+    analytical_outdegree_distribution,
+    assignment_count,
+    expected_outdegree,
+)
+
+
+class TestAssignmentCount:
+    def test_formula(self):
+        # a(2) for dm=4: C(4,2)*C(2,1) = 6*2 = 12
+        assert assignment_count(2, 4) == 12
+
+    def test_zero_outdegree(self):
+        # a(0) for dm=4: C(4,0)*C(4,2) = 6
+        assert assignment_count(0, 4) == 6
+
+    def test_full_outdegree(self):
+        # a(dm): C(dm,dm)*C(0,0) = 1
+        assert assignment_count(4, 4) == 1
+
+    def test_odd_outdegree_zero(self):
+        assert assignment_count(3, 4) == 0
+
+    def test_out_of_range_zero(self):
+        assert assignment_count(6, 4) == 0
+        assert assignment_count(-2, 4) == 0
+
+    def test_odd_dm_rejected(self):
+        with pytest.raises(ValueError):
+            assignment_count(2, 5)
+
+    def test_negative_dm_rejected(self):
+        with pytest.raises(ValueError):
+            assignment_count(0, -2)
+
+
+class TestOutdegreeDistribution:
+    def test_normalized(self):
+        pmf = analytical_outdegree_distribution(90)
+        assert math.isclose(sum(pmf.values()), 1.0, rel_tol=1e-12)
+
+    def test_support_even_only(self):
+        pmf = analytical_outdegree_distribution(20)
+        assert all(d % 2 == 0 for d in pmf)
+
+    def test_mean_close_to_dm_over_3(self):
+        """Lemma 6.3: average outdegree is dm/3."""
+        for dm in (30, 60, 90):
+            assert expected_outdegree(dm) == pytest.approx(dm / 3, rel=0.02)
+
+    def test_unimodal(self):
+        pmf = analytical_outdegree_distribution(90)
+        values = [pmf[d] for d in sorted(pmf)]
+        peak = values.index(max(values))
+        assert all(values[i] <= values[i + 1] for i in range(peak))
+        assert all(values[i] >= values[i + 1] for i in range(peak, len(values) - 1))
+
+    def test_paper_threshold_tails(self):
+        """The §6.3 example relies on these exact tails for dm=90."""
+        pmf = analytical_outdegree_distribution(90)
+        low_tail = sum(p for d, p in pmf.items() if d <= 18)
+        high_tail = sum(p for d, p in pmf.items() if d > 40)
+        assert low_tail <= 0.01
+        assert high_tail <= 0.01
+        assert sum(p for d, p in pmf.items() if d <= 20) > 0.01
+        assert sum(p for d, p in pmf.items() if d > 38) > 0.01
+
+
+class TestIndegreeDistribution:
+    def test_support_mapping(self):
+        out = analytical_outdegree_distribution(12)
+        indeg = analytical_indegree_distribution(12)
+        for d, p in out.items():
+            assert indeg[(12 - d) // 2] == p
+
+    def test_mean_is_dm_over_3(self):
+        indeg = analytical_indegree_distribution(90)
+        mean = sum(k * p for k, p in indeg.items())
+        assert mean == pytest.approx(30.0, rel=0.02)
+
+    def test_normalized(self):
+        indeg = analytical_indegree_distribution(30)
+        assert math.isclose(sum(indeg.values()), 1.0, rel_tol=1e-12)

@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.independence (section 7.4 bounds)."""
+
+import pytest
+
+from repro.analysis.independence import (
+    dependence_stationary_exact,
+    dependent_to_independent_rate,
+    independence_lower_bound,
+    independent_to_dependent_rate,
+    return_probability_bound,
+    self_edge_probability_bound,
+)
+
+
+class TestReturnProbability:
+    def test_lemma_7_8_at_assumption(self):
+        """α = 2/3 gives exactly 1/2 — the paper's worst case."""
+        assert return_probability_bound(2.0 / 3.0) == pytest.approx(0.5)
+
+    def test_perfect_independence_never_returns(self):
+        assert return_probability_bound(1.0) == pytest.approx(0.0)
+
+    def test_decreasing_in_alpha(self):
+        assert return_probability_bound(0.7) > return_probability_bound(0.9)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            return_probability_bound(0.0)
+        with pytest.raises(ValueError):
+            return_probability_bound(1.5)
+
+
+class TestSelfEdgeBound:
+    def test_at_assumption_is_one_sixth(self):
+        assert self_edge_probability_bound(2.0 / 3.0) == pytest.approx(1.0 / 6.0)
+
+    def test_full_independence_no_self_edges(self):
+        assert self_edge_probability_bound(1.0) == 0.0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            self_edge_probability_bound(-0.1)
+
+
+class TestTransitionRates:
+    def test_to_dependent_formula(self):
+        assert independent_to_dependent_rate(0.05, 0.01) == pytest.approx(0.09)
+
+    def test_to_independent_formula(self):
+        assert dependent_to_independent_rate(0.05, 0.01) == pytest.approx(
+            (5.0 / 6.0) * 0.94
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            independent_to_dependent_rate(1.2, 0.0)
+        with pytest.raises(ValueError):
+            dependent_to_independent_rate(0.0, -0.1)
+
+
+class TestLemma79:
+    @pytest.mark.parametrize("loss,delta", [(0.0, 0.0), (0.01, 0.01), (0.05, 0.01), (0.1, 0.02)])
+    def test_bound_formula(self, loss, delta):
+        assert independence_lower_bound(loss, delta) == pytest.approx(
+            1.0 - 2.0 * (loss + delta)
+        )
+
+    def test_clamped_at_zero(self):
+        assert independence_lower_bound(0.5, 0.2) == 0.0
+
+    def test_exact_below_simplified(self):
+        """The paper's algebra shows (l+δ)/(5/9 + (4/9)(l+δ)) ≤ 2(l+δ)."""
+        for x_loss, x_delta in [(0.0, 0.005), (0.01, 0.01), (0.05, 0.01), (0.2, 0.05)]:
+            exact = dependence_stationary_exact(x_loss, x_delta)
+            simplified = 2.0 * (x_loss + x_delta)
+            assert exact <= simplified + 1e-12
+
+    def test_exact_saturates_at_total_loss(self):
+        assert dependence_stationary_exact(1.0, 0.0) == 1.0
+
+    def test_typical_one_percent_regime(self):
+        """§7.4: with l and δ ~1%, the vast majority of entries independent."""
+        assert independence_lower_bound(0.01, 0.01) == pytest.approx(0.96)

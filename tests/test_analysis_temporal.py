@@ -1,0 +1,86 @@
+"""Tests for repro.analysis.temporal (Lemmas 7.14/7.15)."""
+
+import math
+
+import pytest
+
+from repro.analysis.temporal import (
+    actions_per_node_bound,
+    expected_conductance_bound,
+    rounds_bound_logarithmic_views,
+    temporal_independence_bound,
+)
+
+
+class TestConductanceBound:
+    def test_lemma_7_14_formula(self):
+        # dE(dE−1)·α / (2 s (s−1))
+        value = expected_conductance_bound(24.0, 40, 0.9)
+        assert value == pytest.approx(24 * 23 * 0.9 / (2 * 40 * 39))
+
+    def test_increases_with_alpha(self):
+        assert expected_conductance_bound(24, 40, 0.9) > expected_conductance_bound(
+            24, 40, 0.5
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            expected_conductance_bound(0.5, 40, 0.9)
+        with pytest.raises(ValueError):
+            expected_conductance_bound(24, 1, 0.9)
+        with pytest.raises(ValueError):
+            expected_conductance_bound(24, 40, 0.0)
+
+
+class TestTauEpsilon:
+    def test_lemma_7_15_formula(self):
+        n, s, de, alpha, eps = 1000, 40, 24.0, 0.9, 0.01
+        expected = (
+            16 * s**2 * (s - 1) ** 2 / (de**2 * (de - 1) ** 2 * alpha**2)
+        ) * (n * s * math.log(n) + math.log(4 / eps))
+        assert temporal_independence_bound(n, s, de, alpha, eps) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_per_node_reading(self):
+        n = 1000
+        total = temporal_independence_bound(n, 40, 24, 0.9, 0.01)
+        per_node = actions_per_node_bound(n, 40, 24, 0.9, 0.01)
+        assert per_node == pytest.approx(total / n)
+
+    def test_scaling_is_s_log_n(self):
+        """Per-node actions grow like s·log n for fixed degree ratio."""
+        ratios = []
+        for n in (10**3, 10**4, 10**5):
+            s = 40
+            per_node = actions_per_node_bound(n, s, 24, 1.0, 0.01)
+            ratios.append(per_node / (s * math.log(n)))
+        # Nearly constant ratios across three decades of n.
+        assert max(ratios) / min(ratios) < 1.02
+
+    def test_moderate_loss_costs_constant_factor(self):
+        """α ∈ (0,1] enters as 1/α² — a constant factor, not growth in n."""
+        clean = actions_per_node_bound(10**4, 40, 24, 1.0, 0.01)
+        lossy = actions_per_node_bound(10**4, 40, 24, 0.8, 0.01)
+        assert lossy == pytest.approx(clean / 0.8**2)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            temporal_independence_bound(1, 40, 24, 0.9, 0.01)
+        with pytest.raises(ValueError):
+            temporal_independence_bound(100, 40, 24, 0.9, 1.5)
+
+
+class TestLogarithmicViews:
+    def test_log_squared_scaling(self):
+        """For s = Θ(log n), per-node actions are O(log² n)."""
+        ratios = []
+        for n in (10**3, 10**4, 10**5, 10**6):
+            bound = rounds_bound_logarithmic_views(n, alpha=1.0, epsilon=0.01)
+            ratios.append(bound / math.log(n) ** 2)
+        # Ratios bounded within a small constant band.
+        assert max(ratios) / min(ratios) < 3.0
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            rounds_bound_logarithmic_views(2, 1.0, 0.01)

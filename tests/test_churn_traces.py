@@ -1,0 +1,121 @@
+"""Tests for repro.churn.traces."""
+
+import pytest
+
+from repro.churn.traces import ChurnEvent, generate_trace, replay_trace
+
+from conftest import build_system
+
+
+class TestChurnEvent:
+    def test_valid(self):
+        event = ChurnEvent(3, "join", 7)
+        assert event.round == 3
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(0, "explode", 1)
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(-1, "join", 1)
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        a = generate_trace(list(range(20)), 30, 1.0, 0.5, seed=4)
+        b = generate_trace(list(range(20)), 30, 1.0, 0.5, seed=4)
+        assert a == b
+
+    def test_rates_respected(self):
+        trace = generate_trace(list(range(50)), 200, 2.0, 1.0, seed=5)
+        joins = sum(1 for e in trace if e.kind == "join")
+        leaves = sum(1 for e in trace if e.kind == "leave")
+        assert abs(joins - 400) < 100
+        assert abs(leaves - 200) < 80
+
+    def test_fresh_ids_monotone(self):
+        trace = generate_trace(list(range(10)), 50, 1.0, 0.0, seed=6)
+        join_ids = [e.node for e in trace if e.kind == "join"]
+        assert join_ids == sorted(join_ids)
+        assert all(j >= 10 for j in join_ids)
+
+    def test_leaves_only_alive_nodes(self):
+        trace = generate_trace(list(range(10)), 100, 1.0, 1.0, seed=7)
+        alive = set(range(10))
+        for event in trace:
+            if event.kind == "join":
+                alive.add(event.node)
+            else:
+                assert event.node in alive
+                alive.remove(event.node)
+
+    def test_min_population_respected(self):
+        trace = generate_trace(list(range(10)), 100, 0.0, 5.0, seed=8, min_population=8)
+        leaves = sum(1 for e in trace if e.kind == "leave")
+        assert leaves <= 2
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace([0], -1, 1.0, 1.0)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        from repro.churn.traces import load_trace, save_trace
+
+        trace = generate_trace(list(range(10)), 30, 1.0, 0.5, seed=20)
+        path = tmp_path / "traces" / "t.json"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_empty_trace(self, tmp_path):
+        from repro.churn.traces import load_trace, save_trace
+
+        path = tmp_path / "empty.json"
+        save_trace([], path)
+        assert load_trace(path) == []
+
+    def test_loaded_trace_replays(self, tmp_path, small_params):
+        from repro.churn.traces import load_trace, save_trace
+
+        trace = generate_trace(list(range(20)), 10, 1.0, 0.5, seed=21)
+        path = tmp_path / "t.json"
+        save_trace(trace, path)
+        protocol, engine = build_system(20, small_params, seed=22)
+        replay_trace(engine, load_trace(path), bootstrap_size=4, seed=23)
+        protocol.check_invariant()
+
+
+class TestReplay:
+    def test_replay_applies_all_events(self, small_params):
+        protocol, engine = build_system(30, small_params, seed=9)
+        trace = generate_trace(list(range(30)), 20, 1.0, 0.5, seed=10)
+        replay_trace(engine, trace, bootstrap_size=4, seed=11)
+        alive = set(range(30))
+        for event in trace:
+            if event.kind == "join":
+                alive.add(event.node)
+            else:
+                alive.discard(event.node)
+        assert set(protocol.node_ids()) == alive
+        protocol.check_invariant()
+
+    def test_replay_identical_membership_across_protocols(self, small_params):
+        trace = generate_trace(list(range(30)), 15, 1.0, 1.0, seed=12)
+        populations = []
+        for seed in (1, 2):
+            protocol, engine = build_system(30, small_params, seed=seed)
+            replay_trace(engine, trace, bootstrap_size=4, seed=13)
+            populations.append(set(protocol.node_ids()))
+        assert populations[0] == populations[1]
+
+    def test_odd_bootstrap_rejected(self, small_params):
+        _, engine = build_system(10, small_params)
+        with pytest.raises(ValueError):
+            replay_trace(engine, [], bootstrap_size=3)
+
+    def test_total_rounds_extends_run(self, small_params):
+        protocol, engine = build_system(10, small_params)
+        replay_trace(engine, [], total_rounds=5, seed=14)
+        assert engine.rounds_completed == pytest.approx(5.0, abs=0.01)

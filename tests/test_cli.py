@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "fig-6.1", "--fast"])
+        assert args.experiment == "fig-6.1"
+        assert args.fast
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.nodes == 500
+        assert args.view_size == 40
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fast_analytic(self, capsys):
+        assert main(["run", "table-6.3", "--fast"]) == 0
+        assert "30" in capsys.readouterr().out
+
+    def test_run_fast_fig_6_2(self, capsys):
+        assert main(["run", "fig-6.2"]) == 0
+        assert "Figure 6.2" in capsys.readouterr().out
+
+    def test_size_command(self, capsys):
+        assert main(["size", "--target-degree", "30", "--delta", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "dL=18" in out and "s=40" in out
+        assert "dL ≥ 26" in out
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "60",
+                "--view-size", "12",
+                "--d-low", "2",
+                "--loss", "0.02",
+                "--rounds", "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outdegree" in out
+        assert "connected=True" in out
+
+    def test_simulate_too_few_nodes(self, capsys):
+        assert main(["simulate", "--nodes", "5", "--view-size", "40"]) == 2
+
+    def test_registry_covers_design_index(self):
+        """Every experiment family from DESIGN.md has a CLI entry."""
+        expected = {
+            "fig-6.1", "fig-6.2", "fig-6.3", "fig-6.4",
+            "table-6.3", "table-6.4", "cor-6.14", "lemma-6.6",
+            "lemma-7.5", "lemma-7.6", "lemma-7.9", "lemma-7.15",
+            "connectivity", "load-balance", "baselines",
+        }
+        assert expected <= set(EXPERIMENTS)

@@ -1,0 +1,65 @@
+"""Tests for repro.core.params."""
+
+import pytest
+
+from repro.core.params import SFParams
+
+
+class TestValidation:
+    def test_paper_example_valid(self):
+        params = SFParams(view_size=40, d_low=18)
+        assert params.view_size == 40
+        assert params.d_low == 18
+
+    def test_minimum_view_size(self):
+        assert SFParams(view_size=6).view_size == 6
+
+    def test_too_small_view_rejected(self):
+        with pytest.raises(ValueError):
+            SFParams(view_size=4)
+
+    def test_odd_view_rejected(self):
+        with pytest.raises(ValueError):
+            SFParams(view_size=7)
+
+    def test_negative_d_low_rejected(self):
+        with pytest.raises(ValueError):
+            SFParams(view_size=10, d_low=-2)
+
+    def test_odd_d_low_rejected(self):
+        with pytest.raises(ValueError):
+            SFParams(view_size=10, d_low=3)
+
+    def test_d_low_upper_bound(self):
+        # dL <= s - 6 (the paper's parametrization).
+        assert SFParams(view_size=12, d_low=6).d_low == 6
+        with pytest.raises(ValueError):
+            SFParams(view_size=12, d_low=8)
+
+    def test_frozen(self):
+        params = SFParams(view_size=8)
+        with pytest.raises(AttributeError):
+            params.view_size = 10
+
+
+class TestOutdegreeChecks:
+    def test_outdegree_values_range(self):
+        params = SFParams(view_size=10, d_low=2)
+        assert list(params.outdegree_values) == [2, 4, 6, 8, 10]
+
+    def test_validate_outdegree_accepts_bounds(self):
+        params = SFParams(view_size=10, d_low=2)
+        params.validate_outdegree(2)
+        params.validate_outdegree(10)
+
+    def test_validate_outdegree_rejects_odd(self):
+        params = SFParams(view_size=10, d_low=2)
+        with pytest.raises(ValueError):
+            params.validate_outdegree(3)
+
+    def test_validate_outdegree_rejects_out_of_range(self):
+        params = SFParams(view_size=10, d_low=2)
+        with pytest.raises(ValueError):
+            params.validate_outdegree(0)
+        with pytest.raises(ValueError):
+            params.validate_outdegree(12)

@@ -1,0 +1,216 @@
+"""Tests for repro.core.sandf — the S&F protocol itself."""
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.protocols.base import Message
+from repro.util.rng import make_rng
+
+
+def make_protocol(view_size=8, d_low=2):
+    return SendForget(SFParams(view_size=view_size, d_low=d_low))
+
+
+class TestPopulation:
+    def test_add_node(self):
+        protocol = make_protocol()
+        protocol.add_node(0, [1, 2])
+        assert protocol.has_node(0)
+        assert protocol.outdegree(0) == 2
+
+    def test_duplicate_node_rejected(self):
+        protocol = make_protocol()
+        protocol.add_node(0, [1, 2])
+        with pytest.raises(ValueError):
+            protocol.add_node(0, [1, 2])
+
+    def test_odd_bootstrap_rejected(self):
+        protocol = make_protocol()
+        with pytest.raises(ValueError):
+            protocol.add_node(0, [1, 2, 3])
+
+    def test_bootstrap_below_d_low_rejected(self):
+        protocol = make_protocol(d_low=2)
+        with pytest.raises(ValueError):
+            protocol.add_node(0, [])
+
+    def test_bootstrap_above_view_size_rejected(self):
+        protocol = make_protocol(view_size=6, d_low=0)
+        with pytest.raises(ValueError):
+            protocol.add_node(0, list(range(1, 9)))
+
+    def test_remove_node(self):
+        protocol = make_protocol()
+        protocol.add_node(0, [1, 2])
+        protocol.remove_node(0)
+        assert not protocol.has_node(0)
+
+    def test_remove_unknown_rejected(self):
+        protocol = make_protocol()
+        with pytest.raises(KeyError):
+            protocol.remove_node(5)
+
+
+class TestInitiate:
+    def test_message_format(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [1, 2])
+        rng = make_rng(0)
+        message = None
+        while message is None:
+            message = protocol.initiate(0, rng)
+        assert message.sender == 0
+        assert message.kind == "sandf"
+        assert len(message.payload) == 2
+        assert message.payload[0][0] == 0  # sender's own id first
+
+    def test_clears_both_entries_above_threshold(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [1, 2])
+        rng = make_rng(0)
+        message = None
+        while message is None:
+            message = protocol.initiate(0, rng)
+        assert protocol.outdegree(0) == 0
+
+    def test_duplicates_at_threshold(self):
+        protocol = make_protocol(d_low=2)
+        protocol.add_node(0, [1, 2])
+        rng = make_rng(0)
+        message = None
+        while message is None:
+            message = protocol.initiate(0, rng)
+        assert protocol.outdegree(0) == 2
+        assert protocol.stats.duplications == 1
+        # Duplicated payload entries are flagged dependent in the message.
+        assert all(flag for _, flag in message.payload)
+
+    def test_empty_slot_selection_is_self_loop(self):
+        protocol = make_protocol(view_size=8, d_low=0)
+        protocol.add_node(0, [1, 2])  # 2 of 8 slots filled
+        rng = make_rng(1)
+        results = [protocol.initiate(0, rng) for _ in range(300)]
+        none_count = sum(1 for r in results if r is None)
+        # q = 2*1/(8*7) = 1/28 acting probability; most actions self-loop...
+        assert none_count > 200
+        assert protocol.stats.self_loops == none_count
+
+    def test_empty_view_never_sends(self):
+        protocol = make_protocol(view_size=8, d_low=0)
+        protocol.add_node(0, [1, 2])
+        rng = make_rng(2)
+        # Drain the two entries with one successful action.
+        while protocol.outdegree(0) > 0:
+            protocol.initiate(0, rng)
+        for _ in range(50):
+            assert protocol.initiate(0, rng) is None
+
+
+class TestDeliver:
+    def test_stores_both_ids(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [1, 2])
+        message = Message(sender=5, target=0, payload=[(5, False), (7, False)], kind="sandf")
+        protocol.deliver(message, make_rng(0))
+        ids = protocol.view_of(0)
+        assert ids[5] == 1 and ids[7] == 1
+        assert protocol.outdegree(0) == 4
+
+    def test_full_view_deletes(self):
+        protocol = make_protocol(view_size=6, d_low=0)
+        protocol.add_node(0, [1, 2, 3, 4, 5, 1])
+        message = Message(sender=5, target=0, payload=[(5, False), (7, False)], kind="sandf")
+        protocol.deliver(message, make_rng(0))
+        assert protocol.outdegree(0) == 6
+        assert protocol.stats.deletions == 1
+
+    def test_departed_target_ignored(self):
+        protocol = make_protocol()
+        message = Message(sender=5, target=99, payload=[(5, False), (7, False)], kind="sandf")
+        assert protocol.deliver(message, make_rng(0)) is None
+
+    def test_dependence_flags_stored(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [1, 2])
+        message = Message(sender=5, target=0, payload=[(5, True), (7, False)], kind="sandf")
+        protocol.deliver(message, make_rng(0))
+        view = protocol.raw_view(0)
+        flags = {e.node_id: e.dependent for _, e in view.entries()}
+        assert flags[5] is True
+        assert flags[7] is False
+
+
+class TestInvariant:
+    def test_invariant_after_random_actions(self):
+        protocol = make_protocol(view_size=10, d_low=2)
+        n = 12
+        for u in range(n):
+            protocol.add_node(u, [(u + 1) % n, (u + 2) % n, (u + 3) % n, (u + 4) % n])
+        rng = make_rng(3)
+        for step in range(3000):
+            node = step % n
+            message = protocol.initiate(node, rng)
+            if message is not None and rng.random() > 0.1:  # 10% loss
+                protocol.deliver(message, rng)
+        protocol.check_invariant()
+
+    def test_outdegree_never_below_d_low(self):
+        protocol = make_protocol(view_size=10, d_low=4)
+        n = 10
+        for u in range(n):
+            protocol.add_node(u, [(u + k) % n for k in range(1, 5)])
+        rng = make_rng(4)
+        for step in range(2000):
+            message = protocol.initiate(step % n, rng)
+            if message is not None:
+                protocol.deliver(message, rng)
+            for u in range(n):
+                assert protocol.outdegree(u) >= 4
+
+
+class TestDependenceAccounting:
+    def test_fresh_system_has_no_dependence(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [1, 2])
+        protocol.add_node(1, [0, 2])
+        protocol.add_node(2, [0, 1])
+        assert protocol.dependent_fraction() == 0.0
+
+    def test_self_edges_counted_dependent(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [0, 1])
+        assert protocol.dependent_fraction() == 0.5
+
+    def test_duplicates_counted_dependent(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [1, 1])
+        assert protocol.dependent_fraction() == 0.5
+
+    def test_empty_population(self):
+        protocol = make_protocol()
+        assert protocol.dependent_fraction() == 0.0
+
+
+class TestExport:
+    def test_export_graph_matches_views(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [1, 1])
+        protocol.add_node(1, [0, 2])
+        protocol.add_node(2, [0, 1])
+        graph = protocol.export_graph()
+        assert graph.multiplicity(0, 1) == 2
+        assert graph.indegree(0) == 2
+        assert graph.num_edges == 6
+
+    def test_export_includes_departed_ids(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [9, 9])  # 9 never joined (or departed)
+        graph = protocol.export_graph()
+        assert graph.has_node(9)
+        assert graph.indegree(9) == 2
+
+    def test_indegrees_only_live_nodes(self):
+        protocol = make_protocol(d_low=0)
+        protocol.add_node(0, [9, 9])
+        assert protocol.indegrees() == {0: 0}

@@ -1,0 +1,62 @@
+"""Tests for repro.core.thresholds (section 6.3 rule)."""
+
+import pytest
+
+from repro.core.thresholds import select_thresholds
+
+
+class TestPaperExample:
+    def test_d_hat_30_delta_001(self):
+        selection = select_thresholds(30, 0.01)
+        assert selection.d_low == 18
+        assert selection.view_size == 40
+
+    def test_achieved_tails_below_delta(self):
+        selection = select_thresholds(30, 0.01)
+        assert selection.low_tail <= 0.01
+        assert selection.high_tail <= 0.01
+
+    def test_params_constructible(self):
+        params = select_thresholds(30, 0.01).params()
+        assert params.view_size == 40
+        assert params.d_low == 18
+
+
+class TestRuleProperties:
+    @pytest.mark.parametrize("d_hat", [10, 20, 30, 50])
+    def test_brackets_d_hat(self, d_hat):
+        selection = select_thresholds(d_hat, 0.01)
+        assert selection.d_low <= d_hat <= selection.view_size
+
+    @pytest.mark.parametrize("d_hat", [10, 20, 30])
+    def test_even_outputs(self, d_hat):
+        selection = select_thresholds(d_hat, 0.01)
+        assert selection.d_low % 2 == 0
+        assert selection.view_size % 2 == 0
+
+    def test_smaller_delta_widens_gap(self):
+        loose = select_thresholds(30, 0.05)
+        tight = select_thresholds(30, 0.001)
+        assert tight.view_size - tight.d_low > loose.view_size - loose.d_low
+
+    def test_gap_satisfies_sfparams_constraint(self):
+        # The selected pair should always be usable as protocol parameters.
+        for d_hat in (10, 20, 30, 40):
+            selection = select_thresholds(d_hat, 0.01)
+            selection.params()  # raises if dL > s - 6
+
+
+class TestValidation:
+    def test_odd_d_hat_rejected(self):
+        with pytest.raises(ValueError):
+            select_thresholds(31, 0.01)
+
+    def test_tiny_d_hat_rejected(self):
+        with pytest.raises(ValueError):
+            select_thresholds(0, 0.01)
+
+    def test_delta_bounds(self):
+        with pytest.raises(ValueError):
+            select_thresholds(30, 0.0)
+        with pytest.raises(ValueError):
+            select_thresholds(30, 0.5)

@@ -1,0 +1,136 @@
+"""Tests for repro.core.view."""
+
+import pytest
+
+from repro.core.view import View, ViewEntry
+from repro.util.rng import make_rng
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        view = View(8)
+        assert view.outdegree == 0
+        assert view.empty_count == 8
+        assert not view.is_full
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            View(0)
+
+    def test_len_and_iter(self):
+        view = View(4)
+        assert len(view) == 4
+        assert list(view) == [None] * 4
+
+    def test_store_into_specific_slot(self):
+        view = View(4)
+        view.store_into(2, ViewEntry(7))
+        assert view.get(2).node_id == 7
+        assert view.outdegree == 1
+
+    def test_store_into_occupied_rejected(self):
+        view = View(4)
+        view.store_into(0, ViewEntry(1))
+        with pytest.raises(ValueError):
+            view.store_into(0, ViewEntry(2))
+
+    def test_clear_slot_returns_entry(self):
+        view = View(4)
+        view.store_into(1, ViewEntry(9, dependent=True))
+        entry = view.clear_slot(1)
+        assert entry.node_id == 9
+        assert entry.dependent
+        assert view.outdegree == 0
+
+    def test_clear_empty_slot_rejected(self):
+        view = View(4)
+        with pytest.raises(ValueError):
+            view.clear_slot(0)
+
+    def test_clear_all(self):
+        view = View(4)
+        view.store_into(0, ViewEntry(1))
+        view.clear_all()
+        assert view.outdegree == 0
+        view.validate()
+
+
+class TestRandomOperations:
+    def test_sample_two_distinct_slots(self):
+        view = View(6)
+        rng = make_rng(0)
+        for _ in range(200):
+            i, j = view.sample_two_slots(rng)
+            assert i != j
+            assert 0 <= i < 6 and 0 <= j < 6
+
+    def test_sample_covers_all_ordered_pairs(self):
+        view = View(4)
+        rng = make_rng(1)
+        seen = set()
+        for _ in range(2000):
+            seen.add(view.sample_two_slots(rng))
+        assert len(seen) == 12  # 4*3 ordered pairs
+
+    def test_store_random_empty_fills(self):
+        view = View(4)
+        rng = make_rng(2)
+        for node_id in range(4):
+            view.store_random_empty(ViewEntry(node_id), rng)
+        assert view.is_full
+        assert sorted(e.node_id for _, e in view.entries()) == [0, 1, 2, 3]
+
+    def test_store_random_empty_full_rejected(self):
+        view = View(2)
+        rng = make_rng(3)
+        view.store_random_empty(ViewEntry(0), rng)
+        view.store_random_empty(ViewEntry(1), rng)
+        with pytest.raises(ValueError):
+            view.store_random_empty(ViewEntry(2), rng)
+
+    def test_interleaved_clear_store_consistent(self):
+        view = View(8)
+        rng = make_rng(4)
+        filled = []
+        for step in range(500):
+            if view.outdegree > 0 and (step % 3 == 0):
+                index = filled.pop()
+                if view.get(index) is not None:
+                    view.clear_slot(index)
+            if not view.is_full:
+                filled.append(view.store_random_empty(ViewEntry(step), rng))
+            view.validate()
+
+
+class TestCounting:
+    def test_ids_multiset(self):
+        view = View(6)
+        view.store_into(0, ViewEntry(5))
+        view.store_into(1, ViewEntry(5))
+        view.store_into(2, ViewEntry(3))
+        assert view.ids() == {5: 2, 3: 1}
+
+    def test_contains(self):
+        view = View(4)
+        view.store_into(0, ViewEntry(5))
+        assert view.contains(5)
+        assert not view.contains(6)
+
+    def test_dependent_count(self):
+        view = View(4)
+        view.store_into(0, ViewEntry(1, dependent=True))
+        view.store_into(1, ViewEntry(2))
+        assert view.dependent_count() == 1
+
+    def test_self_edge_count(self):
+        view = View(4)
+        view.store_into(0, ViewEntry(9))
+        view.store_into(1, ViewEntry(9))
+        assert view.self_edge_count(owner=9) == 2
+        assert view.self_edge_count(owner=1) == 0
+
+    def test_duplicate_count(self):
+        view = View(6)
+        for index, node_id in enumerate([1, 1, 1, 2, 2, 3]):
+            view.store_into(index, ViewEntry(node_id))
+        assert view.duplicate_count() == 3  # two extra 1s, one extra 2

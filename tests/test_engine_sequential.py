@@ -1,0 +1,110 @@
+"""Tests for repro.engine.sequential."""
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.engine.sequential import SequentialEngine
+from repro.net.loss import UniformLoss
+
+from conftest import build_system
+
+
+class TestStepping:
+    def test_step_requires_nodes(self):
+        engine = SequentialEngine(SendForget(SFParams(view_size=8)))
+        with pytest.raises(RuntimeError):
+            engine.step()
+
+    def test_run_actions_counts(self, small_params):
+        protocol, engine = build_system(10, small_params)
+        engine.run_actions(37)
+        assert engine.stats.actions == 37
+        assert protocol.stats.actions == 37
+
+    def test_run_rounds_scales_with_population(self, small_params):
+        protocol, engine = build_system(10, small_params)
+        engine.run_rounds(3)
+        assert engine.stats.actions == 30
+        assert engine.rounds_completed == pytest.approx(3.0)
+
+    def test_negative_counts_rejected(self, small_params):
+        _, engine = build_system(5, small_params)
+        with pytest.raises(ValueError):
+            engine.run_actions(-1)
+        with pytest.raises(ValueError):
+            engine.run_rounds(-0.5)
+
+    def test_deterministic_given_seed(self, small_params):
+        protocol_a, engine_a = build_system(15, small_params, seed=9)
+        protocol_b, engine_b = build_system(15, small_params, seed=9)
+        engine_a.run_rounds(20)
+        engine_b.run_rounds(20)
+        assert protocol_a.export_graph() == protocol_b.export_graph()
+
+    def test_different_seeds_diverge(self, small_params):
+        protocol_a, engine_a = build_system(15, small_params, seed=1)
+        protocol_b, engine_b = build_system(15, small_params, seed=2)
+        engine_a.run_rounds(20)
+        engine_b.run_rounds(20)
+        assert protocol_a.export_graph() != protocol_b.export_graph()
+
+
+class TestLossAccounting:
+    def test_no_loss_delivers_everything(self, small_params):
+        _, engine = build_system(10, small_params)
+        engine.run_rounds(10)
+        assert engine.stats.messages_lost == 0
+        assert engine.stats.messages_delivered == engine.stats.messages_sent
+
+    def test_full_loss_delivers_nothing(self, small_params):
+        _, engine = build_system(10, small_params, loss_rate=1.0)
+        engine.run_rounds(10)
+        assert engine.stats.messages_delivered == 0
+        assert engine.stats.messages_lost == engine.stats.messages_sent
+
+    def test_loss_fraction_tracks_rate(self, small_params):
+        _, engine = build_system(30, small_params, loss_rate=0.2, seed=5)
+        engine.run_rounds(100)
+        assert abs(engine.stats.loss_fraction() - 0.2) < 0.03
+
+    def test_departed_target_counts_as_loss(self, small_params):
+        protocol, engine = build_system(10, small_params)
+        protocol.remove_node(3)
+        engine.run_rounds(20)
+        # Messages to node 3 evaporate; engine records them as lost.
+        assert engine.stats.messages_lost > 0
+
+
+class TestHooks:
+    def test_hook_fires_on_schedule(self, small_params):
+        _, engine = build_system(10, small_params)
+        fired = []
+        engine.add_round_hook(2, lambda eng, r: fired.append(r))
+        engine.run_rounds(7)
+        assert fired == [2, 4, 6]
+
+    def test_multiple_hooks(self, small_params):
+        _, engine = build_system(10, small_params)
+        a, b = [], []
+        engine.add_round_hook(3, lambda eng, r: a.append(r))
+        engine.add_round_hook(5, lambda eng, r: b.append(r))
+        engine.run_rounds(10)
+        assert a == [3, 6, 9]
+        assert b == [5, 10]
+
+    def test_invalid_hook_interval(self, small_params):
+        _, engine = build_system(5, small_params)
+        with pytest.raises(ValueError):
+            engine.add_round_hook(0, lambda eng, r: None)
+
+
+class TestDefaults:
+    def test_default_loss_model_is_lossless(self):
+        protocol = SendForget(SFParams(view_size=8))
+        protocol.add_node(0, [1, 2])
+        protocol.add_node(1, [0, 2])
+        protocol.add_node(2, [0, 1])
+        engine = SequentialEngine(protocol, seed=0)
+        engine.run_rounds(5)
+        assert engine.stats.messages_lost == 0

@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts run to completion.
+
+Only the fast examples are executed end-to-end; the heavier ones are
+checked for importability (their ``main`` is exercised by the benchmark
+suite's equivalent experiments).
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "gossip_aggregation.py",
+    "churn_and_loss.py",
+    "deployment_sizing.py",
+    "partition_demo.py",
+]
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_present_and_parseable(self, name):
+        path = EXAMPLES_DIR / name
+        assert path.exists()
+        source = path.read_text()
+        compile(source, str(path), "exec")  # syntax check
+        assert '"""' in source  # documented
+        assert "def main()" in source
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_importable_without_running(self, name):
+        spec = importlib.util.spec_from_file_location(
+            name.removesuffix(".py"), EXAMPLES_DIR / name
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # guarded by __main__, so no run
+        assert hasattr(module, "main")
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", ["deployment_sizing.py", "gossip_aggregation.py"])
+    def test_runs_successfully(self, name):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip()

@@ -1,0 +1,77 @@
+"""Tests for repro.experiments.common and the report CLI path."""
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.experiments.common import build_sf_system, warm_up
+
+
+class TestBuildSystem:
+    def test_default_bootstrap_outdegree(self):
+        params = SFParams(view_size=16, d_low=6)
+        protocol, _ = build_sf_system(50, params)
+        # 3/4 of s rounded even = 12, within [dL+2, s−2].
+        assert all(protocol.outdegree(u) == 12 for u in protocol.node_ids())
+
+    def test_explicit_outdegree(self):
+        params = SFParams(view_size=16, d_low=6)
+        protocol, _ = build_sf_system(50, params, init_outdegree=8)
+        assert all(protocol.outdegree(u) == 8 for u in protocol.node_ids())
+
+    def test_ring_bootstrap_connected(self):
+        params = SFParams(view_size=12, d_low=2)
+        protocol, _ = build_sf_system(30, params, init_outdegree=4)
+        assert protocol.export_graph().is_weakly_connected()
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            build_sf_system(2, SFParams(view_size=12, d_low=2))
+
+    def test_odd_outdegree_rejected(self):
+        with pytest.raises(ValueError):
+            build_sf_system(30, SFParams(view_size=12, d_low=2), init_outdegree=5)
+
+    def test_outdegree_must_fit_population(self):
+        with pytest.raises(ValueError):
+            build_sf_system(6, SFParams(view_size=12, d_low=2), init_outdegree=8)
+
+    def test_custom_loss_model_used(self):
+        from repro.net.loss import GilbertElliottLoss
+
+        model = GilbertElliottLoss()
+        _, engine = build_sf_system(
+            20, SFParams(view_size=12, d_low=2), loss_model=model
+        )
+        assert engine.loss is model
+
+    def test_warm_up_resets_stats(self):
+        protocol, engine = build_sf_system(20, SFParams(view_size=12, d_low=2), seed=1)
+        warm_up(engine, 10)
+        assert protocol.stats.actions == 0
+        assert engine.rounds_completed == pytest.approx(10.0, abs=0.01)
+
+
+class TestReportCommand:
+    def test_report_writes_text_and_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "report",
+                "table-6.3",
+                "--fast",
+                "--output",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "out" / "table-6_3.txt").exists()
+        assert (tmp_path / "out" / "table-6_3.json").exists()
+        assert "report written" in capsys.readouterr().out
+
+    def test_report_unknown_experiment(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["report", "bogus", "--output", str(tmp_path)])
+        assert code == 2
+        assert "unknown experiments" in capsys.readouterr().err

@@ -1,0 +1,188 @@
+"""Tests for the simulation-backed experiment runners.
+
+Sizes are scaled down for test speed; the benchmarks run the full
+configurations.  Assertions target the paper's *shape* claims rather than
+exact numbers.
+"""
+
+import math
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.experiments import (
+    baselines,
+    dup_del_balance,
+    fig_6_4,
+    join_integration,
+    load_balance,
+    temporal_exp,
+    uniformity_exp,
+)
+
+
+class TestDupDelBalance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return dup_del_balance.run(
+            losses=(0.0, 0.05),
+            n=200,
+            warmup_rounds=300,
+            measure_rounds=150,
+            seed=100,
+        )
+
+    def test_lemma_6_6_residual_small(self, result):
+        assert result.max_residual() < 0.01
+
+    def test_lemma_6_7_interval(self, result):
+        assert all(row.within_lemma_6_7 for row in result.rows)
+
+    def test_mc_agrees_with_simulation(self, result):
+        for row in result.rows:
+            assert row.duplication == pytest.approx(row.mc_duplication, abs=0.01)
+
+    def test_format(self, result):
+        assert "dup" in result.format()
+
+
+class TestFig64Simulated:
+    def test_simulated_decay_below_bound(self):
+        result = fig_6_4.run(
+            losses=(0.01,),
+            max_round=150,
+            step=50,
+            simulate=True,
+            simulate_n=150,
+            simulate_leavers=10,
+            warmup_rounds=100,
+            seed=101,
+        )
+        bound = result.bound_curves[0.01]
+        simulated = result.simulated_curves[0.01]
+        # Lemma 6.10 is an upper bound: simulation decays at least as fast
+        # (small-sample slack of 10%).
+        for b, s in zip(bound, simulated):
+            assert s <= b + 0.1
+
+    def test_simulated_curve_reaches_low_survival(self):
+        result = fig_6_4.run(
+            losses=(0.0,),
+            max_round=150,
+            step=150,
+            simulate=True,
+            simulate_n=150,
+            simulate_leavers=10,
+            warmup_rounds=100,
+            seed=102,
+        )
+        assert result.simulated_curves[0.0][-1] < 0.3
+
+
+class TestJoinIntegration:
+    def test_corollary_6_14(self):
+        result = join_integration.run(
+            n=250, joiners=6, warmup_rounds=200, seed=103
+        )
+        assert result.satisfied()
+
+    def test_joiners_recover_outdegree(self):
+        result = join_integration.run(
+            n=250, joiners=6, warmup_rounds=200, seed=104
+        )
+        assert all(d >= result.params.d_low for d in result.joiner_outdegrees)
+
+    def test_theoretical_summary_renders(self):
+        text = join_integration.theoretical_summary(
+            SFParams(view_size=40, d_low=20), 0.01, 0.01, 28.0
+        )
+        assert "Lemma 6.13" in text
+
+
+class TestLoadBalance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return load_balance.run(n=200, rounds=250, sample_every=50, seed=105)
+
+    def test_hubs_variance_collapses(self, result):
+        curve = result.variance_curves["hubs"]
+        assert curve[-1] < 0.2 * curve[0]
+
+    def test_ring_variance_stays_bounded(self, result):
+        curve = result.variance_curves["ring"]
+        assert curve[-1] < 10 * max(result.mc_variance, 1.0)
+
+    def test_requires_small_d_low(self):
+        with pytest.raises(ValueError):
+            load_balance.run(params=SFParams(view_size=16, d_low=4))
+
+
+class TestBaselines:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return baselines.run(n=200, loss_rate=0.05, rounds=120, sample_every=60, seed=106)
+
+    def test_shuffle_attrition(self, result):
+        assert result.edge_retention("shuffle") < 0.2
+
+    def test_sandf_stability(self, result):
+        assert result.edge_retention("sandf") > 0.8
+
+    def test_push_family_loss_immune(self, result):
+        assert result.edge_retention("push") >= 1.0
+        assert result.edge_retention("pushpull") >= 1.0
+
+    def test_sandf_less_mutual_dependence_than_push(self, result):
+        assert result.mutual_fraction["sandf"] < 0.5 * result.mutual_fraction["push"]
+        assert result.mutual_fraction["sandf"] < 0.5 * result.mutual_fraction["pushpull"]
+
+    def test_shuffle_isolates_nodes(self, result):
+        assert result.isolated_nodes["shuffle"] > 0
+        assert result.isolated_nodes["sandf"] == 0
+
+
+class TestTemporalDecay:
+    def test_decay_within_slogn_scale(self):
+        result = temporal_exp.run_decay(
+            n=200, max_rounds=160, sample_every=20, warmup_rounds=80, seed=107
+        )
+        for loss in result.curves:
+            crossing = result.decorrelation_round(loss, threshold=0.06)
+            assert crossing <= 2.5 * result.reference_rounds
+
+    def test_loss_does_not_break_decay(self):
+        result = temporal_exp.run_decay(
+            n=200,
+            losses=(0.0, 0.05),
+            max_rounds=120,
+            sample_every=40,
+            warmup_rounds=80,
+            seed=108,
+        )
+        clean = result.curves[0.0][-1]
+        lossy = result.curves[0.05][-1]
+        assert lossy < clean + 0.15
+
+
+class TestUniformityEmpirical:
+    def test_occupancy_uniform(self):
+        result = uniformity_exp.run_empirical(
+            n=20,
+            warmup_rounds=100,
+            samples=40,
+            sample_gap_rounds=12,
+            replications=6,
+            seed=109,
+        )
+        assert result.relative_spread < 0.5
+        assert min(result.pooled_counts) > 0
+
+    def test_replications_validated(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            uniformity_exp.run_empirical(replications=0)
+
+    def test_exact_hub_uniform(self):
+        result = uniformity_exp.run_exact(loss_rate=0.0)
+        assert result.spread() < 1e-12

@@ -1,0 +1,144 @@
+"""Tests for repro.markov.chain."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import MarkovChain
+
+
+def two_state(p=0.3, q=0.6):
+    return MarkovChain(np.array([[1 - p, p], [q, 1 - q]]))
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.array([[0.5, 0.5]]))
+
+    def test_bad_row_sum_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_negative_entry_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.eye(2), labels=["only one"])
+
+
+class TestStructure:
+    def test_irreducible_two_state(self):
+        assert two_state().is_irreducible()
+
+    def test_reducible_detected(self):
+        chain = MarkovChain(np.array([[1.0, 0.0], [0.5, 0.5]]))
+        assert not chain.is_irreducible()
+
+    def test_self_loop_implies_aperiodic(self):
+        assert two_state().is_aperiodic()
+
+    def test_periodic_cycle_detected(self):
+        cycle = MarkovChain(np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]], dtype=float))
+        assert not cycle.is_aperiodic()
+        assert cycle.is_irreducible()
+
+    def test_ergodic(self):
+        assert two_state().is_ergodic()
+
+    def test_doubly_stochastic(self):
+        symmetric = MarkovChain(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert symmetric.is_doubly_stochastic()
+        assert not two_state(0.3, 0.6).is_doubly_stochastic()
+
+    def test_reversible_two_state(self):
+        # Every irreducible two-state chain is reversible.
+        assert two_state().is_reversible()
+
+    def test_nonreversible_three_cycle(self):
+        biased = MarkovChain(
+            np.array([[0.1, 0.8, 0.1], [0.1, 0.1, 0.8], [0.8, 0.1, 0.1]])
+        )
+        assert not biased.is_reversible()
+
+
+class TestStationary:
+    def test_two_state_closed_form(self):
+        chain = two_state(p=0.3, q=0.6)
+        pi = chain.stationary_distribution()
+        assert pi[0] == pytest.approx(0.6 / 0.9)
+        assert pi[1] == pytest.approx(0.3 / 0.9)
+
+    def test_doubly_stochastic_uniform(self):
+        chain = MarkovChain(np.array([[0.2, 0.8], [0.8, 0.2]]))
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi, 0.5)
+
+    def test_invariance(self):
+        chain = two_state(0.25, 0.4)
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi @ chain.P, pi)
+
+
+class TestEvolution:
+    def test_evolve_zero_steps_identity(self):
+        chain = two_state()
+        p0 = np.array([1.0, 0.0])
+        assert np.allclose(chain.evolve(p0, 0), p0)
+
+    def test_evolve_matches_matrix_power(self):
+        chain = two_state()
+        p0 = np.array([1.0, 0.0])
+        manual = p0 @ np.linalg.matrix_power(chain.P, 5)
+        assert np.allclose(chain.evolve(p0, 5), manual)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            two_state().evolve([1.0], 1)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            two_state().evolve([1.0, 0.0], -1)
+
+    def test_mixing_profile_decreasing_envelope(self):
+        chain = two_state()
+        profile = chain.mixing_profile([1.0, 0.0], 50)
+        assert profile[0] > profile[-1]
+        assert profile[-1] < 1e-6
+
+    def test_time_to_epsilon(self):
+        chain = two_state()
+        t = chain.time_to_epsilon([1.0, 0.0], 0.01)
+        assert t > 0
+        profile = chain.mixing_profile([1.0, 0.0], t)
+        assert profile[-1] < 0.01
+        assert profile[t - 1] >= 0.01
+
+    def test_time_to_epsilon_unreachable_raises(self):
+        frozen = MarkovChain(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        # Identity chain from a non-stationary start never mixes... but the
+        # identity chain is reducible; stationary solve may pick one state.
+        with pytest.raises((RuntimeError, ValueError)):
+            frozen.time_to_epsilon([1.0, 0.0], 1e-9, max_steps=5)
+
+
+class TestSampling:
+    def test_path_length(self):
+        path = two_state().sample_path(0, 10, seed=0)
+        assert len(path) == 11
+        assert path[0] == 0
+
+    def test_path_states_valid(self):
+        path = two_state().sample_path(1, 100, seed=1)
+        assert set(path) <= {0, 1}
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ValueError):
+            two_state().sample_path(5, 3)
+
+    def test_occupancy_matches_stationary(self):
+        chain = two_state(0.3, 0.6)
+        path = chain.sample_path(0, 20000, seed=2)
+        occupancy = sum(path) / len(path)
+        assert occupancy == pytest.approx(1 / 3, abs=0.02)

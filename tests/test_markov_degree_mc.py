@@ -1,0 +1,180 @@
+"""Tests for repro.markov.degree_mc (the §6.2 degree Markov chain)."""
+
+import math
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.markov.degree_mc import DegreeMarkovChain
+
+
+@pytest.fixture(scope="module")
+def paper_solution():
+    """The dL=18, s=40, l=0.01 solution, shared across tests."""
+    return DegreeMarkovChain(SFParams(view_size=40, d_low=18), loss_rate=0.01).solve()
+
+
+class TestStateSpace:
+    def test_outdegrees_within_bounds(self):
+        chain = DegreeMarkovChain(SFParams(view_size=12, d_low=2), 0.05)
+        for d, k in chain.states:
+            assert 2 <= d <= 12 and d % 2 == 0
+            assert k >= 0
+
+    def test_sum_degree_cap(self):
+        chain = DegreeMarkovChain(SFParams(view_size=12, d_low=2), 0.05)
+        for d, k in chain.states:
+            assert d + 2 * k <= 36  # 3s
+
+    def test_isolated_state_excluded(self):
+        chain = DegreeMarkovChain(SFParams(view_size=8, d_low=0), 0.05)
+        assert (0, 0) not in chain.states
+
+    def test_line_restriction(self):
+        chain = DegreeMarkovChain(
+            SFParams(view_size=12, d_low=0), 0.0, conserved_sum_degree=8
+        )
+        for d, k in chain.states:
+            assert d + 2 * k == 8
+
+    def test_line_requires_no_loss(self):
+        with pytest.raises(ValueError):
+            DegreeMarkovChain(
+                SFParams(view_size=12, d_low=0), 0.1, conserved_sum_degree=8
+            )
+
+    def test_line_requires_zero_d_low(self):
+        with pytest.raises(ValueError):
+            DegreeMarkovChain(
+                SFParams(view_size=12, d_low=2), 0.0, conserved_sum_degree=8
+            )
+
+    def test_line_sum_degree_bounds(self):
+        with pytest.raises(ValueError):
+            DegreeMarkovChain(
+                SFParams(view_size=12, d_low=0), 0.0, conserved_sum_degree=14
+            )
+        with pytest.raises(ValueError):
+            DegreeMarkovChain(
+                SFParams(view_size=12, d_low=0), 0.0, conserved_sum_degree=7
+            )
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            DegreeMarkovChain(SFParams(view_size=8, d_low=0), 1.0)
+
+
+class TestSolution:
+    def test_stationary_normalized(self, paper_solution):
+        assert math.isclose(paper_solution.stationary.sum(), 1.0, rel_tol=1e-9)
+
+    def test_marginals_normalized(self, paper_solution):
+        assert math.isclose(sum(paper_solution.outdegree_pmf.values()), 1.0, rel_tol=1e-9)
+        assert math.isclose(sum(paper_solution.indegree_pmf.values()), 1.0, rel_tol=1e-9)
+
+    def test_converged_quickly(self, paper_solution):
+        assert paper_solution.iterations < 200
+
+    def test_mean_outdegree_above_d_low(self, paper_solution):
+        assert paper_solution.expected_outdegree() > 18 + 2
+
+    def test_in_out_means_equal(self, paper_solution):
+        # Total in-instances = total out-entries system-wide.
+        assert paper_solution.expected_indegree() == pytest.approx(
+            paper_solution.expected_outdegree(), rel=0.02
+        )
+
+    def test_lemma_6_6_balance(self, paper_solution):
+        """dup = loss + del in the steady state."""
+        assert paper_solution.duplication_probability == pytest.approx(
+            0.01 + paper_solution.deletion_probability, abs=0.002
+        )
+
+    def test_lemma_6_7_duplication_interval(self, paper_solution):
+        """loss <= dup <= loss + delta with delta ~ 0.01 for these params."""
+        assert 0.01 <= paper_solution.duplication_probability <= 0.021
+
+
+class TestPaperNumbers:
+    """The section 6.4 in-text table: 28±3.4, 27±3.6, 24±4.1, 23±4.3."""
+
+    @pytest.mark.parametrize(
+        "loss,paper_mean",
+        [(0.0, 28.0), (0.01, 27.0), (0.05, 24.0), (0.1, 23.0)],
+    )
+    def test_indegree_means(self, loss, paper_mean):
+        solved = DegreeMarkovChain(SFParams(view_size=40, d_low=18), loss).solve()
+        mean, _ = solved.indegree_mean_std()
+        assert mean == pytest.approx(paper_mean, abs=0.7)
+
+    def test_outdegree_decreases_with_loss(self):
+        """Lemma 6.4: expected outdegree decreases with increasing loss."""
+        means = []
+        for loss in (0.0, 0.01, 0.05, 0.1):
+            solved = DegreeMarkovChain(SFParams(view_size=40, d_low=18), loss).solve()
+            means.append(solved.expected_outdegree())
+        assert means == sorted(means, reverse=True)
+
+    def test_deletion_decreases_with_loss(self):
+        """Observation 6.5: deletion probability decreases with loss."""
+        deletions = []
+        for loss in (0.0, 0.05, 0.1):
+            solved = DegreeMarkovChain(SFParams(view_size=40, d_low=18), loss).solve()
+            deletions.append(solved.deletion_probability)
+        assert deletions == sorted(deletions, reverse=True)
+
+    def test_outdegree_stays_above_d_low_at_high_loss(self):
+        """§6.4: even at 10% loss the mean outdegree sits well above dL."""
+        solved = DegreeMarkovChain(SFParams(view_size=40, d_low=18), 0.1).solve()
+        assert solved.expected_outdegree() > 18 + 3
+
+
+class TestLineMode:
+    """The Figure 6.1 configuration: l=0, dL=0, ds=90 conserved."""
+
+    @pytest.fixture(scope="class")
+    def line_solution(self):
+        return DegreeMarkovChain(
+            SFParams(view_size=90, d_low=0), 0.0, conserved_sum_degree=90
+        ).solve()
+
+    def test_lemma_6_3_mean(self, line_solution):
+        """Average in/outdegree is dm/3 = 30."""
+        assert line_solution.expected_outdegree() == pytest.approx(30.0, abs=0.1)
+        assert line_solution.expected_indegree() == pytest.approx(30.0, abs=0.05)
+
+    def test_indegree_much_narrower_than_binomial(self, line_solution):
+        _, std = line_solution.indegree_mean_std()
+        binomial_std = math.sqrt(90 * (1 / 3) * (2 / 3))  # ≈ 4.47
+        assert std < 0.7 * binomial_std
+
+    def test_outdegree_similar_form_to_binomial(self, line_solution):
+        _, std = line_solution.outdegree_mean_std()
+        binomial_std = math.sqrt(90 * (1 / 3) * (2 / 3))
+        assert 0.8 * binomial_std < std < 1.25 * binomial_std
+
+    def test_no_duplications_or_deletions(self, line_solution):
+        assert line_solution.duplication_probability == 0.0
+        assert line_solution.deletion_probability == pytest.approx(0.0, abs=1e-9)
+
+    def test_close_to_analytic(self, line_solution):
+        from repro.analysis.degree_analytic import analytical_outdegree_distribution
+        from repro.util.stats import total_variation_distance
+
+        analytic = analytical_outdegree_distribution(90)
+        assert total_variation_distance(line_solution.outdegree_pmf, analytic) < 0.08
+
+
+class TestTransitionClasses:
+    def test_atomic_transitions_preserve_sum_degree(self):
+        chain = DegreeMarkovChain(SFParams(view_size=8, d_low=0), 0.05)
+        classes = chain.transition_classes()
+        for (d1, k1), (d2, k2) in classes["atomic"]:
+            assert d1 + 2 * k1 == d2 + 2 * k2
+
+    def test_lossy_transitions_change_sum_degree(self):
+        chain = DegreeMarkovChain(SFParams(view_size=8, d_low=0), 0.05)
+        classes = chain.transition_classes()
+        assert classes["lossy"], "loss must add dashed transitions"
+        for (d1, k1), (d2, k2) in classes["lossy"]:
+            assert d1 + 2 * k1 != d2 + 2 * k2

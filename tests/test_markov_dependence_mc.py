@@ -1,0 +1,60 @@
+"""Tests for repro.markov.dependence_mc (Figure 7.1 chain)."""
+
+import pytest
+
+from repro.markov.dependence_mc import DEPENDENT, INDEPENDENT, DependenceMarkovChain
+
+
+class TestConstruction:
+    def test_rates_match_paper_formulas(self):
+        chain = DependenceMarkovChain(loss_rate=0.05, delta=0.01)
+        to_dep, to_ind = chain.rates()
+        assert to_dep == pytest.approx(1.5 * 0.06)
+        assert to_ind == pytest.approx((5.0 / 6.0) * 0.94)
+
+    def test_excessive_rates_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceMarkovChain(loss_rate=0.9, delta=0.2)
+
+    def test_labels(self):
+        chain = DependenceMarkovChain(0.01, 0.01)
+        assert chain.labels == ["independent", "dependent"]
+
+
+class TestStationary:
+    def test_no_loss_no_delta_fully_independent(self):
+        chain = DependenceMarkovChain(0.0, 0.0)
+        assert chain.stationary_independence() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("loss", [0.0, 0.01, 0.05, 0.1])
+    def test_lemma_7_9_bound(self, loss):
+        """Stationary dependence never exceeds 2(l+δ)."""
+        delta = 0.01
+        chain = DependenceMarkovChain(loss, delta)
+        assert chain.stationary_dependent_fraction() <= 2 * (loss + delta) + 1e-12
+
+    def test_matches_paper_algebra(self):
+        """π(dep) = (l+δ) / (5/9 + (4/9)(l+δ)) — the Lemma 7.9 expression."""
+        from repro.analysis.independence import dependence_stationary_exact
+
+        for loss in (0.0, 0.02, 0.08):
+            chain = DependenceMarkovChain(loss, 0.01)
+            assert chain.stationary_dependent_fraction() == pytest.approx(
+                dependence_stationary_exact(loss, 0.01), rel=1e-9
+            )
+
+    def test_dependence_increases_with_loss(self):
+        values = [
+            DependenceMarkovChain(loss, 0.01).stationary_dependent_fraction()
+            for loss in (0.0, 0.02, 0.05, 0.1)
+        ]
+        assert values == sorted(values)
+
+    def test_state_indices(self):
+        chain = DependenceMarkovChain(0.05, 0.01)
+        pi = chain.stationary_distribution()
+        assert pi[INDEPENDENT] + pi[DEPENDENT] == pytest.approx(1.0)
+        assert pi[INDEPENDENT] > pi[DEPENDENT]
+
+    def test_ergodic(self):
+        assert DependenceMarkovChain(0.05, 0.01).is_ergodic()

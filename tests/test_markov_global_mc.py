@@ -1,0 +1,139 @@
+"""Tests for repro.markov.global_mc (sections 7.1-7.2 structural lemmas)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SFParams
+from repro.markov.global_mc import GlobalMarkovChain
+from repro.model.membership_graph import MembershipGraph
+
+
+def hub_graph():
+    return MembershipGraph.from_edges([(0, 1), (0, 2)], nodes=[0, 1, 2])
+
+
+def triangle_graph():
+    return MembershipGraph.from_edges(
+        [(0, 1), (0, 2), (1, 2), (1, 0), (2, 0), (2, 1)]
+    )
+
+
+class TestConstruction:
+    def test_disconnected_initial_rejected(self):
+        graph = MembershipGraph.from_edges([(0, 1)], nodes=[0, 1, 2])
+        with pytest.raises(ValueError):
+            GlobalMarkovChain(SFParams(view_size=6, d_low=0), 0.0, graph)
+
+    def test_invalid_outdegree_rejected(self):
+        graph = MembershipGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 0)])
+        # node 1 has outdegree 2 but node 0 and 2 have odd/uneven degrees? No:
+        # d(0)=1 (odd) — violates Observation 5.1.
+        with pytest.raises(ValueError):
+            GlobalMarkovChain(SFParams(view_size=6, d_low=0), 0.0, graph)
+
+    def test_state_cap_enforced(self):
+        with pytest.raises(RuntimeError):
+            GlobalMarkovChain(
+                SFParams(view_size=8, d_low=2), 0.3, triangle_graph(), max_states=10
+            )
+
+    def test_rows_are_stochastic(self):
+        chain = GlobalMarkovChain(SFParams(view_size=6, d_low=0), 0.0, hub_graph())
+        matrix = chain.transition_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+
+class TestLosslessHub:
+    """The 3-state hub component: Lemmas 7.3-7.5 hold exactly."""
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        return GlobalMarkovChain(SFParams(view_size=6, d_low=0), 0.0, hub_graph())
+
+    def test_three_states(self, chain):
+        assert chain.num_states == 3
+
+    def test_lemma_6_2_sum_degrees_invariant(self, chain):
+        vectors = chain.sum_degree_vectors()
+        assert all(v == vectors[0] for v in vectors)
+
+    def test_lemma_7_3_reversible(self, chain):
+        assert chain.to_markov_chain().is_reversible()
+
+    def test_lemma_7_4_doubly_stochastic(self, chain):
+        assert chain.to_markov_chain().is_doubly_stochastic()
+
+    def test_lemma_7_5_uniform_stationary(self, chain):
+        assert chain.stationary_is_uniform()
+
+    def test_lemma_7_6_membership_uniform(self, chain):
+        probs = chain.uniformity_of_membership()
+        values = list(probs.values())
+        assert max(values) - min(values) < 1e-12
+
+
+class TestLosslessMultiedge:
+    """Parallel-edge states break exact per-state uniformity (documented
+    caveat) but preserve membership uniformity by vertex symmetry."""
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        return GlobalMarkovChain(
+            SFParams(view_size=6, d_low=0), 0.0, triangle_graph()
+        )
+
+    def test_reachable_space_nontrivial(self, chain):
+        assert chain.num_states > 10
+
+    def test_sum_degrees_still_invariant(self, chain):
+        vectors = chain.sum_degree_vectors()
+        assert all(v == vectors[0] for v in vectors)
+
+    def test_membership_uniformity_exact(self, chain):
+        probs = chain.uniformity_of_membership()
+        values = list(probs.values())
+        assert max(values) - min(values) < 1e-10
+
+    def test_stationary_not_uniform(self, chain):
+        # The honest caveat: multiset aggregation skews per-state mass.
+        assert not chain.stationary_is_uniform()
+
+
+class TestLossy:
+    """Lemmas 7.1/7.2 with 0 < loss < 1."""
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        initial = MembershipGraph.from_edges([(0, 1), (0, 1), (1, 0), (1, 0)])
+        return GlobalMarkovChain(SFParams(view_size=8, d_low=2), 0.3, initial)
+
+    def test_lemma_7_1_strongly_connected(self, chain):
+        assert chain.is_strongly_connected()
+
+    def test_lemma_7_2_unique_stationary(self, chain):
+        markov = chain.to_markov_chain()
+        assert markov.is_ergodic()
+        pi = chain.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.allclose(pi @ markov.P, pi, atol=1e-8)
+
+    def test_outdegrees_respect_invariant_everywhere(self, chain):
+        for state in chain.states:
+            for node in state.nodes:
+                d = state.outdegree(node)
+                assert d % 2 == 0
+                assert 2 <= d <= 8
+
+    def test_all_states_weakly_connected(self, chain):
+        assert all(state.is_weakly_connected() for state in chain.states)
+
+
+class TestPartitionExclusion:
+    def test_partitioned_states_folded_to_self_loops(self):
+        # With loss, an action by node 0 in the hub graph can strand it.
+        chain = GlobalMarkovChain(
+            SFParams(view_size=6, d_low=0), 0.5, hub_graph(), max_states=100_000
+        )
+        assert all(state.is_weakly_connected() for state in chain.states)
+        matrix = chain.transition_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)

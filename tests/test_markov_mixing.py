@@ -1,0 +1,139 @@
+"""Tests for repro.markov.mixing."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SFParams
+from repro.markov.chain import MarkovChain
+from repro.markov.conductance import conductance
+from repro.markov.global_mc import GlobalMarkovChain
+from repro.markov.mixing import (
+    epsilon_independence_time,
+    mixing_time,
+    relaxation_time,
+    spectral_gap,
+    tv_decay_curve,
+)
+from repro.model.membership_graph import MembershipGraph
+
+
+def two_state(p=0.3, q=0.3):
+    return MarkovChain(np.array([[1 - p, p], [q, 1 - q]]))
+
+
+def lazy_ring(n=8, move=0.5):
+    matrix = np.zeros((n, n))
+    for x in range(n):
+        matrix[x, x] = 1 - move
+        matrix[x, (x + 1) % n] = move / 2
+        matrix[x, (x - 1) % n] = move / 2
+    return MarkovChain(matrix)
+
+
+class TestSpectralGap:
+    def test_two_state_gap(self):
+        # Eigenvalues of the symmetric 2-state chain: 1 and 1-2p.
+        chain = two_state(0.3, 0.3)
+        assert spectral_gap(chain) == pytest.approx(0.6)
+
+    def test_relaxation_time(self):
+        chain = two_state(0.25, 0.25)
+        assert relaxation_time(chain) == pytest.approx(2.0)
+
+    def test_disconnected_has_no_gap(self):
+        frozen = MarkovChain(np.eye(2))
+        assert spectral_gap(frozen) == pytest.approx(0.0, abs=1e-9)
+        assert relaxation_time(frozen) == float("inf")
+
+    def test_cheeger_inequalities(self):
+        """φ²/2 ≤ gap ≤ 2φ for a reversible chain."""
+        chain = lazy_ring(8)
+        gap = spectral_gap(chain)
+        # conductance() over arc candidates finds the true bottleneck here.
+        arcs = [list(range(k)) for k in range(1, 5)]
+        phi = conductance(chain, candidate_sets=arcs)
+        assert phi**2 / 2 <= gap + 1e-9
+        assert gap <= 2 * phi + 1e-9
+
+
+class TestMixingTimes:
+    def test_mixing_time_definition(self):
+        chain = two_state(0.3, 0.3)
+        t = mixing_time(chain, 0.01)
+        curve = tv_decay_curve(chain, 0, t)
+        assert curve[-1] < 0.01
+        assert curve[-2] >= 0.01 or t == 0
+
+    def test_tau_at_most_worst_case(self):
+        chain = lazy_ring(8)
+        tau = epsilon_independence_time(chain, 0.05)
+        assert tau <= mixing_time(chain, 0.05) + 1e-9
+
+    def test_asymmetric_chain_tau_below_mixing(self):
+        """A chain with one hard-to-leave state: τε (average start) is
+        strictly easier than worst-case mixing."""
+        matrix = np.array(
+            [
+                [0.98, 0.02, 0.0],
+                [0.30, 0.40, 0.30],
+                [0.00, 0.30, 0.70],
+            ]
+        )
+        chain = MarkovChain(matrix)
+        assert epsilon_independence_time(chain, 0.02) < mixing_time(chain, 0.02)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            mixing_time(two_state(), 0.0)
+        with pytest.raises(ValueError):
+            epsilon_independence_time(two_state(), 1.0)
+
+    def test_unmixable_raises(self):
+        frozen = MarkovChain(np.eye(2))
+        with pytest.raises(RuntimeError):
+            mixing_time(frozen, 0.01, max_steps=10)
+
+
+class TestDecayCurves:
+    def test_point_start_monotone_envelope(self):
+        chain = two_state(0.2, 0.2)
+        curve = tv_decay_curve(chain, 0, 30)
+        assert curve[0] == pytest.approx(0.5)
+        assert curve[-1] < 1e-3
+
+    def test_average_start_below_point_start(self):
+        chain = lazy_ring(8)
+        average = tv_decay_curve(chain, None, 20)
+        worst0 = tv_decay_curve(chain, 0, 20)
+        # Averaging over π (uniform here) cannot exceed the single start.
+        assert average[5] <= worst0[5] + 1e-12
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            tv_decay_curve(two_state(), 0, -1)
+        with pytest.raises(ValueError):
+            tv_decay_curve(two_state(), 9, 5)
+
+
+class TestOnGlobalChain:
+    """Temporal independence on an exact S&F global chain."""
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        initial = MembershipGraph.from_edges([(0, 1), (0, 1), (1, 0), (1, 0)])
+        global_chain = GlobalMarkovChain(
+            SFParams(view_size=8, d_low=2), 0.2, initial
+        )
+        return global_chain.to_markov_chain()
+
+    def test_global_chain_mixes(self, chain):
+        tau = epsilon_independence_time(chain, 0.05, max_steps=50_000)
+        assert tau < 50_000
+
+    def test_tau_no_worse_than_mixing(self, chain):
+        tau = epsilon_independence_time(chain, 0.1, max_steps=50_000)
+        worst = mixing_time(chain, 0.1, max_steps=50_000)
+        assert tau <= worst
+
+    def test_positive_spectral_gap(self, chain):
+        assert spectral_gap(chain) > 0.0

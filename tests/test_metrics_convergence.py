@@ -1,0 +1,81 @@
+"""Tests for repro.metrics.convergence (Property M5 measurement)."""
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.metrics.convergence import (
+    excess_overlap,
+    temporal_decorrelation_series,
+    view_overlap_fraction,
+    view_snapshot,
+)
+
+from conftest import build_system
+
+
+class TestSnapshotOverlap:
+    def test_snapshot_matches_itself(self):
+        protocol = SendForget(SFParams(view_size=8, d_low=0))
+        protocol.add_node(0, [1, 2])
+        protocol.add_node(1, [0, 2])
+        protocol.add_node(2, [0, 1])
+        snapshot = view_snapshot(protocol)
+        assert view_overlap_fraction(protocol, snapshot) == 1.0
+
+    def test_departed_nodes_skipped(self):
+        protocol = SendForget(SFParams(view_size=8, d_low=0))
+        protocol.add_node(0, [1, 2])
+        protocol.add_node(1, [0, 2])
+        protocol.add_node(2, [0, 1])
+        snapshot = view_snapshot(protocol)
+        protocol.remove_node(2)
+        assert view_overlap_fraction(protocol, snapshot) == 1.0
+
+    def test_no_comparable_nodes_rejected(self):
+        protocol = SendForget(SFParams(view_size=8, d_low=0))
+        protocol.add_node(0, [1, 2])
+        snapshot = view_snapshot(protocol)
+        protocol.remove_node(0)
+        protocol.add_node(5, [1, 2])
+        with pytest.raises(ValueError):
+            view_overlap_fraction(protocol, snapshot)
+
+    def test_multiset_semantics(self):
+        protocol = SendForget(SFParams(view_size=8, d_low=0))
+        protocol.add_node(0, [1, 1, 2, 2])
+        protocol.add_node(1, [0, 0])
+        protocol.add_node(2, [0, 0])
+        snapshot = view_snapshot(protocol)
+        # Remove one copy of id 1 from node 0's view by hand.
+        view = protocol.raw_view(0)
+        for index, entry in view.entries():
+            if entry.node_id == 1:
+                view.clear_slot(index)
+                break
+        # Node 0: 3 of 3 current entries still in snapshot; others 2/2 each.
+        assert view_overlap_fraction(protocol, snapshot) == 1.0
+
+
+class TestDecay:
+    def test_overlap_decays(self, small_params):
+        protocol, engine = build_system(40, small_params, seed=6)
+        engine.run_rounds(30)
+        xs, ys = temporal_decorrelation_series(engine, rounds=60, sample_every=10)
+        assert xs[0] == 0.0 and xs[-1] == 60.0
+        assert ys[0] == 1.0
+        assert ys[-1] < 0.5
+
+    def test_excess_overlap_near_zero_after_mixing(self, small_params):
+        protocol, engine = build_system(40, small_params, seed=8)
+        engine.run_rounds(30)
+        snapshot = view_snapshot(protocol)
+        engine.run_rounds(250)
+        assert excess_overlap(protocol, snapshot) < 0.1
+
+    def test_invalid_arguments(self, small_params):
+        _, engine = build_system(10, small_params)
+        with pytest.raises(ValueError):
+            temporal_decorrelation_series(engine, rounds=0)
+        with pytest.raises(ValueError):
+            temporal_decorrelation_series(engine, rounds=5, sample_every=0)

@@ -1,0 +1,82 @@
+"""Tests for repro.metrics.degrees."""
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.metrics.degrees import degree_summary, id_instance_count, indegree_variance
+
+from conftest import build_system
+
+
+def tiny_protocol():
+    protocol = SendForget(SFParams(view_size=8, d_low=0))
+    protocol.add_node(0, [1, 2])
+    protocol.add_node(1, [2, 2])
+    protocol.add_node(2, [0, 1])
+    return protocol
+
+
+class TestDegreeSummary:
+    def test_means(self):
+        summary = degree_summary(tiny_protocol())
+        assert summary.outdegree_mean == pytest.approx(2.0)
+        assert summary.indegree_mean == pytest.approx(2.0)
+
+    def test_histograms(self):
+        summary = degree_summary(tiny_protocol())
+        assert summary.outdegree_histogram == {2: 3}
+        # indegrees: 0<-1 (from 2), 1<-2 (0 and 2), 2<-3 (0, 1 twice)
+        assert summary.indegree_histogram == {1: 1, 2: 1, 3: 1}
+
+    def test_min_max(self):
+        summary = degree_summary(tiny_protocol())
+        assert summary.indegree_min == 1
+        assert summary.indegree_max == 3
+
+    def test_variance_helper(self):
+        summary = degree_summary(tiny_protocol())
+        assert summary.indegree_variance() == pytest.approx(summary.indegree_std**2)
+
+    def test_empty_population_rejected(self):
+        protocol = SendForget(SFParams(view_size=8))
+        with pytest.raises(ValueError):
+            degree_summary(protocol)
+
+
+class TestIndegreeVariance:
+    def test_matches_summary(self):
+        protocol = tiny_protocol()
+        assert indegree_variance(protocol) == pytest.approx(
+            degree_summary(protocol).indegree_std ** 2
+        )
+
+    def test_balanced_is_zero(self):
+        protocol = SendForget(SFParams(view_size=8, d_low=0))
+        protocol.add_node(0, [1, 2])
+        protocol.add_node(1, [2, 0])
+        protocol.add_node(2, [0, 1])
+        assert indegree_variance(protocol) == 0.0
+
+
+class TestIdInstanceCount:
+    def test_counts_multiplicity(self):
+        protocol = tiny_protocol()
+        assert id_instance_count(protocol, 2) == 3
+
+    def test_departed_id_still_counted(self):
+        protocol = tiny_protocol()
+        protocol.remove_node(2)
+        # Node 2's id persists in views of 0 and 1.
+        assert id_instance_count(protocol, 2) == 3
+
+    def test_decays_after_departure(self, small_params):
+        protocol, engine = build_system(30, small_params, seed=3)
+        engine.run_rounds(30)
+        victim = 5
+        before = id_instance_count(protocol, victim)
+        protocol.remove_node(victim)
+        engine.run_rounds(120)
+        after = id_instance_count(protocol, victim)
+        assert before > 0
+        assert after < before

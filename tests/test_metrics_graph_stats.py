@@ -1,0 +1,65 @@
+"""Tests for repro.metrics.graph_stats."""
+
+from repro.metrics.graph_stats import graph_statistics
+from repro.model.membership_graph import MembershipGraph
+from repro.util.rng import make_rng
+
+from conftest import build_system
+
+
+class TestGraphStatistics:
+    def test_connected_ring(self):
+        graph = MembershipGraph.ring(10, hops=2)
+        stats = graph_statistics(graph)
+        assert stats.weakly_connected
+        assert stats.num_weak_components == 1
+        assert stats.largest_component_fraction == 1.0
+        assert stats.undirected_diameter is not None
+
+    def test_disconnected_components(self):
+        graph = MembershipGraph.from_edges([(0, 1), (2, 3)])
+        stats = graph_statistics(graph)
+        assert not stats.weakly_connected
+        assert stats.num_weak_components == 2
+        assert stats.largest_component_fraction == 0.5
+        assert stats.undirected_diameter is None
+
+    def test_self_and_parallel_edges_counted(self):
+        graph = MembershipGraph.from_edges([(0, 0), (0, 1), (0, 1)])
+        stats = graph_statistics(graph)
+        assert stats.self_edges == 1
+        assert stats.parallel_edges == 1
+
+    def test_diameter_skippable(self):
+        graph = MembershipGraph.ring(10, hops=2)
+        stats = graph_statistics(graph, compute_diameter=False)
+        assert stats.undirected_diameter is None
+
+    def test_ring_diameter_value(self):
+        graph = MembershipGraph.ring(10, hops=1)
+        stats = graph_statistics(graph)
+        assert stats.undirected_diameter == 5
+
+    def test_healthy_overlay_random_graph(self):
+        graph = MembershipGraph.random_regular(60, 8, make_rng(0))
+        stats = graph_statistics(graph)
+        assert stats.is_healthy_overlay()
+
+    def test_unhealthy_when_disconnected(self):
+        graph = MembershipGraph.from_edges([(0, 1), (2, 3)])
+        assert not graph_statistics(graph).is_healthy_overlay()
+
+    def test_long_ring_not_healthy(self):
+        graph = MembershipGraph.ring(200, hops=1)
+        stats = graph_statistics(graph)
+        # Diameter 100 ≫ 4·log2(200): a bad overlay despite connectivity.
+        assert not stats.is_healthy_overlay()
+
+
+class TestSteadyStateOverlay:
+    def test_sandf_snapshot_is_healthy(self, small_params):
+        protocol, engine = build_system(60, small_params, seed=12)
+        engine.run_rounds(60)
+        stats = graph_statistics(protocol.export_graph())
+        assert stats.weakly_connected
+        assert stats.is_healthy_overlay()

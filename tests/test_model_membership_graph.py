@@ -1,0 +1,186 @@
+"""Tests for repro.model.membership_graph."""
+
+import pytest
+
+from repro.model.membership_graph import MembershipGraph
+from repro.util.rng import make_rng
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = MembershipGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_from_edges_adds_endpoints(self):
+        graph = MembershipGraph.from_edges([(0, 1), (1, 2)])
+        assert set(graph.nodes) == {0, 1, 2}
+        assert graph.num_edges == 2
+
+    def test_from_edges_multiplicity(self):
+        graph = MembershipGraph.from_edges([(0, 1), (0, 1)])
+        assert graph.multiplicity(0, 1) == 2
+        assert graph.num_edges == 2
+
+    def test_random_regular_outdegrees(self):
+        graph = MembershipGraph.random_regular(20, 4, make_rng(0))
+        for node in graph.nodes:
+            assert graph.outdegree(node) == 4
+
+    def test_random_regular_no_self_edges(self):
+        graph = MembershipGraph.random_regular(15, 6, make_rng(1))
+        for node in graph.nodes:
+            assert graph.self_edge_count(node) == 0
+
+    def test_random_regular_impossible_degree(self):
+        with pytest.raises(ValueError):
+            MembershipGraph.random_regular(4, 4, make_rng(0))
+
+    def test_star_structure(self):
+        graph = MembershipGraph.star(6, center=0)
+        assert graph.indegree(0) == 2 * 5
+        for spoke in range(1, 6):
+            assert graph.outdegree(spoke) == 2
+
+    def test_ring_connected(self):
+        graph = MembershipGraph.ring(10, hops=2)
+        assert graph.is_weakly_connected()
+        for node in graph.nodes:
+            assert graph.outdegree(node) == 2
+
+
+class TestDegrees:
+    def test_outdegree_indegree(self):
+        graph = MembershipGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        assert graph.outdegree(0) == 2
+        assert graph.indegree(2) == 2
+        assert graph.indegree(0) == 0
+
+    def test_sum_degree_definition(self):
+        graph = MembershipGraph.from_edges([(0, 1), (1, 0), (2, 0)])
+        # d(0)=1, din(0)=2 -> ds = 1 + 4 = 5
+        assert graph.sum_degree(0) == 5
+
+    def test_sum_degree_vector(self):
+        graph = MembershipGraph.from_edges([(0, 1), (1, 0)])
+        vector = graph.sum_degree_vector()
+        assert vector == {0: 3, 1: 3}
+
+    def test_self_edge_count(self):
+        graph = MembershipGraph.from_edges([(0, 0), (0, 1)])
+        assert graph.self_edge_count(0) == 1
+
+    def test_duplicate_edge_count(self):
+        graph = MembershipGraph.from_edges([(0, 1), (0, 1), (0, 2)])
+        assert graph.duplicate_edge_count(0) == 1
+
+
+class TestMutation:
+    def test_add_remove_edge(self):
+        graph = MembershipGraph([0, 1])
+        graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.indegree(1) == 0
+
+    def test_remove_missing_edge_rejected(self):
+        graph = MembershipGraph([0, 1])
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_add_edge_unknown_node_rejected(self):
+        graph = MembershipGraph([0])
+        with pytest.raises(KeyError):
+            graph.add_edge(0, 99)
+
+    def test_remove_node_clears_incident_edges(self):
+        graph = MembershipGraph.from_edges([(0, 1), (1, 0), (2, 1)])
+        graph.remove_node(1)
+        assert not graph.has_node(1)
+        assert graph.num_edges == 0
+        graph.validate()
+
+    def test_remove_node_with_self_edge(self):
+        graph = MembershipGraph.from_edges([(0, 0), (0, 1), (1, 0)])
+        graph.remove_node(0)
+        assert graph.nodes == [1]
+        assert graph.num_edges == 0
+        graph.validate()
+
+    def test_remove_unknown_node_rejected(self):
+        graph = MembershipGraph([0])
+        with pytest.raises(KeyError):
+            graph.remove_node(3)
+
+    def test_multiplicity_removal_decrements(self):
+        graph = MembershipGraph.from_edges([(0, 1), (0, 1)])
+        graph.remove_edge(0, 1)
+        assert graph.multiplicity(0, 1) == 1
+
+
+class TestConnectivity:
+    def test_single_node_connected(self):
+        graph = MembershipGraph([0])
+        assert graph.is_weakly_connected()
+
+    def test_disconnected(self):
+        graph = MembershipGraph.from_edges([(0, 1)], nodes=[0, 1, 2])
+        assert not graph.is_weakly_connected()
+        components = graph.weakly_connected_components()
+        assert len(components) == 2
+
+    def test_direction_ignored(self):
+        graph = MembershipGraph.from_edges([(0, 1), (2, 1)])
+        assert graph.is_weakly_connected()
+
+    def test_self_edges_do_not_connect(self):
+        graph = MembershipGraph.from_edges([(0, 0)], nodes=[0, 1])
+        assert not graph.is_weakly_connected()
+
+
+class TestCanonicalState:
+    def test_equal_graphs_equal_states(self):
+        a = MembershipGraph.from_edges([(0, 1), (1, 2)])
+        b = MembershipGraph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_multiplicity_distinguishes(self):
+        a = MembershipGraph.from_edges([(0, 1)], nodes=[0, 1])
+        b = MembershipGraph.from_edges([(0, 1), (0, 1)], nodes=[0, 1])
+        assert a != b
+
+    def test_copy_is_independent(self):
+        a = MembershipGraph.from_edges([(0, 1)], nodes=[0, 1])
+        b = a.copy()
+        b.add_edge(1, 0)
+        assert a != b
+        assert a.num_edges == 1
+
+    def test_usable_as_dict_key(self):
+        a = MembershipGraph.from_edges([(0, 1)], nodes=[0, 1])
+        d = {a: "x"}
+        assert d[a.copy()] == "x"
+
+
+class TestExport:
+    def test_networkx_roundtrip_counts(self):
+        graph = MembershipGraph.from_edges([(0, 1), (0, 1), (1, 2)])
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 3
+
+    def test_edges_iterator_multiplicity(self):
+        graph = MembershipGraph.from_edges([(0, 1), (0, 1)])
+        assert sorted(graph.edges()) == [(0, 1), (0, 1)]
+
+    def test_out_view_is_copy(self):
+        graph = MembershipGraph.from_edges([(0, 1)], nodes=[0, 1])
+        view = graph.out_view(0)
+        view[1] += 10
+        assert graph.multiplicity(0, 1) == 1
+
+    def test_validate_passes_on_consistent_graph(self):
+        graph = MembershipGraph.from_edges([(0, 1), (1, 0), (0, 0)])
+        graph.validate()

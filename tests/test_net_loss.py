@@ -1,0 +1,103 @@
+"""Tests for repro.net.loss."""
+
+import pytest
+
+from repro.net.loss import GilbertElliottLoss, NoLoss, PerLinkLoss, UniformLoss
+from repro.util.rng import make_rng
+
+
+class TestUniformLoss:
+    def test_zero_never_loses(self):
+        model = UniformLoss(0.0)
+        rng = make_rng(0)
+        assert not any(model.is_lost(0, 1, rng) for _ in range(200))
+
+    def test_one_always_loses(self):
+        model = UniformLoss(1.0)
+        rng = make_rng(0)
+        assert all(model.is_lost(0, 1, rng) for _ in range(200))
+
+    def test_rate_approximated(self):
+        model = UniformLoss(0.3)
+        rng = make_rng(1)
+        losses = sum(model.is_lost(0, 1, rng) for _ in range(20000))
+        assert abs(losses / 20000 - 0.3) < 0.02
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLoss(-0.1)
+        with pytest.raises(ValueError):
+            UniformLoss(1.1)
+
+    def test_expected_rate(self):
+        assert UniformLoss(0.25).expected_rate() == 0.25
+
+    def test_no_loss_subclass(self):
+        assert NoLoss().expected_rate() == 0.0
+
+
+class TestGilbertElliott:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(bad_loss=-0.1)
+
+    def test_stationary_rate(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.1, p_bad_to_good=0.3, good_loss=0.0, bad_loss=0.8
+        )
+        # stationary bad = 0.1/0.4 = 0.25; rate = 0.25*0.8 = 0.2
+        assert model.expected_rate() == pytest.approx(0.2)
+
+    def test_empirical_rate_near_stationary(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.1, p_bad_to_good=0.3, good_loss=0.0, bad_loss=0.8
+        )
+        rng = make_rng(2)
+        losses = sum(model.is_lost(0, 1, rng) for _ in range(40000))
+        assert abs(losses / 40000 - 0.2) < 0.02
+
+    def test_burstiness(self):
+        """Consecutive losses cluster more than under i.i.d. loss."""
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.02, p_bad_to_good=0.1, good_loss=0.0, bad_loss=0.9
+        )
+        rng = make_rng(3)
+        outcomes = [model.is_lost(0, 1, rng) for _ in range(40000)]
+        rate = sum(outcomes) / len(outcomes)
+        joint = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if a and b
+        ) / (len(outcomes) - 1)
+        # P(loss now AND loss next) far exceeds rate^2 when bursty.
+        assert joint > 2 * rate**2
+
+    def test_per_sender_state(self):
+        model = GilbertElliottLoss()
+        rng = make_rng(4)
+        model.is_lost(0, 1, rng)
+        model.is_lost(5, 1, rng)
+        assert set(model._bad_state) == {0, 5}
+
+
+class TestPerLinkLoss:
+    def test_specific_link_rate(self):
+        model = PerLinkLoss({(0, 1): 1.0}, default_rate=0.0)
+        rng = make_rng(0)
+        assert model.is_lost(0, 1, rng)
+        assert not model.is_lost(1, 0, rng)
+
+    def test_default_rate_applies(self):
+        model = PerLinkLoss({}, default_rate=1.0)
+        rng = make_rng(0)
+        assert model.is_lost(3, 4, rng)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            PerLinkLoss({(0, 1): 2.0})
+        with pytest.raises(ValueError):
+            PerLinkLoss({}, default_rate=-0.5)
+
+    def test_expected_rate_average(self):
+        model = PerLinkLoss({(0, 1): 0.2, (1, 0): 0.4})
+        assert model.expected_rate() == pytest.approx(0.3)

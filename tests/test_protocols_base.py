@@ -1,0 +1,75 @@
+"""Tests for repro.protocols.base (interface-level behavior)."""
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.protocols.base import Message, ProtocolStats
+
+from conftest import build_system
+
+
+class TestProtocolStats:
+    def test_initial_zero(self):
+        stats = ProtocolStats()
+        assert stats.duplication_probability() == 0.0
+        assert stats.deletion_probability() == 0.0
+
+    def test_probabilities_conditioned_on_actions(self):
+        stats = ProtocolStats(non_self_loop_actions=200, duplications=10, deletions=4)
+        assert stats.duplication_probability() == pytest.approx(0.05)
+        assert stats.deletion_probability() == pytest.approx(0.02)
+
+    def test_reset(self):
+        stats = ProtocolStats(actions=5, duplications=2, extra={"x": 1})
+        stats.reset()
+        assert stats.actions == 0
+        assert stats.duplications == 0
+        assert stats.extra == {}
+
+
+class TestMessage:
+    def test_fields(self):
+        message = Message(sender=1, target=2, payload=[(1, False)], kind="push")
+        assert message.sender == 1
+        assert message.target == 2
+        assert message.kind == "push"
+
+
+class TestDefaultImplementations:
+    def test_export_graph_includes_dangling(self):
+        protocol = SendForget(SFParams(view_size=8, d_low=0))
+        protocol.add_node(0, [7, 7])  # 7 never joined
+        graph = protocol.export_graph()
+        assert graph.has_node(7)
+        assert graph.indegree(7) == 2
+
+    def test_indegrees_cover_all_live_nodes(self, small_system):
+        protocol, _ = small_system
+        degrees = protocol.indegrees()
+        assert set(degrees) == set(protocol.node_ids())
+
+    def test_outdegree_helper_matches_view(self, small_system):
+        protocol, _ = small_system
+        for u in protocol.node_ids():
+            assert protocol.outdegree(u) == sum(protocol.view_of(u).values())
+
+
+class TestEngineLoadCounters:
+    def test_received_counts_accumulate(self, small_params):
+        protocol, engine = build_system(20, small_params, seed=44)
+        engine.run_rounds(30)
+        assert sum(engine.received_by.values()) == engine.stats.messages_delivered
+        assert set(engine.received_by) <= set(range(20))
+
+    def test_sent_counts_accumulate(self, small_params):
+        protocol, engine = build_system(20, small_params, seed=45)
+        engine.run_rounds(30)
+        assert sum(engine.sent_by.values()) == (
+            engine.stats.messages_sent + engine.stats.replies_sent
+        )
+
+    def test_loss_reduces_received_not_sent(self, small_params):
+        protocol, engine = build_system(20, small_params, loss_rate=0.5, seed=46)
+        engine.run_rounds(40)
+        assert sum(engine.received_by.values()) < sum(engine.sent_by.values())

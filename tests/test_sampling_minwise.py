@@ -1,0 +1,153 @@
+"""Tests for repro.sampling.minwise (Brahms-style samplers)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.engine.sequential import SequentialEngine
+from repro.net.loss import UniformLoss
+from repro.sampling.minwise import MinWiseSampler, SamplerBank, SamplerLayer
+from repro.util.rng import make_rng
+
+
+class TestMinWiseSampler:
+    def test_empty_sampler(self):
+        sampler = MinWiseSampler(make_rng(0))
+        assert sampler.sample is None
+
+    def test_keeps_minimum(self):
+        sampler = MinWiseSampler(make_rng(1))
+        for node_id in range(50):
+            sampler.observe(node_id)
+        best = sampler.sample
+        # Re-observing anything cannot change the argmin.
+        for node_id in range(50):
+            sampler.observe(node_id)
+        assert sampler.sample == best
+
+    def test_deterministic_argmin(self):
+        a = MinWiseSampler(make_rng(2))
+        b = MinWiseSampler(make_rng(2))
+        for node_id in [5, 3, 9, 1]:
+            a.observe(node_id)
+        for node_id in [1, 9, 5, 3]:
+            b.observe(node_id)
+        assert a.sample == b.sample  # order-independent
+
+    def test_different_seeds_sample_differently(self):
+        samples = set()
+        for seed in range(30):
+            sampler = MinWiseSampler(make_rng(seed))
+            for node_id in range(100):
+                sampler.observe(node_id)
+            samples.add(sampler.sample)
+        assert len(samples) > 10  # different hashes pick different argmins
+
+    def test_uniformity_over_hash_draws(self):
+        """Argmin over a full population is uniform across samplers."""
+        hits = Counter()
+        for seed in range(600):
+            sampler = MinWiseSampler(make_rng(seed))
+            for node_id in range(10):
+                sampler.observe(node_id)
+            hits[sampler.sample] += 1
+        assert len(hits) == 10
+        assert max(hits.values()) < 3 * min(hits.values())
+
+    def test_changes_counted(self):
+        sampler = MinWiseSampler(make_rng(4))
+        for node_id in range(100):
+            sampler.observe(node_id)
+        assert sampler.changes >= 1
+
+    def test_invalidate(self):
+        sampler = MinWiseSampler(make_rng(5))
+        sampler.observe(7)
+        sampler.invalidate(7)
+        assert sampler.sample is None
+        sampler.invalidate(3)  # no-op on non-matching id
+
+
+class TestSamplerBank:
+    def test_slot_count(self):
+        bank = SamplerBank(5, make_rng(0))
+        assert len(bank) == 5
+        assert bank.samples() == [None] * 5
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            SamplerBank(0, make_rng(0))
+
+    def test_observe_feeds_all_slots(self):
+        bank = SamplerBank(4, make_rng(1))
+        bank.observe(3)
+        assert bank.samples() == [3, 3, 3, 3]
+
+    def test_invalidate_all(self):
+        bank = SamplerBank(3, make_rng(2))
+        bank.observe(3)
+        bank.invalidate(3)
+        assert bank.samples() == [None, None, None]
+
+
+class TestSamplerLayer:
+    def make_layer(self, n=40, slots=4, seed=0):
+        inner = SendForget(SFParams(view_size=12, d_low=2))
+        for u in range(n):
+            inner.add_node(u, [(u + k) % n for k in range(1, 7)])
+        return inner, SamplerLayer(inner, slots=slots, seed=seed)
+
+    def test_delegation(self):
+        inner, layer = self.make_layer()
+        assert set(layer.node_ids()) == set(inner.node_ids())
+        assert layer.view_of(0) == inner.view_of(0)
+
+    def test_samplers_fill_from_gossip(self):
+        inner, layer = self.make_layer()
+        engine = SequentialEngine(layer, UniformLoss(0.0), seed=1)
+        engine.run_rounds(30)
+        filled = [s for s in layer.all_samples()]
+        assert len(filled) > 0
+        assert all(isinstance(s, int) for s in filled)
+
+    def test_own_id_not_observed(self):
+        inner, layer = self.make_layer()
+        engine = SequentialEngine(layer, UniformLoss(0.0), seed=2)
+        engine.run_rounds(50)
+        for u in layer.node_ids():
+            assert u not in layer.samples_of(u) or layer.samples_of(u).count(u) == 0
+
+    def test_join_gets_bank(self):
+        inner, layer = self.make_layer()
+        layer.add_node(99, [0, 1])
+        assert layer.bank(99) is not None
+
+    def test_leave_drops_bank(self):
+        inner, layer = self.make_layer()
+        layer.remove_node(3)
+        with pytest.raises(KeyError):
+            layer.bank(3)
+
+    def test_invalidate_everywhere(self):
+        inner, layer = self.make_layer()
+        engine = SequentialEngine(layer, UniformLoss(0.0), seed=3)
+        engine.run_rounds(40)
+        victim = next(iter(layer.all_samples()))
+        layer.invalidate_everywhere(victim)
+        assert victim not in layer.all_samples()
+
+    def test_membership_behavior_unchanged(self):
+        """The wrapper must not perturb the membership trajectory."""
+        plain = SendForget(SFParams(view_size=12, d_low=2))
+        wrapped_inner = SendForget(SFParams(view_size=12, d_low=2))
+        n = 30
+        for protocol in (plain, wrapped_inner):
+            for u in range(n):
+                protocol.add_node(u, [(u + k) % n for k in range(1, 7)])
+        layer = SamplerLayer(wrapped_inner, slots=3, seed=4)
+        SequentialEngine(plain, UniformLoss(0.05), seed=9).run_rounds(60)
+        SequentialEngine(layer, UniformLoss(0.05), seed=9).run_rounds(60)
+        for u in range(n):
+            assert plain.view_of(u) == wrapped_inner.view_of(u)

@@ -1,0 +1,139 @@
+"""Tests for repro.sampling.random_walk."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.sampling.random_walk import (
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+    walk_success_probability,
+)
+
+from conftest import build_system
+
+
+def ring_protocol(n=20):
+    protocol = SendForget(SFParams(view_size=8, d_low=0))
+    for u in range(n):
+        protocol.add_node(u, [(u + 1) % n, (u + 2) % n])
+    return protocol
+
+
+class TestSuccessProbability:
+    def test_formula(self):
+        assert walk_success_probability(0.1, 10) == pytest.approx(0.9**10)
+
+    def test_zero_length_always_succeeds(self):
+        assert walk_success_probability(0.5, 0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            walk_success_probability(1.5, 3)
+        with pytest.raises(ValueError):
+            walk_success_probability(0.1, -1)
+
+    def test_exponential_decay_claim(self):
+        """§3.1: success degrades exponentially with walk length."""
+        values = [walk_success_probability(0.05, length) for length in (10, 20, 40)]
+        assert values[1] == pytest.approx(values[0] ** 2, rel=1e-9)
+        assert values[2] == pytest.approx(values[0] ** 4, rel=1e-9)
+
+
+class TestSimpleWalk:
+    def test_lossless_walk_completes(self):
+        walker = SimpleRandomWalk(ring_protocol(), loss_rate=0.0, seed=0)
+        outcome = walker.walk(0, 15)
+        assert outcome.succeeded
+        assert outcome.hops_completed == 15
+
+    def test_full_walk_end_in_population(self):
+        walker = SimpleRandomWalk(ring_protocol(), loss_rate=0.0, seed=1)
+        for _ in range(50):
+            outcome = walker.walk(0, 10)
+            assert 0 <= outcome.end < 20
+
+    def test_loss_kills_walks_at_expected_rate(self):
+        walker = SimpleRandomWalk(ring_protocol(), loss_rate=0.2, seed=2)
+        outcomes = walker.sample_many(0, 10, 3000)
+        success = sum(o.succeeded for o in outcomes) / len(outcomes)
+        assert success == pytest.approx(0.8**10, abs=0.03)
+
+    def test_zero_length_walk(self):
+        walker = SimpleRandomWalk(ring_protocol(), loss_rate=0.5, seed=3)
+        outcome = walker.walk(5, 0)
+        assert outcome.succeeded and outcome.end == 5
+
+    def test_dead_end_fails(self):
+        protocol = SendForget(SFParams(view_size=8, d_low=0))
+        protocol.add_node(0, [1, 1])
+        protocol.add_node(1, [2, 2])
+        protocol.add_node(2, [2, 2])  # only self-pointers: dead end
+        walker = SimpleRandomWalk(protocol, loss_rate=0.0, seed=4)
+        outcome = walker.walk(0, 5)
+        assert not outcome.succeeded
+        assert outcome.hops_completed < 5
+
+    def test_unknown_start_rejected(self):
+        walker = SimpleRandomWalk(ring_protocol(), loss_rate=0.0)
+        with pytest.raises(KeyError):
+            walker.walk(99, 3)
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleRandomWalk(ring_protocol(), loss_rate=1.0)
+
+    def test_departed_neighbors_excluded(self):
+        protocol = ring_protocol()
+        protocol.remove_node(1)
+        walker = SimpleRandomWalk(protocol, loss_rate=0.0, seed=5)
+        outcomes = walker.sample_many(0, 1, 200)
+        assert all(o.end != 1 for o in outcomes if o.succeeded)
+
+
+class TestMetropolisHastings:
+    def test_uniform_on_regular_graph(self):
+        walker = MetropolisHastingsWalk(ring_protocol(40), loss_rate=0.0, seed=6)
+        ends = Counter(o.end for o in walker.sample_many(0, 300, 1500))
+        # Every node visited roughly equally on the regular ring.
+        assert len(ends) == 40
+        counts = list(ends.values())
+        assert max(counts) < 4 * min(counts)
+
+    def test_corrects_hub_bias(self, small_params):
+        # Star-ish: node 0 is in everyone's view.
+        protocol = SendForget(SFParams(view_size=12, d_low=0))
+        n = 30
+        for u in range(n):
+            protocol.add_node(u, [0 if u != 0 else 1, (u + 1) % n])
+        simple = SimpleRandomWalk(protocol, loss_rate=0.0, seed=7)
+        corrected = MetropolisHastingsWalk(protocol, loss_rate=0.0, seed=7)
+        simple_hub = sum(
+            o.end == 0 for o in simple.sample_many(3, 100, 800)
+        ) / 800
+        mh_hub = sum(
+            o.end == 0 for o in corrected.sample_many(3, 100, 800)
+        ) / 800
+        assert simple_hub > 3 * mh_hub
+
+    def test_loss_applies_to_rejected_proposals_too(self):
+        walker = MetropolisHastingsWalk(ring_protocol(), loss_rate=0.3, seed=8)
+        outcomes = walker.sample_many(0, 10, 2000)
+        success = sum(o.succeeded for o in outcomes) / len(outcomes)
+        assert success == pytest.approx(0.7**10, abs=0.04)
+
+    def test_invalid_attempts(self):
+        walker = MetropolisHastingsWalk(ring_protocol(), loss_rate=0.0)
+        with pytest.raises(ValueError):
+            walker.sample_many(0, 5, 0)
+
+
+class TestOnLiveOverlay:
+    def test_walks_on_converged_sandf(self, small_params):
+        protocol, engine = build_system(50, small_params, seed=9)
+        engine.run_rounds(50)
+        walker = SimpleRandomWalk(protocol, loss_rate=0.0, seed=10)
+        outcome = walker.walk(0, 30)
+        assert outcome.succeeded

@@ -1,0 +1,77 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_returns_generator(self):
+        assert isinstance(make_rng(0), np.random.Generator)
+
+    def test_none_seed_allowed(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_different_seeds_diverge(self):
+        a = make_rng(1)
+        b = make_rng(2)
+        draws_a = [int(a.integers(1 << 30)) for _ in range(8)]
+        draws_b = [int(b.integers(1 << 30)) for _ in range(8)]
+        assert draws_a != draws_b
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(5)
+        assert make_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(9)
+        assert isinstance(make_rng(seq), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent_streams(self):
+        children = spawn_rngs(3, 2)
+        assert children[0].integers(1 << 30) != children[1].integers(1 << 30) or (
+            [int(children[0].integers(1 << 30)) for _ in range(4)]
+            != [int(children[1].integers(1 << 30)) for _ in range(4)]
+        )
+
+    def test_deterministic_given_seed(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        for child_a, child_b in zip(a, b):
+            assert child_a.integers(1 << 30) == child_b.integers(1 << 30)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_none_stays_none(self):
+        assert derive_seed(None, 4) is None
+
+    def test_deterministic(self):
+        assert derive_seed(10, 3) == derive_seed(10, 3)
+
+    def test_salt_changes_result(self):
+        assert derive_seed(10, 1) != derive_seed(10, 2)
+
+    def test_base_changes_result(self):
+        assert derive_seed(10, 1) != derive_seed(11, 1)

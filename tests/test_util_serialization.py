@@ -1,0 +1,92 @@
+"""Tests for repro.util.serialization."""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.serialization import dump_result, load_result, to_jsonable
+
+
+@dataclasses.dataclass
+class _Inner:
+    value: float
+    tags: list
+
+
+@dataclasses.dataclass
+class _Outer:
+    name: str
+    inner: _Inner
+    table: dict
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert to_jsonable(value) == value
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(5)) == 5
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_nested_dataclasses(self):
+        outer = _Outer("run", _Inner(1.5, ["a"]), {0.05: 3})
+        data = to_jsonable(outer)
+        assert data["__dataclass__"] == "_Outer"
+        assert data["inner"]["value"] == 1.5
+        assert data["table"] == {"0.05": 3}
+
+    def test_tuple_keys_joined(self):
+        assert to_jsonable({(2, 3): "x"}) == {"2,3": "x"}
+
+    def test_sets_become_lists(self):
+        assert sorted(to_jsonable({1, 2, 3})) == [1, 2, 3]
+
+    def test_non_finite_floats_tokenized(self):
+        assert to_jsonable(float("inf")) == "inf"
+        assert to_jsonable(float("nan")) == "nan"
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+        with pytest.raises(TypeError):
+            to_jsonable({object(): 1})
+
+    def test_output_is_json_safe(self):
+        outer = _Outer("run", _Inner(math.pi, [1, (2, 3)]), {(0, 1): [np.float32(1.0)]})
+        json.dumps(to_jsonable(outer))  # must not raise
+
+
+class TestDumpLoad:
+    def test_round_trip(self, tmp_path):
+        outer = _Outer("run", _Inner(1.25, ["a", "b"]), {0.1: 7})
+        path = dump_result(outer, tmp_path / "sub" / "result.json")
+        assert path.exists()
+        loaded = load_result(path)
+        assert loaded["name"] == "run"
+        assert loaded["inner"]["tags"] == ["a", "b"]
+        assert loaded["table"]["0.1"] == 7
+
+    def test_real_experiment_result_serializes(self, tmp_path):
+        from repro.experiments import table_6_3
+
+        result = table_6_3.run(d_hats=(30,), deltas=(0.01,))
+        path = dump_result(result, tmp_path / "t63.json")
+        loaded = load_result(path)
+        assert loaded["selections"][0]["d_low"] == 18
+
+    def test_degree_mc_result_serializes(self, tmp_path):
+        from repro.core.params import SFParams
+        from repro.markov.degree_mc import DegreeMarkovChain
+
+        solved = DegreeMarkovChain(SFParams(view_size=12, d_low=2), 0.05).solve()
+        path = dump_result(solved, tmp_path / "mc.json")
+        loaded = load_result(path)
+        assert abs(sum(loaded["outdegree_pmf"].values()) - 1.0) < 1e-9

@@ -1,0 +1,145 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    binomial_pmf,
+    binomial_pmf_vector,
+    binomial_tail_below,
+    chi_square_uniformity,
+    distribution_mean_std,
+    empirical_distribution,
+    geometric_survival,
+    total_variation_distance,
+)
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(k, 10, 0.3) for k in range(11))
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+    def test_known_value(self):
+        # P(X=1) for Bin(2, 0.5) = 0.5
+        assert math.isclose(binomial_pmf(1, 2, 0.5), 0.5, rel_tol=1e-12)
+
+    def test_out_of_range_k_is_zero(self):
+        assert binomial_pmf(-1, 5, 0.5) == 0.0
+        assert binomial_pmf(6, 5, 0.5) == 0.0
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(1, 5, 1.5)
+
+    def test_vector_matches_scalar(self):
+        vec = binomial_pmf_vector(6, 0.4)
+        for k in range(7):
+            assert math.isclose(vec[k], binomial_pmf(k, 6, 0.4), rel_tol=1e-12)
+
+
+class TestBinomialTail:
+    def test_threshold_zero(self):
+        assert binomial_tail_below(0, 10, 0.5) == 0.0
+
+    def test_full_threshold_is_near_one(self):
+        assert binomial_tail_below(11, 10, 0.5) == pytest.approx(1.0)
+
+    def test_monotone_in_threshold(self):
+        tails = [binomial_tail_below(t, 20, 0.7) for t in range(21)]
+        assert tails == sorted(tails)
+
+    def test_paper_connectivity_example(self):
+        # alpha = 1 - 2*(0.01+0.01) = 0.96; at dL=26 the tail below 3 is tiny.
+        assert binomial_tail_below(3, 26, 0.96) < 1e-30
+        assert binomial_tail_below(3, 24, 0.96) > 1e-30
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_dict_inputs(self):
+        assert total_variation_distance({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+
+    def test_dict_missing_keys_are_zero(self):
+        assert total_variation_distance({"a": 0.7, "b": 0.3}, {"a": 0.7}) == pytest.approx(0.15)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_distance([0.5, 0.5], [1.0])
+
+    def test_symmetry(self):
+        p = {0: 0.2, 1: 0.8}
+        q = {0: 0.6, 1: 0.4}
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+
+class TestEmpiricalDistribution:
+    def test_counts(self):
+        dist = empirical_distribution([1, 1, 2, 2, 2, 3])
+        assert dist == {1: 2 / 6, 2: 3 / 6, 3: 1 / 6}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_distribution([])
+
+
+class TestDistributionMeanStd:
+    def test_point_mass(self):
+        mean, std = distribution_mean_std({5: 1.0})
+        assert mean == 5.0
+        assert std == 0.0
+
+    def test_fair_coin(self):
+        mean, std = distribution_mean_std({0: 0.5, 1: 0.5})
+        assert mean == pytest.approx(0.5)
+        assert std == pytest.approx(0.5)
+
+    def test_sequence_input(self):
+        mean, _ = distribution_mean_std([0.5, 0.5])
+        assert mean == pytest.approx(0.5)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_mean_std({0: 0.4, 1: 0.4})
+
+
+class TestChiSquare:
+    def test_uniform_counts_high_p(self):
+        _, p_value = chi_square_uniformity([100, 100, 100, 100])
+        assert p_value > 0.99
+
+    def test_skewed_counts_low_p(self):
+        _, p_value = chi_square_uniformity([1000, 10, 10, 10])
+        assert p_value < 1e-6
+
+    def test_single_category_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([100])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([0, 0, 0])
+
+
+class TestGeometricSurvival:
+    def test_zero_rounds(self):
+        assert geometric_survival(0.1, 0) == 1.0
+
+    def test_decay(self):
+        assert geometric_survival(0.5, 2) == pytest.approx(0.25)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            geometric_survival(1.5, 1)
+
+    def test_negative_rounds(self):
+        with pytest.raises(ValueError):
+            geometric_survival(0.1, -1)

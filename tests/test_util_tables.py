@@ -1,0 +1,96 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        assert "a" in text and "bb" in text
+        assert "3" in text and "4" in text
+
+    def test_title_first_line(self):
+        text = format_table(["x"], [[1]], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_alignment_consistent_width(self):
+        text = format_table(["col"], [["short"], ["a much longer cell"]])
+        lines = text.splitlines()
+        data_lines = lines[2:]
+        assert len(data_lines[0]) == len(data_lines[1])
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.123457" in text
+
+
+class TestFormatHistogram:
+    def test_bars_scale_to_peak(self):
+        from repro.util.tables import format_histogram
+
+        text = format_histogram({0: 0.5, 1: 0.25}, width=8)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 8
+        assert lines[1].count("█") == 4
+
+    def test_title_included(self):
+        from repro.util.tables import format_histogram
+
+        text = format_histogram({0: 1.0}, title="pmf")
+        assert text.splitlines()[0] == "pmf"
+
+    def test_tails_trimmed(self):
+        from repro.util.tables import format_histogram
+
+        pmf = {0: 1e-6, 1: 0.5, 2: 0.5, 3: 1e-6}
+        text = format_histogram(pmf)
+        assert "\n0 " not in text and not text.startswith("0 ")
+        assert "3 " not in text
+
+    def test_probabilities_printed(self):
+        from repro.util.tables import format_histogram
+
+        assert "0.2500" in format_histogram({0: 0.75, 1: 0.25})
+
+    def test_empty_rejected(self):
+        from repro.util.tables import format_histogram
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            format_histogram({})
+
+    def test_invalid_width_rejected(self):
+        from repro.util.tables import format_histogram
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            format_histogram({0: 1.0}, width=0)
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series({"y": [1.0, 2.0]}, "x", [0, 1])
+        assert "x" in text and "y" in text
+        assert "1.0" in text or "1" in text
+
+    def test_multiple_series_columns(self):
+        text = format_series({"a": [1.0], "b": [2.0]}, "t", [0])
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"y": [1.0]}, "x", [0, 1])
+
+    def test_precision(self):
+        text = format_series({"y": [0.123456]}, "x", [0], precision=2)
+        assert "0.12" in text
+        assert "0.1235" not in text
