@@ -1,0 +1,121 @@
+"""Kernel-backend throughput benchmark: actions/second per population size.
+
+Times the :class:`~repro.kernel.reference.ReferenceKernel` (object per
+node) against the :class:`~repro.kernel.array.ArrayKernel` (one numpy
+id-matrix, conflict-free batch groups) executing scheduler picks at the
+paper's working parameters (``s = 40, dL = 18``, uniform loss 0.05), and
+writes ``BENCH_kernels.json`` at the repo root.
+
+The array kernel's conflict-free group length grows ~√n, so its
+advantage *increases* with population size; the reference kernel's
+per-action cost is size-independent.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]
+
+Not a pytest file on purpose: one timed run is an artifact, not a test.
+``tests/test_kernel_equivalence.py`` guards correctness; this file only
+measures speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.params import SFParams
+from repro.engine.sequential import EngineStats
+from repro.kernel import ArrayKernel, ReferenceKernel
+from repro.net.loss import UniformLoss
+from repro.util.rng import make_rng
+
+PARAMS = SFParams(view_size=40, d_low=18)
+LOSS_RATE = 0.05
+INIT_OUTDEGREE = 30
+BATCH = 4096  # mirror the engine's MAX_BATCH_ACTIONS
+
+
+def build(kernel_cls, n: int):
+    kernel = (
+        kernel_cls(PARAMS, capacity=n) if kernel_cls is ArrayKernel else kernel_cls(PARAMS)
+    )
+    for u in range(n):
+        kernel.add_node(u, [(u + k) % n for k in range(1, INIT_OUTDEGREE + 1)])
+    return kernel
+
+
+def time_kernel(
+    kernel_cls, n: int, actions: int, seed: int = 2009, repeats: int = 3
+) -> dict:
+    kernel = build(kernel_cls, n)
+    rng = make_rng(seed)
+    loss = UniformLoss(LOSS_RATE)
+    stats = EngineStats()
+    # Warm up: reach the protocol's steady degree profile (and trigger
+    # numpy/jit caches) before the timed window.
+    kernel.run_batch(min(actions // 4, 5 * n), rng, loss, stats)
+    # Best of ``repeats`` timed passes: the steady state makes passes
+    # statistically identical, so the minimum filters scheduler noise.
+    elapsed = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        remaining = actions
+        while remaining > 0:
+            step = min(remaining, BATCH)
+            kernel.run_batch(step, rng, loss, stats)
+            remaining -= step
+        elapsed = min(elapsed, time.perf_counter() - start)
+    kernel.check_invariant()
+    return {
+        "backend": kernel_cls.__name__,
+        "n": n,
+        "actions": actions,
+        "repeats": repeats,
+        "seconds": round(elapsed, 4),
+        "actions_per_sec": round(actions / elapsed, 1),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink action counts for a smoke run"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
+    )
+    args = parser.parse_args()
+    scale = 10 if args.quick else 1
+
+    rows = []
+    plans = [
+        # (n, reference actions, array actions)
+        (1_000, 100_000 // scale, 400_000 // scale),
+        (10_000, 100_000 // scale, 400_000 // scale),
+        (100_000, 50_000 // scale, 400_000 // scale),
+    ]
+    for n, ref_actions, arr_actions in plans:
+        ref = time_kernel(ReferenceKernel, n, ref_actions)
+        print(f"reference n={n:>7}: {ref['actions_per_sec']:>12,.0f} actions/s")
+        arr = time_kernel(ArrayKernel, n, arr_actions)
+        print(f"array     n={n:>7}: {arr['actions_per_sec']:>12,.0f} actions/s")
+        speedup = arr["actions_per_sec"] / ref["actions_per_sec"]
+        print(f"  speedup x{speedup:.1f}")
+        rows.append({"n": n, "reference": ref, "array": arr, "speedup": round(speedup, 2)})
+
+    payload = {
+        "params": {"view_size": PARAMS.view_size, "d_low": PARAMS.d_low},
+        "loss_rate": LOSS_RATE,
+        "batch": BATCH,
+        "quick": args.quick,
+        "results": rows,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

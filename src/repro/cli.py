@@ -30,59 +30,76 @@ from repro.core.params import SFParams
 # ----------------------------------------------------------------------
 
 
-def _fig_6_1(fast: bool):
+def _fig_6_1(fast: bool, backend: str = "reference"):
     from repro.experiments import fig_6_1
 
+    # Purely analytic (Markov-chain) experiment: backend is accepted for
+    # CLI uniformity but no simulation kernel is involved.
     return fig_6_1.run(dm=30 if fast else 90)
 
 
-def _fig_6_2(fast: bool):
+def _fig_6_2(fast: bool, backend: str = "reference"):
     from repro.experiments import fig_6_2
 
     return fig_6_2.run()
 
 
-def _table_6_3(fast: bool):
+def _table_6_3(fast: bool, backend: str = "reference"):
     from repro.experiments import table_6_3
 
     return table_6_3.run(d_hats=(30,) if fast else (10, 20, 30, 40, 50))
 
 
-def _fig_6_3(fast: bool):
+def _fig_6_3(fast: bool, backend: str = "reference"):
     from repro.experiments import fig_6_3
 
     if fast:
         return fig_6_3.run(simulate=False)
-    return fig_6_3.run(simulate=True, simulate_n=300, simulate_rounds=(400.0, 150.0))
+    return fig_6_3.run(
+        simulate=True,
+        simulate_n=300,
+        simulate_rounds=(400.0, 150.0),
+        backend=backend,
+    )
 
 
-def _fig_6_4(fast: bool):
+def _fig_6_4(fast: bool, backend: str = "reference"):
     from repro.experiments import fig_6_4
 
     if fast:
         return fig_6_4.run(max_round=200, step=50)
-    return fig_6_4.run(simulate=True, simulate_n=300, warmup_rounds=200)
+    return fig_6_4.run(
+        simulate=True, simulate_n=300, warmup_rounds=200, backend=backend
+    )
 
 
-def _cor_6_14(fast: bool):
+def _cor_6_14(fast: bool, backend: str = "reference"):
     from repro.experiments import join_integration
 
     if fast:
-        return join_integration.run(n=200, joiners=4, warmup_rounds=150)
-    return join_integration.run(n=400, joiners=10, warmup_rounds=300)
+        return join_integration.run(
+            n=200, joiners=4, warmup_rounds=150, backend=backend
+        )
+    return join_integration.run(n=400, joiners=10, warmup_rounds=300, backend=backend)
 
 
-def _lemma_6_6(fast: bool):
+def _lemma_6_6(fast: bool, backend: str = "reference"):
     from repro.experiments import dup_del_balance
 
     if fast:
         return dup_del_balance.run(
-            losses=(0.0, 0.05), n=200, warmup_rounds=250, measure_rounds=100
+            losses=(0.0, 0.05),
+            n=200,
+            warmup_rounds=250,
+            measure_rounds=100,
+            backend=backend,
         )
-    return dup_del_balance.run(n=300, warmup_rounds=400, measure_rounds=250)
+    return dup_del_balance.run(
+        n=300, warmup_rounds=400, measure_rounds=250, backend=backend
+    )
 
 
-def _lemma_7_5(fast: bool):
+def _lemma_7_5(fast: bool, backend: str = "reference"):
     from repro.experiments import lemma_7_5
 
     class _Bundle:
@@ -98,31 +115,37 @@ def _lemma_7_5(fast: bool):
     return _Bundle()
 
 
-def _lemma_7_6(fast: bool):
+def _lemma_7_6(fast: bool, backend: str = "reference"):
     from repro.experiments import uniformity_exp
 
     class _Bundle:
         def format(self) -> str:
             exact = uniformity_exp.run_exact(loss_rate=0.2)
             empirical = uniformity_exp.run_empirical(
-                replications=3 if fast else 6
+                replications=3 if fast else 6, backend=backend
             )
             return exact.format() + "\n" + empirical.format()
 
     return _Bundle()
 
 
-def _lemma_7_9(fast: bool):
+def _lemma_7_9(fast: bool, backend: str = "reference"):
     from repro.experiments import independence_exp
 
     if fast:
         return independence_exp.run(
-            losses=(0.0, 0.05), n=300, warmup_rounds=200, measure_rounds=60
+            losses=(0.0, 0.05),
+            n=300,
+            warmup_rounds=200,
+            measure_rounds=60,
+            backend=backend,
         )
-    return independence_exp.run(n=600, warmup_rounds=300, measure_rounds=100)
+    return independence_exp.run(
+        n=600, warmup_rounds=300, measure_rounds=100, backend=backend
+    )
 
 
-def _lemma_7_15(fast: bool):
+def _lemma_7_15(fast: bool, backend: str = "reference"):
     from repro.experiments import temporal_exp
 
     class _Bundle:
@@ -132,26 +155,27 @@ def _lemma_7_15(fast: bool):
                 n=150 if fast else 300,
                 max_rounds=120 if fast else 200,
                 sample_every=20 if fast else 10,
+                backend=backend,
             )
             return bounds.format() + "\n\n" + decay.format()
 
     return _Bundle()
 
 
-def _connectivity(fast: bool):
+def _connectivity(fast: bool, backend: str = "reference"):
     from repro.experiments import connectivity_exp
 
-    return connectivity_exp.run(simulate=not fast, simulate_n=300)
+    return connectivity_exp.run(simulate=not fast, simulate_n=300, backend=backend)
 
 
-def _load_balance(fast: bool):
+def _load_balance(fast: bool, backend: str = "reference"):
     from repro.experiments import load_balance
 
     rounds = 150 if fast else 400
     return load_balance.run(n=200 if fast else 300, rounds=rounds, sample_every=50)
 
 
-def _baselines(fast: bool):
+def _baselines(fast: bool, backend: str = "reference"):
     from repro.experiments import baselines
 
     return baselines.run(
@@ -159,13 +183,13 @@ def _baselines(fast: bool):
     )
 
 
-def _random_walks(fast: bool):
+def _random_walks(fast: bool, backend: str = "reference"):
     from repro.experiments import random_walk_exp
 
     return random_walk_exp.run(attempts=800 if fast else 2000)
 
 
-def _ablation(fast: bool):
+def _ablation(fast: bool, backend: str = "reference"):
     from repro.experiments import ablation_variants
 
     if fast:
@@ -173,7 +197,7 @@ def _ablation(fast: bool):
     return ablation_variants.run(n=300)
 
 
-def _loss_sweep(fast: bool):
+def _loss_sweep(fast: bool, backend: str = "reference"):
     from repro.experiments import loss_sweep
 
     if fast:
@@ -181,7 +205,7 @@ def _loss_sweep(fast: bool):
     return loss_sweep.run()
 
 
-def _parameter_sweep(fast: bool):
+def _parameter_sweep(fast: bool, backend: str = "reference"):
     from repro.experiments import parameter_sweep
 
     if fast:
@@ -189,7 +213,7 @@ def _parameter_sweep(fast: bool):
     return parameter_sweep.run()
 
 
-def _partition(fast: bool):
+def _partition(fast: bool, backend: str = "reference"):
     from repro.experiments import partition_recovery
 
     if fast:
@@ -199,7 +223,7 @@ def _partition(fast: bool):
     return partition_recovery.run()
 
 
-def _samplers(fast: bool):
+def _samplers(fast: bool, backend: str = "reference"):
     from repro.experiments import sampler_exp
 
     if fast:
@@ -207,13 +231,13 @@ def _samplers(fast: bool):
     return sampler_exp.run()
 
 
-def _mixing(fast: bool):
+def _mixing(fast: bool, backend: str = "reference"):
     from repro.experiments import mixing_exp
 
     return mixing_exp.run(epsilon=0.1 if fast else 0.05)
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
+EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "fig-6.1": _fig_6_1,
     "fig-6.2": _fig_6_2,
     "table-6.3": _table_6_3,
@@ -259,27 +283,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = runner(args.fast)
+    result = runner(args.fast, backend=args.backend)
     print(result.format())
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.core.sandf import SendForget
-    from repro.engine.sequential import SequentialEngine
+    from repro.experiments.common import build_sf_system
     from repro.metrics.degrees import degree_summary
     from repro.metrics.graph_stats import graph_statistics
-    from repro.net.loss import UniformLoss
 
     params = SFParams(view_size=args.view_size, d_low=args.d_low)
-    protocol = SendForget(params)
     boot = min(args.view_size - 2, max(args.d_low + 2, (3 * args.view_size // 4) & ~1))
     if boot >= args.nodes:
         print("need more nodes than the bootstrap outdegree", file=sys.stderr)
         return 2
-    for u in range(args.nodes):
-        protocol.add_node(u, [(u + k) % args.nodes for k in range(1, boot + 1)])
-    engine = SequentialEngine(protocol, UniformLoss(args.loss), seed=args.seed)
+    protocol, engine = build_sf_system(
+        args.nodes,
+        params,
+        loss_rate=args.loss,
+        seed=args.seed,
+        backend=args.backend,
+    )
     engine.run_rounds(args.rounds)
     protocol.check_invariant()
 
@@ -315,7 +340,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     output_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
         print(f"== {name} ==")
-        result = EXPERIMENTS[name](args.fast)
+        result = EXPERIMENTS[name](args.fast, backend=args.backend)
         text = result.format()
         print(text)
         print()
@@ -357,11 +382,20 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
+    backend_kwargs = dict(
+        choices=["reference", "array", "reference-kernel"],
+        default="reference",
+        help="simulation backend: 'reference' (legacy object-per-node), "
+        "'array' (vectorized numpy kernel), or 'reference-kernel' "
+        "(object-per-node under the batched kernel discipline)",
+    )
+
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id (see 'list')")
     run_parser.add_argument(
         "--fast", action="store_true", help="shrink sizes for a quick look"
     )
+    run_parser.add_argument("--backend", **backend_kwargs)
     run_parser.set_defaults(func=_cmd_run)
 
     simulate_parser = sub.add_parser("simulate", help="run a custom S&F deployment")
@@ -371,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--loss", type=float, default=0.01)
     simulate_parser.add_argument("--rounds", type=float, default=300.0)
     simulate_parser.add_argument("--seed", type=int, default=0)
+    simulate_parser.add_argument("--backend", **backend_kwargs)
     simulate_parser.set_defaults(func=_cmd_simulate)
 
     report_parser = sub.add_parser(
@@ -383,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--output", default="report", help="output directory")
     report_parser.add_argument("--fast", action="store_true")
+    report_parser.add_argument("--backend", **backend_kwargs)
     report_parser.set_defaults(func=_cmd_report)
 
     size_parser = sub.add_parser("size", help="apply the paper's sizing rules")

@@ -107,8 +107,18 @@ class SendForget(GossipProtocol):
     def initiate(self, node_id: NodeId, rng) -> Optional[Message]:
         """``S&F-InitiateAction`` at ``node_id``.  Returns the message, if any."""
         view = self._views[node_id]
-        self.stats.actions += 1
         i, j = view.sample_two_slots(rng)
+        return self.initiate_at(node_id, i, j)
+
+    def initiate_at(self, node_id: NodeId, i: int, j: int) -> Optional[Message]:
+        """The initiate action with the slot pair ``(i, j)`` already chosen.
+
+        This is the deterministic core of ``S&F-InitiateAction`` (Fig 5.1
+        left, lines 3-7); :meth:`initiate` samples the slots and the kernel
+        layer supplies pre-drawn ones.
+        """
+        view = self._views[node_id]
+        self.stats.actions += 1
         target_entry = view.get(i)
         payload_entry = view.get(j)
         if target_entry is None or payload_entry is None:
@@ -146,14 +156,46 @@ class SendForget(GossipProtocol):
         if view is None:
             # Target departed: indistinguishable from loss for the sender.
             return None
-        self.stats.deliveries += 1
-        if view.empty_count < len(message.payload):
-            # Full view (Fig 5.2(d)): received ids are deleted.
-            self.stats.deletions += 1
+        if not self._accept(view, len(message.payload)):
             return None
         for node_id, dependent in message.payload:
             view.store_random_empty(ViewEntry(node_id, dependent), rng)
         return None
+
+    def deliver_ranked(self, message: Message, ranks: Sequence[float]) -> None:
+        """``S&F-Receive`` with pre-drawn empty-slot uniforms.
+
+        The kernel layer's canonical discipline: the ``k``-th received id
+        goes into the ``rank_from_uniform(ranks[k], empties)``-th
+        lowest-indexed empty slot.  Semantically identical to
+        :meth:`deliver`; only the source of randomness differs.
+        """
+        view = self._views.get(message.target)
+        if view is None:
+            return
+        if not self._accept(view, len(message.payload)):
+            return
+        for (node_id, dependent), u in zip(message.payload, ranks):
+            empties = view.empty_count
+            rank = min(int(u * empties), empties - 1)
+            view.store_into(view.nth_empty_slot(rank), ViewEntry(node_id, dependent))
+
+    def _accept(self, view: View, payload_size: int) -> bool:
+        """The Fig 5.1 right, line 2 capacity gate, with stats.
+
+        Deletion is *all-or-nothing*: the guard is ``d(u) < s`` over the
+        whole message, so when exactly one slot is empty and two ids
+        arrive, **both** are deleted — the protocol never stores a partial
+        payload.  Storing one id would create an odd outdegree and break
+        Observation 5.1 (outdegrees stay even), which the section 6
+        Markov chains rely on; since views are near-full only transiently,
+        the paper accepts the extra deletion instead.
+        """
+        self.stats.deliveries += 1
+        if view.empty_count < payload_size:
+            self.stats.deletions += 1
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Observation

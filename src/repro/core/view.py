@@ -175,6 +175,25 @@ class View:
         self._empty.pop()
         self._slots[index] = entry
 
+    def nth_empty_slot(self, rank: int) -> int:
+        """The ``rank``-th lowest-indexed empty slot.
+
+        The kernel layer's canonical empty-slot discipline (see
+        :mod:`repro.kernel.base`) ranks empties by slot index so that the
+        choice is reproducible from a single uniform draw regardless of
+        free-list history.  Distributionally identical to drawing from the
+        free list, since the stored rank is itself uniform.
+        """
+        if not 0 <= rank < len(self._empty):
+            raise ValueError(f"rank {rank} outside [0, {len(self._empty)})")
+        seen = 0
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                if seen == rank:
+                    return index
+                seen += 1
+        raise AssertionError("free-list count out of sync")  # pragma: no cover
+
     def clear_all(self) -> None:
         """Empty every slot."""
         self._slots = [None] * len(self._slots)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.net.delay import ConstantDelay, DelayModel
 from repro.net.loss import LossModel, NoLoss

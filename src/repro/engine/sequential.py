@@ -8,13 +8,22 @@ whether the receive step ever runs.
 
 A *round* (section 6.5) is the period during which each node is expected
 to initiate exactly one action, i.e. ``n`` scheduler picks.
+
+The engine drives either a :class:`repro.protocols.base.GossipProtocol`
+(one ``initiate``/``deliver`` exchange per step, any protocol) or a
+:class:`repro.kernel.base.SimulationKernel` (S&F state mutation delegated
+to the kernel in batches, sized so that round hooks still fire at exactly
+the same action boundaries).  Rounds, hooks, and statistics behave the
+same either way.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.kernel.base import LoadCounts, SimulationKernel
 from repro.net.loss import LossModel, NoLoss
 from repro.protocols.base import GossipProtocol, Message
 from repro.util.rng import SeedLike, make_rng
@@ -22,19 +31,33 @@ from repro.util.rng import SeedLike, make_rng
 NodeId = int
 SnapshotHook = Callable[["SequentialEngine", int], None]
 
+#: Upper bound on one kernel batch, so hook-free runs still draw their
+#: randomness in bounded blocks.
+MAX_BATCH_ACTIONS = 4096
+
 
 @dataclass
 class EngineStats:
-    """Transport-level counters (the protocol keeps its own in ``stats``)."""
+    """Transport-level counters (the protocol keeps its own in ``stats``).
+
+    ``messages_to_departed`` counts messages that reached the network but
+    evaporated because the target had left — the paper's leave model makes
+    that indistinguishable from loss *for the sender*, but it is not
+    network loss, so :meth:`loss_fraction` excludes it (churn experiments
+    would otherwise overstate ℓ).
+    """
 
     actions: int = 0
     messages_sent: int = 0
     messages_lost: int = 0
+    messages_to_departed: int = 0
     messages_delivered: int = 0
     replies_sent: int = 0
     replies_lost: int = 0
+    replies_to_departed: int = 0
 
     def loss_fraction(self) -> float:
+        """Fraction of sends lost *in the network* (excludes departures)."""
         total = self.messages_sent + self.replies_sent
         if total == 0:
             return 0.0
@@ -49,10 +72,12 @@ class _Hook:
 
 
 class SequentialEngine:
-    """Drives a :class:`GossipProtocol` under the serial scheduling model.
+    """Drives a protocol or kernel under the serial scheduling model.
 
     Args:
-        protocol: the protocol instance (owns all node state).
+        protocol: the protocol instance (owns all node state), or a
+            :class:`~repro.kernel.base.SimulationKernel` backend to which
+            all state mutation is delegated in batches.
         loss: message-loss model; defaults to a lossless network.
         seed: RNG seed (or an existing generator) for full reproducibility.
     """
@@ -64,6 +89,9 @@ class SequentialEngine:
         seed: SeedLike = None,
     ):
         self.protocol = protocol
+        self.kernel: Optional[SimulationKernel] = (
+            protocol if isinstance(protocol, SimulationKernel) else None
+        )
         self.loss = loss if loss is not None else NoLoss()
         self.rng = make_rng(seed)
         self.stats = EngineStats()
@@ -72,9 +100,14 @@ class SequentialEngine:
         # Per-node transport load: §2 motivates load balance (Property M2)
         # by "the number of messages received by a node is proportional to
         # the number of its in-neighbors" — these counters let experiments
-        # verify that operational reading directly.
-        self.received_by: Dict[NodeId, int] = {}
-        self.sent_by: Dict[NodeId, int] = {}
+        # verify that operational reading directly.  Kernel backends own
+        # the counters; the dict-like views read through to them.
+        if self.kernel is not None:
+            self.received_by = LoadCounts(self.kernel, "received")
+            self.sent_by = LoadCounts(self.kernel, "sent")
+        else:
+            self.received_by: Dict[NodeId, int] = {}
+            self.sent_by: Dict[NodeId, int] = {}
 
     # ------------------------------------------------------------------
     # Stepping
@@ -82,6 +115,9 @@ class SequentialEngine:
 
     def step(self) -> None:
         """One scheduler pick: a uniformly random node initiates an action."""
+        if self.kernel is not None:
+            self.kernel.run_batch(1, self.rng, self.loss, self.stats)
+            return
         nodes = self.protocol.node_ids()
         if not nodes:
             raise RuntimeError("no live nodes to schedule")
@@ -90,6 +126,10 @@ class SequentialEngine:
 
     def step_node(self, initiator: NodeId) -> None:
         """Run one complete action initiated by ``initiator``."""
+        if self.kernel is not None:
+            raise NotImplementedError(
+                "kernel backends schedule initiators internally; use step()"
+            )
         self.stats.actions += 1
         message = self.protocol.initiate(initiator, self.rng)
         if message is not None:
@@ -109,10 +149,12 @@ class SequentialEngine:
             return
         if not self.protocol.has_node(message.target):
             # Departed target: message evaporates (the sender cannot tell).
+            # Not network loss — tracked separately so loss_fraction()
+            # reflects ℓ alone even under churn.
             if is_reply:
-                self.stats.replies_lost += 1
+                self.stats.replies_to_departed += 1
             else:
-                self.stats.messages_lost += 1
+                self.stats.messages_to_departed += 1
             return
         self.stats.messages_delivered += 1
         self.received_by[message.target] = self.received_by.get(message.target, 0) + 1
@@ -120,10 +162,36 @@ class SequentialEngine:
         if reply is not None:
             self._transmit(reply, is_reply=True)
 
+    def _population(self) -> int:
+        if self.kernel is not None:
+            return self.kernel.population
+        return len(self.protocol.node_ids())
+
+    def _next_batch_size(self, remaining: int) -> int:
+        """Largest batch that ends no later than the next hook boundary."""
+        population = max(self._population(), 1)
+        limit = min(remaining, MAX_BATCH_ACTIONS)
+        for hook in self._hooks:
+            to_boundary = (hook.next_round - 1e-9 - self.rounds_completed) * population
+            limit = min(limit, max(1, math.ceil(to_boundary)))
+        return limit
+
+    def _run_kernel_actions(self, count: int) -> None:
+        remaining = count
+        while remaining > 0:
+            batch = self._next_batch_size(remaining)
+            self.kernel.run_batch(batch, self.rng, self.loss, self.stats)
+            self.rounds_completed += batch / max(self.kernel.population, 1)
+            self._fire_hooks()
+            remaining -= batch
+
     def run_actions(self, count: int) -> None:
         """Run ``count`` scheduler picks, firing any registered hooks."""
         if count < 0:
             raise ValueError(f"count must be nonnegative, got {count}")
+        if self.kernel is not None:
+            self._run_kernel_actions(count)
+            return
         for _ in range(count):
             self.step()
             population = max(len(self.protocol.node_ids()), 1)
@@ -139,6 +207,12 @@ class SequentialEngine:
         if rounds < 0:
             raise ValueError(f"rounds must be nonnegative, got {rounds}")
         target = self.rounds_completed + rounds
+        if self.kernel is not None:
+            while self.rounds_completed < target - 1e-12:
+                population = max(self.kernel.population, 1)
+                needed = math.ceil((target - 1e-12 - self.rounds_completed) * population)
+                self._run_kernel_actions(max(1, needed))
+            return
         while self.rounds_completed < target - 1e-12:
             self.step()
             population = max(len(self.protocol.node_ids()), 1)

@@ -19,7 +19,7 @@ overlap than S&F.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget

@@ -9,13 +9,17 @@ engine runs a warm-up period so measurements happen in the steady state
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
 from repro.engine.sequential import SequentialEngine
+from repro.kernel import ArrayKernel, ReferenceKernel, SimulationKernel
 from repro.net.loss import LossModel, UniformLoss
 from repro.util.rng import SeedLike
+
+#: Valid values for ``build_sf_system``'s ``backend`` argument.
+BACKENDS = ("reference", "array", "reference-kernel")
 
 
 def build_sf_system(
@@ -25,7 +29,8 @@ def build_sf_system(
     seed: SeedLike = None,
     init_outdegree: Optional[int] = None,
     loss_model: Optional[LossModel] = None,
-) -> Tuple[SendForget, SequentialEngine]:
+    backend: str = "reference",
+) -> Tuple[Union[SendForget, SimulationKernel], SequentialEngine]:
     """Create ``n`` S&F nodes on a ring bootstrap plus a sequential engine.
 
     Node ``u`` starts with out-edges to ``u+1 .. u+init_outdegree`` (mod n),
@@ -33,6 +38,20 @@ def build_sf_system(
     initial outdegree is three quarters of the view size, rounded to an
     even value within ``[d_low, s]`` — comfortably inside the protocol's
     working range.
+
+    ``backend`` selects the state-mutation layer:
+
+    - ``"reference"`` (default) — the legacy per-action ``SendForget``
+      path, bit-identical to historical runs at any given seed;
+    - ``"array"`` — the vectorized :class:`repro.kernel.ArrayKernel`
+      (one numpy id-matrix for all views, batched execution);
+    - ``"reference-kernel"`` — ``SendForget`` objects driven through the
+      batched kernel discipline (mainly for equivalence testing).
+
+    The two kernel backends share a canonical randomness discipline and
+    are bit-identical to *each other* at any seed, but consume the RNG
+    stream differently from ``"reference"``, so per-seed trajectories
+    differ across that boundary (distributions do not).
     """
     if n < 3:
         raise ValueError(f"need at least 3 nodes, got {n}")
@@ -46,7 +65,14 @@ def build_sf_system(
             f"init_outdegree={init_outdegree} needs n > init_outdegree, got n={n}"
         )
     params.validate_outdegree(init_outdegree)
-    protocol = SendForget(params)
+    if backend == "reference":
+        protocol: Union[SendForget, SimulationKernel] = SendForget(params)
+    elif backend == "array":
+        protocol = ArrayKernel(params, capacity=n)
+    elif backend == "reference-kernel":
+        protocol = ReferenceKernel(params)
+    else:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     for u in range(n):
         bootstrap = [(u + k) % n for k in range(1, init_outdegree + 1)]
         protocol.add_node(u, bootstrap)

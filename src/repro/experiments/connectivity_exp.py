@@ -57,6 +57,7 @@ def run(
     simulate_n: int = 300,
     simulate_snapshots: int = 20,
     seed: int = 74,
+    backend: str = "reference",
 ) -> ConnectivityResult:
     """Tabulate minimal ``dL`` per (ℓ, δ, ε); optionally simulate."""
     result = ConnectivityResult()
@@ -68,16 +69,18 @@ def run(
                 result.rows.append((loss, delta, epsilon, d_low, achieved))
     if simulate:
         result.simulated_connected_fraction = _simulate(
-            simulate_n, simulate_snapshots, seed
+            simulate_n, simulate_snapshots, seed, backend
         )
     return result
 
 
-def _simulate(n: int, snapshots: int, seed: int) -> float:
+def _simulate(n: int, snapshots: int, seed: int, backend: str = "reference") -> float:
     from repro.experiments.common import build_sf_system, warm_up
 
     params = SFParams(view_size=40, d_low=26)
-    protocol, engine = build_sf_system(n, params, loss_rate=0.01, seed=seed)
+    protocol, engine = build_sf_system(
+        n, params, loss_rate=0.01, seed=seed, backend=backend
+    )
     warm_up(engine, 200.0)
     connected = 0
     for _ in range(snapshots):

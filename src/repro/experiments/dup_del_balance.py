@@ -71,6 +71,7 @@ def run(
     measure_rounds: float = 300.0,
     seed: int = 66,
     tolerance: float = 0.01,
+    backend: str = "reference",
 ) -> DupDelResult:
     """Measure the balance per loss rate.
 
@@ -83,7 +84,9 @@ def run(
         params = SFParams(view_size=40, d_low=18)
     result = DupDelResult(params=params, delta=delta)
     for loss in losses:
-        protocol, engine = build_sf_system(n, params, loss_rate=loss, seed=seed)
+        protocol, engine = build_sf_system(
+            n, params, loss_rate=loss, seed=seed, backend=backend
+        )
         warm_up(engine, warmup_rounds)
         engine.run_rounds(measure_rounds)
         dup = protocol.stats.duplication_probability()

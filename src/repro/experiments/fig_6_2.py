@@ -13,7 +13,7 @@ lossy/dup/del transitions connect the diagonals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.core.params import SFParams
 from repro.markov.degree_mc import DegreeMarkovChain

@@ -84,10 +84,12 @@ def run(
     simulate_n: int = 400,
     simulate_rounds: Tuple[float, float] = (600.0, 200.0),
     seed: int = 2009,
+    backend: str = "reference",
 ) -> Fig63Result:
     """Solve the degree MC per loss rate; optionally validate by simulation.
 
-    ``simulate_rounds`` is (warm-up rounds, measurement rounds).
+    ``simulate_rounds`` is (warm-up rounds, measurement rounds); ``backend``
+    selects the simulation kernel (see ``build_sf_system``).
     """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
@@ -109,7 +111,7 @@ def run(
         )
         if simulate:
             row.simulated_indegree_mean, row.simulated_outdegree_mean = _simulate(
-                params, loss, simulate_n, simulate_rounds, seed
+                params, loss, simulate_n, simulate_rounds, seed, backend
             )
         result.rows.append(row)
     return result
@@ -121,12 +123,15 @@ def _simulate(
     n: int,
     rounds: Tuple[float, float],
     seed: int,
+    backend: str = "reference",
 ) -> Tuple[float, float]:
     import numpy as np
 
     from repro.experiments.common import build_sf_system, warm_up
 
-    protocol, engine = build_sf_system(n, params, loss_rate=loss, seed=seed)
+    protocol, engine = build_sf_system(
+        n, params, loss_rate=loss, seed=seed, backend=backend
+    )
     warm_up(engine, rounds[0])
     # Average degrees over several snapshots of the measurement window.
     in_means: List[float] = []

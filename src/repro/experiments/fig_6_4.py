@@ -68,6 +68,7 @@ def run(
     simulate_leavers: int = 20,
     warmup_rounds: float = 300.0,
     seed: int = 64,
+    backend: str = "reference",
 ) -> Fig64Result:
     """Compute the Lemma 6.10 curves; optionally simulate actual decay."""
     if params is None:
@@ -87,6 +88,7 @@ def run(
                 simulate_leavers,
                 warmup_rounds,
                 seed,
+                backend,
             )
     return result
 
@@ -99,10 +101,13 @@ def _simulate_decay(
     leavers: int,
     warmup_rounds: float,
     seed: int,
+    backend: str = "reference",
 ) -> List[float]:
     from repro.experiments.common import build_sf_system, warm_up
 
-    protocol, engine = build_sf_system(n, params, loss_rate=loss, seed=seed)
+    protocol, engine = build_sf_system(
+        n, params, loss_rate=loss, seed=seed, backend=backend
+    )
     warm_up(engine, warmup_rounds)
     victims = protocol.node_ids()[:leavers]
     for victim in victims:

@@ -73,6 +73,7 @@ def run(
     warmup_rounds: float = 400.0,
     measure_rounds: float = 100.0,
     seed: int = 79,
+    backend: str = "reference",
 ) -> IndependenceResult:
     """Measure dependence per loss rate against the Lemma 7.9 bound.
 
@@ -87,7 +88,9 @@ def run(
         params = SFParams(view_size=40, d_low=18)
     result = IndependenceResult(params=params, n=n)
     for loss in losses:
-        protocol, engine = build_sf_system(n, params, loss_rate=loss, seed=seed)
+        protocol, engine = build_sf_system(
+            n, params, loss_rate=loss, seed=seed, backend=backend
+        )
         warm_up(engine, warmup_rounds)
         fractions = []
         snapshots = 5

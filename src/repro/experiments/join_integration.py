@@ -73,6 +73,7 @@ def run(
     warmup_rounds: float = 300.0,
     horizon_rounds: Optional[float] = None,
     seed: int = 614,
+    backend: str = "reference",
 ) -> JoinIntegrationResult:
     """Run the join-integration experiment.
 
@@ -85,7 +86,9 @@ def run(
         params = SFParams(view_size=40, d_low=20)
     if horizon_rounds is None:
         horizon_rounds = 2.0 * params.view_size
-    protocol, engine = build_sf_system(n, params, loss_rate=loss_rate, seed=seed)
+    protocol, engine = build_sf_system(
+        n, params, loss_rate=loss_rate, seed=seed, backend=backend
+    )
     warm_up(engine, warmup_rounds)
     expected_indegree = float(np.mean(list(protocol.indegrees().values())))
 

@@ -59,6 +59,7 @@ def run(
     measure_rounds: float = 200.0,
     snapshots: int = 20,
     seed: int = 92,
+    backend: str = "reference",
 ) -> MessageLoadResult:
     """Measure per-node receive load against time-averaged indegree."""
     from repro.experiments.common import build_sf_system, warm_up
@@ -66,7 +67,9 @@ def run(
 
     if params is None:
         params = SFParams(view_size=40, d_low=18)
-    protocol, engine = build_sf_system(n, params, loss_rate=loss_rate, seed=seed)
+    protocol, engine = build_sf_system(
+        n, params, loss_rate=loss_rate, seed=seed, backend=backend
+    )
     warm_up(engine, warmup_rounds)
     engine.received_by.clear()
     engine.sent_by.clear()

@@ -16,7 +16,7 @@ Solved entirely with the degree MC — no simulation needed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.params import SFParams
 from repro.markov.degree_mc import DegreeMarkovChain

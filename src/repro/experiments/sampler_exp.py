@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget

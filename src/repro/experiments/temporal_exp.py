@@ -99,6 +99,7 @@ def run_decay(
     sample_every: int = 5,
     warmup_rounds: float = 150.0,
     seed: int = 715,
+    backend: str = "reference",
 ) -> TemporalDecayResult:
     """Empirical overlap-decay curves per loss rate."""
     from repro.experiments.common import build_sf_system, warm_up
@@ -114,7 +115,7 @@ def run_decay(
     )
     for loss in losses:
         protocol, engine = build_sf_system(
-            n, params, loss_rate=loss, seed=seed, init_outdegree=10
+            n, params, loss_rate=loss, seed=seed, init_outdegree=10, backend=backend
         )
         warm_up(engine, warmup_rounds)
         xs, ys = temporal_decorrelation_series(engine, max_rounds, sample_every)

@@ -94,6 +94,7 @@ def run_empirical(
     sample_gap_rounds: float = 12.0,
     replications: int = 6,
     seed: int = 76,
+    backend: str = "reference",
 ) -> EmpiricalUniformityResult:
     """Empirical occupancy uniformity, pooled over independent runs.
 
@@ -115,6 +116,7 @@ def run_empirical(
             loss_rate=loss_rate,
             seed=seed + replication,
             init_outdegree=min(4, params.view_size - 2),
+            backend=backend,
         )
         warm_up(engine, warmup_rounds)
         tracker = OccupancyTracker(protocol)

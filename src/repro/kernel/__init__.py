@@ -1,0 +1,35 @@
+"""Pluggable simulation kernels for the S&F protocol.
+
+A :class:`~repro.kernel.base.SimulationKernel` owns population state and
+executes batches of scheduler picks under a canonical randomness
+discipline, so that every backend driven from the same seed produces
+bit-identical views and statistics.  Two backends ship:
+
+- :class:`~repro.kernel.reference.ReferenceKernel` — object-per-node
+  (``SendForget`` views), the paper-faithful ground truth;
+- :class:`~repro.kernel.array.ArrayKernel` — all views in one ``(n, s)``
+  numpy id-matrix plus dependence bitmask, executing conflict-free
+  prefixes of each batch as masked array operations.
+"""
+
+from repro.kernel.array import ArrayKernel
+from repro.kernel.base import (
+    ActionDraws,
+    LoadCounts,
+    SimulationKernel,
+    decide_loss,
+    draw_action_block,
+    rank_from_uniform,
+)
+from repro.kernel.reference import ReferenceKernel
+
+__all__ = [
+    "ActionDraws",
+    "ArrayKernel",
+    "LoadCounts",
+    "ReferenceKernel",
+    "SimulationKernel",
+    "decide_loss",
+    "draw_action_block",
+    "rank_from_uniform",
+]

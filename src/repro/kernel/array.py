@@ -1,0 +1,589 @@
+"""The vectorized array kernel: the whole population in one id-matrix.
+
+State layout (``n`` live rows, view size ``s``):
+
+* ``ids``  — ``(capacity, s)`` int64; slot ``(r, c)`` holds a node id, or
+  ``-1`` for ⊥.  Row ``r`` is the ``r``-th node of the canonical ordering.
+* ``dep``  — ``(capacity, s)`` bool; the dependence bitmask (Fig 7.1
+  labels, operationally: "received via duplication").
+* ``outdeg``, ``sent``, ``received`` — per-row counters.
+* ``node_at`` / ``row_of`` — the row ↔ node-id bijection (ids stored in
+  ``ids`` are *node ids*, so views survive the swap-remove row moves of
+  churn untouched, exactly like the object implementation).
+
+Execution: a batch of ``B`` scheduler picks first draws the canonical
+randomness block (:func:`repro.kernel.base.draw_action_block` — slot
+sampling and loss uniforms vectorized up front), then splits the batch
+into maximal *conflict-free* groups: a prefix of actions whose initiators
+and targets are pairwise disjoint.  Within a group every action reads
+pre-group state and writes to its own rows only, so the group executes as
+masked array operations (duplication/deletion branches, sender clears,
+ranked empty-slot stores) in any order — the result is bit-identical to
+sequential execution.  Group length is ~Θ(√n) (birthday bound), so larger
+populations vectorize *better*; per-action Python cost is O(1) and
+independent of ``n``.
+
+Equivalence with :class:`repro.kernel.reference.ReferenceKernel` — same
+draws, same canonical ordering, same empty-slot ranking — is enforced
+slot-for-slot by ``tests/test_kernel_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.params import SFParams
+from repro.kernel.base import (
+    NodeId,
+    SimulationKernel,
+    ViewSlots,
+    draw_action_block,
+)
+from repro.net.loss import LossModel, UniformLoss
+
+EMPTY = -1
+
+#: Hard cap on how many upcoming actions one conflict scan pre-gathers.
+#: The live window adapts to the observed group length (≈√n), since
+#: gather+sort work beyond the accepted prefix is discarded.
+_SCAN_WINDOW = 1024
+
+
+class ArrayKernel(SimulationKernel):
+    """S&F over a single ``(n, s)`` numpy id-matrix with masked batch ops."""
+
+    def __init__(self, params: SFParams, capacity: int = 64):
+        super().__init__(params)
+        s = params.view_size
+        capacity = max(capacity, 1)
+        self._n = 0
+        self._ids = np.full((capacity, s), EMPTY, dtype=np.int64)
+        self._dep = np.zeros((capacity, s), dtype=bool)
+        self._outdeg = np.zeros(capacity, dtype=np.int64)
+        self._sent = np.zeros(capacity, dtype=np.int64)
+        self._received = np.zeros(capacity, dtype=np.int64)
+        self._node_at = np.zeros(capacity, dtype=np.int64)
+        # Dense id → row index (-1 = not live).  Node ids must therefore be
+        # small nonnegative integers; the index makes the per-window target
+        # lookup one fancy-indexing gather instead of a dict loop.
+        self._id_index = np.full(capacity, -1, dtype=np.int64)
+        self._window_hint = 64
+        # Scratch row-position marks for the unordered freshness scan.
+        self._mark = np.empty(0, dtype=np.int64)
+
+    # -- population management --------------------------------------------
+
+    @property
+    def population(self) -> int:
+        return self._n
+
+    def node_ids(self) -> List[NodeId]:
+        return self._node_at[: self._n].tolist()
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return 0 <= node_id < self._id_index.shape[0] and self._id_index[node_id] >= 0
+
+    def _grow(self) -> None:
+        capacity = self._ids.shape[0] * 2
+        for name in ("_ids", "_dep", "_outdeg", "_sent", "_received", "_node_at"):
+            old = getattr(self, name)
+            shape = (capacity,) + old.shape[1:]
+            fill = EMPTY if name == "_ids" else 0
+            new = np.full(shape, fill, dtype=old.dtype)
+            new[: old.shape[0]] = old
+            setattr(self, name, new)
+
+    def _grow_id_index(self, node_id: NodeId) -> None:
+        size = max(self._id_index.shape[0] * 2, node_id + 1)
+        new = np.full(size, -1, dtype=np.int64)
+        new[: self._id_index.shape[0]] = self._id_index
+        self._id_index = new
+
+    def add_node(self, node_id: NodeId, bootstrap_ids: Sequence[NodeId]) -> None:
+        if node_id < 0:
+            raise ValueError(
+                f"array kernel requires nonnegative node ids, got {node_id}"
+            )
+        if self.has_node(node_id):
+            raise ValueError(f"node {node_id} already exists")
+        ids = list(bootstrap_ids)
+        if any(x < 0 for x in ids):
+            raise ValueError("array kernel requires nonnegative bootstrap ids")
+        if len(ids) % 2 != 0:
+            raise ValueError(
+                f"bootstrap view must have even size (Observation 5.1), got {len(ids)}"
+            )
+        if len(ids) < self.params.d_low:
+            raise ValueError(
+                f"joiner needs at least d_low={self.params.d_low} ids, got {len(ids)}"
+            )
+        if len(ids) > self.params.view_size:
+            raise ValueError(
+                f"bootstrap view exceeds view size {self.params.view_size}"
+            )
+        if self._n == self._ids.shape[0]:
+            self._grow()
+        # The id index must cover every id any view can hold, so that a
+        # plain index gather resolves targets (-1 = departed/unknown).
+        peak = max([node_id] + ids)
+        if peak >= self._id_index.shape[0]:
+            self._grow_id_index(peak)
+        row = self._n
+        self._ids[row] = EMPTY
+        self._ids[row, : len(ids)] = ids
+        self._dep[row] = False
+        self._outdeg[row] = len(ids)
+        self._sent[row] = 0
+        self._received[row] = 0
+        self._node_at[row] = node_id
+        self._id_index[node_id] = row
+        self._n += 1
+
+    def remove_node(self, node_id: NodeId) -> None:
+        if not self.has_node(node_id):
+            raise KeyError(f"unknown node {node_id}")
+        row = int(self._id_index[node_id])
+        self._id_index[node_id] = -1
+        last = self._n - 1
+        if row != last:
+            self._ids[row] = self._ids[last]
+            self._dep[row] = self._dep[last]
+            self._outdeg[row] = self._outdeg[last]
+            self._sent[row] = self._sent[last]
+            self._received[row] = self._received[last]
+            moved = int(self._node_at[last])
+            self._node_at[row] = moved
+            self._id_index[moved] = row
+        self._n = last
+
+    # -- execution ---------------------------------------------------------
+
+    def run_batch(self, count: int, rng, loss: LossModel, engine_stats) -> None:
+        if self._n == 0:
+            raise RuntimeError("no live nodes to schedule")
+        if count <= 0:
+            return
+        draws = draw_action_block(rng, count, self._n, self.params.view_size)
+        engine_stats.actions += count
+        self.stats.actions += count
+        # Uniform loss is decided for the whole batch in one masked op;
+        # other models are consulted per message inside the groups.
+        lost_all = draws.loss_u < loss.rate if isinstance(loss, UniformLoss) else None
+
+        if lost_all is not None:
+            self._run_unordered(draws, lost_all, loss, rng, engine_stats, count)
+        else:
+            self._run_prefix(draws, loss, rng, engine_stats, count)
+
+    def _run_unordered(self, draws, lost_all, loss, rng, engine_stats, count):
+        """Dependency-DAG scheduling for order-independent loss decisions.
+
+        An action is *fresh* when neither of its touched rows appears in
+        any earlier window action; freshness defers the later action of
+        every collision, so all fresh actions commute with everything
+        before them and execute simultaneously.  Deferred actions retry
+        (re-gathered) in the next window, ahead of new draws, preserving
+        their relative order — a topological order of the row-dependency
+        DAG, hence bit-identical to sequential execution.
+
+        One cascade guard: a deferred action whose *initiator* element is
+        stale will have its view slots rewritten before it re-runs, so
+        its re-gathered target row is unknowable now — nothing after it
+        can be proven independent of it, and acceptance truncates there.
+        (A deferral caused only by a target-side collision keeps a valid
+        target: its initiator row is untouched by construction.)
+
+        Requires the loss decision for each message to be precomputed
+        (``lost_all``): stateful models consume their aux stream in
+        action order and must use :meth:`_run_prefix`.
+        """
+        s = self.params.view_size
+        index = self._id_index
+        if self._mark.shape[0] < self._n:
+            self._mark = np.empty(self._ids.shape[0], dtype=np.int64)
+        mark = self._mark
+        pending = np.empty(0, dtype=np.int64)
+        pos = 0
+        while pos < count or pending.size:
+            take = min(max(self._window_hint - pending.size, 0), count - pos)
+            win_idx = np.concatenate([pending, np.arange(pos, pos + take)])
+            pos += take
+            u_win = draws.initiators.take(win_idx)
+            i_win = draws.slot_i.take(win_idx)
+            j_win = draws.slot_j.take(win_idx)
+            flat_ids = self._ids.reshape(-1)
+            base_w = u_win * s
+            vi_win = flat_ids.take(base_w + i_win)
+            vj_win = flat_ids.take(base_w + j_win)
+            valid = (vi_win >= 0) & (vj_win >= 0)
+            t_rows = np.where(valid, index.take(np.maximum(vi_win, 0)), -2)
+
+            window = win_idx.size
+            rows = np.empty(2 * window, dtype=np.int64)
+            rows[0::2] = u_win
+            rows[1::2] = np.where(t_rows >= 0, t_rows, u_win)
+            # First-occurrence scan via a reversed duplicate-index scatter:
+            # numpy stores fancy-indexed assignments in order, so after
+            # writing positions back-to-front the *first* occurrence of
+            # each row is what its mark holds, and an element is fresh iff
+            # it reads back its own position.  Marks left over from prior
+            # iterations are never consulted — every mark read here was
+            # just written.  (Cheaper than a stable argsort per window.)
+            positions = np.arange(2 * window)
+            mark[rows[::-1]] = positions[::-1]
+            fresh = mark.take(rows) == positions
+            # ``u == target`` within one action is not a collision.
+            fresh_u = fresh[0::2]
+            acc = fresh_u & (fresh[1::2] | (rows[0::2] == rows[1::2]))
+            # Truncate at the first stale-initiator deferral: its true
+            # target row is unknown until it re-gathers.
+            volatile = (~(acc | fresh_u)).nonzero()[0]
+            if volatile.size:
+                acc[int(volatile[0]):] = False
+            accepted = int(np.count_nonzero(acc))
+            act = (acc & (t_rows != -2)).nonzero()[0]
+            self._execute_group(
+                u_win,
+                i_win,
+                j_win,
+                vi_win,
+                vj_win,
+                t_rows,
+                act,
+                accepted,
+                draws.store_u,
+                win_idx,
+                lost_all,
+                None,
+                loss,
+                rng,
+                engine_stats,
+            )
+            pending = win_idx.compress(~acc)
+            # Same adaptation as the prefix path: gather ~2x what one
+            # iteration actually retires, so scan cost tracks progress.
+            if accepted == window:
+                self._window_hint = min(_SCAN_WINDOW, self._window_hint * 2)
+            else:
+                self._window_hint = min(_SCAN_WINDOW, max(16, 2 * accepted))
+
+    def _run_prefix(self, draws, loss, rng, engine_stats, count):
+        """Strict in-order execution in maximal conflict-free prefixes.
+
+        Used for loss models whose per-message decisions are stateful
+        (e.g. Gilbert–Elliott): the aux stream must be consumed in action
+        order, so actions cannot be reordered even when they commute.
+        """
+        s = self.params.view_size
+        pos = 0
+        while pos < count:
+            window = min(count, pos + self._window_hint)
+            u_win = draws.initiators[pos:window]
+            i_win = draws.slot_i[pos:window]
+            j_win = draws.slot_j[pos:window]
+            base_w = u_win * s
+            flat_ids = self._ids.reshape(-1)
+            vi_win = flat_ids.take(base_w + i_win)
+            vj_win = flat_ids.take(base_w + j_win)
+            accepted, t_rows = self._conflict_free_prefix(u_win, vi_win, vj_win)
+            act = (t_rows != -2).nonzero()[0]
+            self._execute_group(
+                u_win,
+                i_win,
+                j_win,
+                vi_win,
+                vj_win,
+                t_rows,
+                act,
+                accepted,
+                draws.store_u[pos:],
+                None,
+                None,
+                draws.loss_u[pos:],
+                loss,
+                rng,
+                engine_stats,
+            )
+            pos += accepted
+            # Track the group length so the next scan gathers just enough:
+            # double when the window was exhausted conflict-free, otherwise
+            # keep ~2x headroom over the accepted prefix.
+            if accepted == len(u_win):
+                self._window_hint = min(_SCAN_WINDOW, self._window_hint * 2)
+            else:
+                self._window_hint = min(
+                    _SCAN_WINDOW, max(16, 2 * accepted)
+                )
+
+    def _conflict_free_prefix(self, u_win, vi_win, vj_win):
+        """Longest prefix whose touched rows are pairwise disjoint.
+
+        Returns ``(length, target_rows)`` where ``target_rows[k]`` is the
+        live row of action ``k``'s target, ``-1`` for a departed target
+        and ``-2`` for a self-loop action.  Gathered slot values are valid
+        for exactly this prefix: no earlier in-prefix action writes to a
+        later action's initiator row.
+
+        Fully vectorized: target rows come from the dense id index, and
+        the prefix bound from a stable argsort — an action conflicts iff
+        one of its touched rows already occurred in an *earlier* action
+        (``u == target`` within one action is not a conflict).
+        """
+        # ``add_node`` grows the id index over every bootstrap id, so any
+        # id a view can hold indexes it safely; -1 there means departed.
+        index = self._id_index
+        valid = (vi_win >= 0) & (vj_win >= 0)
+        t_rows = np.where(valid, index.take(np.maximum(vi_win, 0)), -2)
+
+        window = len(u_win)
+        rows = np.empty(2 * window, dtype=np.int64)
+        rows[0::2] = u_win
+        rows[1::2] = np.where(t_rows >= 0, t_rows, u_win)
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows.take(order)
+        actions = order >> 1
+        # Adjacent equal values straddling two actions flag the later one.
+        # The stable sort keeps equal values in position (hence action)
+        # order, so every flag is a genuine conflict; and the first
+        # conflicting action is always flagged, because the first of its
+        # repeated-row entries sits right after an earlier action's entry
+        # in its tie run.
+        flagged = (sorted_rows[1:] == sorted_rows[:-1]) & (
+            actions[1:] != actions[:-1]
+        )
+        if not flagged.any():
+            return window, t_rows
+        accepted = int(actions[1:][flagged].min())
+        return accepted, t_rows[:accepted]
+
+    def _execute_group(
+        self, u, i, j, vi, vj, t_rows, act, group_size, store_u, abs_idx,
+        lost_pre, loss_u, loss, rng, engine_stats,
+    ) -> None:
+        """Execute one group of mutually independent actions.
+
+        ``u``/``i``/``j``/``vi``/``vj``/``t_rows`` are window-level
+        arrays; ``act`` holds the window positions of the group's
+        non-self-loop actions, and ``group_size`` counts every executed
+        action including self-loops.  ``abs_idx`` (the window's absolute
+        batch positions) is set on the unordered path so ``store_u`` and
+        ``lost_pre`` — full-batch arrays there — are indexed per action
+        actually needing them; the prefix path passes views instead.
+        """
+        stats = self.stats
+        n_act = act.size
+        stats.self_loops += group_size - n_act
+        if n_act == 0:
+            return
+        s = self.params.view_size
+        flat_ids = self._ids.reshape(-1)
+        flat_dep = self._dep.reshape(-1)
+        ua = u.take(act)
+        ta_rows = t_rows.take(act)
+        dup = self._outdeg.take(ua) <= self.params.d_low
+
+        stats.non_self_loop_actions += n_act
+        stats.messages_sent += n_act
+        stats.duplications += int(np.count_nonzero(dup))
+        engine_stats.messages_sent += n_act
+        self._sent[ua] += 1
+
+        # Fig 5.1 left, line 7: clear both slots unless duplicating.
+        keep = act.compress(~dup)
+        rows_nd = u.take(keep)
+        base_nd = rows_nd * s
+        idx_i = base_nd + i.take(keep)
+        idx_j = base_nd + j.take(keep)
+        flat_ids[idx_i] = EMPTY
+        flat_dep[idx_i] = False
+        flat_ids[idx_j] = EMPTY
+        flat_dep[idx_j] = False
+        self._outdeg[rows_nd] -= 2
+
+        if lost_pre is not None:
+            lost = lost_pre.take(abs_idx.take(act))
+        else:
+            lost = np.empty(n_act, dtype=bool)
+            sender_ids = self._node_at[ua].tolist()
+            target_ids = vi[act].tolist()
+            u_vals = loss_u[act].tolist()
+            for k in range(n_act):
+                rate = loss.rate_for(sender_ids[k], target_ids[k])
+                if rate is None:
+                    lost[k] = loss.is_lost(
+                        sender_ids[k], target_ids[k], self.aux_rng(rng)
+                    )
+                else:
+                    lost[k] = u_vals[k] < rate
+        n_lost = int(np.count_nonzero(lost))
+        engine_stats.messages_lost += n_lost
+
+        deliver = (~lost & (ta_rows >= 0)).nonzero()[0]
+        n_deliver = deliver.size
+        # Arrived messages split into live targets (delivered) and departed
+        # ones (t_row == -1), so the departed count needs no extra scan.
+        engine_stats.messages_to_departed += n_act - n_lost - n_deliver
+        if n_deliver == 0:
+            return
+        rows_t = ta_rows.take(deliver)
+        engine_stats.messages_delivered += n_deliver
+        stats.deliveries += n_deliver
+        self._received[rows_t] += 1
+
+        # Fig 5.1 right: all-or-nothing capacity gate, then ranked stores.
+        capacity = s - self._outdeg.take(rows_t)
+        accept = (capacity >= 2).nonzero()[0]
+        stats.deletions += n_deliver - accept.size
+        if accept.size == 0:
+            return
+        da = deliver.take(accept)  # positions within the act-subset
+        ad = act.take(da)  # positions within the group
+        rows_s = rows_t.take(accept)
+        c = capacity.take(accept)
+        su = store_u[abs_idx.take(ad) if abs_idx is not None else ad]
+        flags = dup.take(da)
+        first_ids = self._node_at.take(ua.take(da))  # the sender's own id
+        second_ids = vj.take(ad)
+
+        k1 = np.minimum((su[:, 0] * c).astype(np.int64), c - 1)
+        k2 = np.minimum((su[:, 1] * (c - 1)).astype(np.int64), c - 2)
+        k2 = k2 + (k2 >= k1)  # rank among empties remaining after the first store
+        empties = self._ids.take(rows_s, axis=0) == EMPTY
+        ranks = empties.cumsum(axis=1)
+        slot1 = (ranks == (k1 + 1)[:, None]).argmax(axis=1)
+        slot2 = (ranks == (k2 + 1)[:, None]).argmax(axis=1)
+        base_s = rows_s * s
+        sidx1 = base_s + slot1
+        sidx2 = base_s + slot2
+        flat_ids[sidx1] = first_ids
+        flat_dep[sidx1] = flags
+        flat_ids[sidx2] = second_ids
+        flat_dep[sidx2] = flags
+        self._outdeg[rows_s] += 2
+
+    # -- observation -------------------------------------------------------
+
+    def _row(self, node_id: NodeId) -> int:
+        if not self.has_node(node_id):
+            raise KeyError(f"unknown node {node_id}")
+        return int(self._id_index[node_id])
+
+    def view_of(self, node_id: NodeId) -> Counter:
+        row = self._ids[self._row(node_id)]
+        return Counter(row[row != EMPTY].tolist())
+
+    def view_slots(self, node_id: NodeId) -> ViewSlots:
+        row = self._row(node_id)
+        return tuple(
+            None if node == EMPTY else (node, dependent)
+            for node, dependent in zip(
+                self._ids[row].tolist(), self._dep[row].tolist()
+            )
+        )
+
+    def outdegree(self, node_id: NodeId) -> int:
+        return int(self._outdeg[self._row(node_id)])
+
+    def degree_arrays(self):
+        """Vectorized ``(outdegrees, indegrees)`` over live nodes, row order.
+
+        The fast path behind :func:`repro.metrics.degrees.degree_summary`:
+        indegrees are one ``np.unique`` over the live portion of the
+        id-matrix instead of ``n`` Counter walks.
+        """
+        n = self._n
+        out = self._outdeg[:n].copy()
+        flat = self._ids[:n].ravel()
+        flat = flat[flat != EMPTY]
+        held_ids, counts = np.unique(flat, return_counts=True)
+        indeg = np.zeros(n, dtype=np.int64)
+        live = self._node_at[:n]
+        position = np.searchsorted(held_ids, live)
+        position = np.clip(position, 0, max(len(held_ids) - 1, 0))
+        if len(held_ids):
+            matched = held_ids[position] == live
+            indeg[matched] = counts[position[matched]]
+        return out, indeg
+
+    def indegrees(self) -> Dict[NodeId, int]:
+        _, indeg = self.degree_arrays()
+        return dict(zip(self.node_ids(), indeg.tolist()))
+
+    def array_state(self):
+        """``(ids, node_at)`` live slices for metrics fast paths (read-only)."""
+        return self._ids[: self._n], self._node_at[: self._n]
+
+    def view_ids_array(self, node_id: NodeId) -> np.ndarray:
+        """Nonempty ids of one view as an array (uniformity fast path)."""
+        row = self._ids[self._row(node_id)]
+        return row[row != EMPTY]
+
+    def dependent_fraction(self) -> float:
+        n = self._n
+        if n == 0:
+            return 0.0
+        dependent = 0
+        total = 0
+        chunk = 4096
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            ids = self._ids[start:stop]
+            nonempty = ids != EMPTY
+            labeled = self._dep[start:stop] & nonempty
+            own = self._node_at[start:stop, None]
+            self_edge = (ids == own) & nonempty & ~labeled
+            # "All but the first copy" of an id within one view: an entry is
+            # a duplicate if any earlier slot holds the same id.
+            earlier = (ids[:, None, :] == ids[:, :, None]) & (
+                nonempty[:, None, :] & nonempty[:, :, None]
+            )
+            slot = np.arange(ids.shape[1])
+            earlier &= slot[None, None, :] < slot[None, :, None]
+            duplicate = earlier.any(axis=2) & nonempty & ~labeled & ~self_edge
+            dependent += int(labeled.sum() + self_edge.sum() + duplicate.sum())
+            total += int(nonempty.sum())
+        if total == 0:
+            return 0.0
+        return dependent / total
+
+    def check_invariant(self) -> None:
+        n = self._n
+        ids = self._ids[:n]
+        outdeg = self._outdeg[:n]
+        if not np.array_equal((ids != EMPTY).sum(axis=1), outdeg):
+            raise AssertionError("outdegree counter out of sync with id-matrix")
+        if (outdeg % 2).any():
+            rows = np.nonzero(outdeg % 2)[0]
+            raise AssertionError(
+                f"node {int(self._node_at[rows[0]])} has odd outdegree "
+                f"{int(outdeg[rows[0]])}"
+            )
+        low, high = self.params.d_low, self.params.view_size
+        if ((outdeg < low) | (outdeg > high)).any():
+            rows = np.nonzero((outdeg < low) | (outdeg > high))[0]
+            raise AssertionError(
+                f"node {int(self._node_at[rows[0]])} outdegree "
+                f"{int(outdeg[rows[0]])} outside [{low}, {high}]"
+            )
+        if self._dep[:n][ids == EMPTY].any():
+            raise AssertionError("dependence bit set on an empty slot")
+        live = np.flatnonzero(self._id_index >= 0)
+        if live.size != n:
+            raise AssertionError("id index size out of sync with population")
+        rows = self._id_index[live]
+        if (rows >= n).any() or not np.array_equal(self._node_at[rows], live):
+            raise AssertionError("id index out of sync with node_at")
+
+    def load_counts(self, kind: str) -> Dict[NodeId, int]:
+        counts = self._sent if kind == "sent" else self._received
+        counts = counts[: self._n]
+        rows = np.nonzero(counts)[0]
+        return {
+            int(self._node_at[row]): int(counts[row]) for row in rows
+        }
+
+    def reset_load_counts(self, kind: str) -> None:
+        (self._sent if kind == "sent" else self._received)[:] = 0

@@ -1,0 +1,264 @@
+"""The pluggable simulation-kernel layer.
+
+A :class:`SimulationKernel` owns the *entire* population state of an S&F
+deployment and executes scheduler picks in batches.  Two implementations
+exist:
+
+* :class:`repro.kernel.reference.ReferenceKernel` — the paper-faithful
+  object-per-node implementation (``SendForget`` over ``View`` objects),
+  executed one action at a time;
+* :class:`repro.kernel.array.ArrayKernel` — all views in a single
+  ``(n, s)`` numpy id-matrix plus a dependence bitmask, executing
+  conflict-free groups of actions as masked array operations.
+
+Both kernels consume randomness through the **canonical draw discipline**
+defined here (:func:`draw_action_block`): for a batch of ``B`` actions the
+kernel draws six fixed-size blocks from the engine's generator, in a fixed
+order, *regardless* of how individual actions branch.  Because the layout
+is state-independent, two kernels driven by equal-seeded generators with
+the same batch schedule consume identical random numbers — and therefore
+must produce bit-identical views, statistics, and invariants.  That is the
+equivalence guarantee ``tests/test_kernel_equivalence.py`` enforces.
+
+Canonical conventions shared by every kernel:
+
+* **Node ordering** — nodes are ordered by insertion; removal swap-moves
+  the last node into the vacated position.  The scheduler pick ``r``
+  selects the ``r``-th node of this ordering.
+* **Empty-slot ranking** — a received id is stored into the ``k``-th
+  *lowest-indexed* empty slot, with ``k`` derived from a pre-drawn uniform
+  via :func:`rank_from_uniform`.  (The per-action legacy path instead
+  draws directly from the ``View`` free list; the two disciplines are
+  distributionally identical.)
+* **Loss decisions** — :func:`decide_loss` turns the pre-drawn uniform
+  into a loss verdict for any stateless model; stateful models (e.g.
+  Gilbert–Elliott) draw from a dedicated auxiliary generator, spawned
+  identically by every kernel, so equivalence survives even there.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.params import SFParams
+from repro.model.membership_graph import MembershipGraph
+from repro.net.loss import LossModel
+from repro.protocols.base import ProtocolStats
+
+NodeId = int
+
+#: Slot-exact snapshot of one view: ``None`` for ⊥, else ``(id, dependent)``.
+ViewSlots = Tuple[Optional[Tuple[NodeId, bool]], ...]
+
+
+@dataclass
+class ActionDraws:
+    """Pre-drawn randomness for a batch of actions (one row per action)."""
+
+    initiators: np.ndarray  # position in the canonical node ordering
+    slot_i: np.ndarray      # first selected slot
+    slot_j: np.ndarray      # second selected slot (already offset, ≠ slot_i)
+    loss_u: np.ndarray      # uniform for the loss decision
+    store_u: np.ndarray     # (B, 2) uniforms for the two empty-slot ranks
+
+    def __len__(self) -> int:
+        return len(self.initiators)
+
+
+def draw_action_block(rng, count: int, population: int, view_size: int) -> ActionDraws:
+    """Draw the canonical randomness block for ``count`` actions.
+
+    The layout is fixed: every action consumes one initiator pick, two
+    slot picks, one loss uniform, and two store uniforms, whether or not
+    its branch ends up using them.  Unused draws are simply discarded —
+    the price of a state-independent layout that both kernels can share.
+    """
+    initiators = rng.integers(0, population, size=count)
+    slot_i = rng.integers(0, view_size, size=count)
+    slot_j = rng.integers(0, view_size - 1, size=count)
+    slot_j = slot_j + (slot_j >= slot_i)
+    loss_u = rng.random(count)
+    store_u = rng.random((count, 2))
+    return ActionDraws(initiators, slot_i, slot_j, loss_u, store_u)
+
+
+def rank_from_uniform(u: float, count: int) -> int:
+    """Map a uniform in ``[0, 1)`` to a rank in ``[0, count)``."""
+    return min(int(u * count), count - 1)
+
+
+def decide_loss(loss: LossModel, sender: NodeId, target: NodeId,
+                u: float, kernel: "SimulationKernel", rng) -> bool:
+    """Loss verdict for one message under the canonical discipline.
+
+    Stateless models expose a deterministic per-pair rate via
+    :meth:`repro.net.loss.LossModel.rate_for` and are decided from the
+    pre-drawn uniform ``u``; stateful models fall back to their own
+    ``is_lost`` fed from the kernel's auxiliary generator.  The auxiliary
+    generator is only spawned (one main-stream draw) when actually needed,
+    so stateless runs consume no randomness beyond the canonical block.
+    """
+    rate = loss.rate_for(sender, target)
+    if rate is None:
+        return loss.is_lost(sender, target, kernel.aux_rng(rng))
+    return u < rate
+
+
+class LoadCounts:
+    """Dict-like read view over a kernel's per-node message counters.
+
+    Quacks enough like the legacy ``Dict[NodeId, int]`` attributes of
+    :class:`repro.engine.sequential.SequentialEngine` (``get``, item
+    access, iteration, ``values``, ``clear``) that experiments reading
+    per-node transport load work unchanged on kernel backends.  Nodes
+    with a zero count are omitted, matching the legacy dicts.
+    """
+
+    def __init__(self, kernel: "SimulationKernel", kind: str):
+        self._kernel = kernel
+        self._kind = kind
+
+    def _snapshot(self) -> Dict[NodeId, int]:
+        return self._kernel.load_counts(self._kind)
+
+    def get(self, key: NodeId, default: int = 0) -> int:
+        return self._snapshot().get(key, default)
+
+    def __getitem__(self, key: NodeId) -> int:
+        return self._snapshot()[key]
+
+    def __contains__(self, key: NodeId) -> bool:
+        return key in self._snapshot()
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._snapshot())
+
+    def __len__(self) -> int:
+        return len(self._snapshot())
+
+    def keys(self):
+        return self._snapshot().keys()
+
+    def values(self):
+        return self._snapshot().values()
+
+    def items(self):
+        return self._snapshot().items()
+
+    def clear(self) -> None:
+        self._kernel.reset_load_counts(self._kind)
+
+
+class SimulationKernel(abc.ABC):
+    """Owns population state and executes batches of S&F actions.
+
+    The kernel exposes the same observation surface as
+    :class:`repro.core.sandf.SendForget` (``node_ids``, ``view_of``,
+    ``outdegree``, ``indegrees``, ``dependent_fraction``,
+    ``check_invariant``, ``export_graph``, ``stats``), so experiment and
+    metrics code written against the protocol object runs unchanged on
+    any backend.
+    """
+
+    def __init__(self, params: SFParams):
+        self.params = params
+        self.stats = ProtocolStats()
+        self._aux_rng = None  # lazily spawned; see decide_loss
+
+    # -- population management --------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def population(self) -> int:
+        """Number of live nodes."""
+
+    @abc.abstractmethod
+    def node_ids(self) -> List[NodeId]:
+        """Live node ids in the canonical (insertion/swap-remove) order."""
+
+    @abc.abstractmethod
+    def has_node(self, node_id: NodeId) -> bool: ...
+
+    @abc.abstractmethod
+    def add_node(self, node_id: NodeId, bootstrap_ids: Sequence[NodeId]) -> None:
+        """Join with a bootstrap view (Observation 5.1 rules apply)."""
+
+    @abc.abstractmethod
+    def remove_node(self, node_id: NodeId) -> None:
+        """Leave/fail: swap-remove from the canonical ordering."""
+
+    # -- execution ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def run_batch(self, count: int, rng, loss: LossModel, engine_stats) -> None:
+        """Execute ``count`` scheduler picks, updating all counters.
+
+        ``engine_stats`` is the driving engine's
+        :class:`repro.engine.sequential.EngineStats`; the kernel owns the
+        per-node ``sent``/``received`` load counters itself.
+        """
+
+    def aux_rng(self, rng):
+        """The auxiliary generator for stateful loss models.
+
+        Spawned deterministically from the main stream on first use, so
+        equal-seeded kernels agree on it (both consume exactly one main
+        draw at the same point of the schedule).
+        """
+        if self._aux_rng is None:
+            self._aux_rng = np.random.default_rng(int(rng.integers(0, 2**63 - 1)))
+        return self._aux_rng
+
+    # -- observation -------------------------------------------------------
+
+    @abc.abstractmethod
+    def view_of(self, node_id: NodeId) -> Counter:
+        """The multiset of ids in ``node_id``'s view."""
+
+    @abc.abstractmethod
+    def view_slots(self, node_id: NodeId) -> ViewSlots:
+        """Slot-exact view contents, for the equivalence harness."""
+
+    @abc.abstractmethod
+    def outdegree(self, node_id: NodeId) -> int: ...
+
+    @abc.abstractmethod
+    def dependent_fraction(self) -> float:
+        """Empirical ``1 − α`` (labels + self-edges + in-view duplicates)."""
+
+    @abc.abstractmethod
+    def check_invariant(self) -> None:
+        """Assert Observation 5.1 plus internal state consistency."""
+
+    @abc.abstractmethod
+    def load_counts(self, kind: str) -> Dict[NodeId, int]:
+        """Per-node transport counters; ``kind`` is ``sent`` or ``received``."""
+
+    @abc.abstractmethod
+    def reset_load_counts(self, kind: str) -> None: ...
+
+    def indegrees(self) -> Dict[NodeId, int]:
+        """Indegree of every live node (Property M2 measurement)."""
+        counts: Dict[NodeId, int] = {u: 0 for u in self.node_ids()}
+        for u in self.node_ids():
+            for v, multiplicity in self.view_of(u).items():
+                if v in counts:
+                    counts[v] += multiplicity
+        return counts
+
+    def export_graph(self) -> MembershipGraph:
+        """Snapshot the global membership graph (section 4's object)."""
+        nodes = self.node_ids()
+        graph = MembershipGraph(nodes)
+        for u in nodes:
+            for v, multiplicity in self.view_of(u).items():
+                if not graph.has_node(v):
+                    graph.add_node(v)
+                for _ in range(multiplicity):
+                    graph.add_edge(u, v)
+        return graph

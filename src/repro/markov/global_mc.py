@@ -20,7 +20,7 @@ and raises rather than grinding forever.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

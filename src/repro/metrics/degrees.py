@@ -36,13 +36,30 @@ class DegreeSummary:
 
 
 def degree_summary(protocol: GossipProtocol) -> DegreeSummary:
-    """Summarize the current degree profile of all live nodes."""
+    """Summarize the current degree profile of all live nodes.
+
+    Array-backed kernels expose ``degree_arrays`` (both profiles from the
+    id-matrix in a few vectorized ops); other protocols take the generic
+    per-node walk.
+    """
+    fast = getattr(protocol, "degree_arrays", None)
+    if fast is not None:
+        out, indeg = fast()
+        if out.size == 0:
+            raise ValueError("no live nodes")
+        outdegrees = out.tolist()
+        indegrees = indeg.tolist()
+        return _summary_from(outdegrees, indegrees)
     nodes = protocol.node_ids()
     if not nodes:
         raise ValueError("no live nodes")
     outdegrees = [protocol.outdegree(u) for u in nodes]
     indegree_map = protocol.indegrees()
     indegrees = [indegree_map[u] for u in nodes]
+    return _summary_from(outdegrees, indegrees)
+
+
+def _summary_from(outdegrees: List[int], indegrees: List[int]) -> DegreeSummary:
     return DegreeSummary(
         outdegree_mean=float(np.mean(outdegrees)),
         outdegree_std=float(np.std(outdegrees)),
@@ -71,6 +88,10 @@ def id_instance_count(protocol: GossipProtocol, node_id: int) -> int:
     Unlike :meth:`GossipProtocol.indegrees` this also works for ids of
     departed nodes — the quantity that decays in section 6.5.2.
     """
+    state = getattr(protocol, "array_state", None)
+    if state is not None:
+        ids, _ = state()
+        return int((ids == node_id).sum())
     total = 0
     for u in protocol.node_ids():
         total += protocol.view_of(u).get(node_id, 0)

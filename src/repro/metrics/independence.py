@@ -13,6 +13,8 @@ Two complementary estimators:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.protocols.base import GossipProtocol
 
 
@@ -34,6 +36,9 @@ def mutual_edge_fraction(protocol: GossipProtocol) -> float:
     the expected fraction is ≈ ``E[d]/n``; push and push-pull baselines
     score far above it, S&F only slightly (duplications).
     """
+    state = getattr(protocol, "array_state", None)
+    if state is not None:
+        return _mutual_edge_fraction_array(*state())
     views = {u: protocol.view_of(u) for u in protocol.node_ids()}
     edges = 0
     mutual = 0
@@ -47,6 +52,29 @@ def mutual_edge_fraction(protocol: GossipProtocol) -> float:
     if edges == 0:
         raise ValueError("no membership edges between live nodes")
     return mutual / edges
+
+
+def _mutual_edge_fraction_array(ids: np.ndarray, node_at: np.ndarray) -> float:
+    """Vectorized mutual-edge fraction over an ``(n, s)`` id-matrix.
+
+    Every nonempty slot whose target is live and distinct from its holder
+    is one edge instance; an instance is mutual when the reverse directed
+    pair occurs anywhere in the matrix.  Pairs are encoded as
+    ``src * stride + dst`` scalars so the reverse lookup is one
+    ``np.isin`` against the distinct-pair set.
+    """
+    view_size = ids.shape[1]
+    src_ids = np.repeat(node_at, view_size)
+    dst_ids = ids.ravel()
+    mask = (dst_ids >= 0) & (dst_ids != src_ids) & np.isin(dst_ids, node_at)
+    src_e = src_ids[mask]
+    dst_e = dst_ids[mask]
+    if src_e.size == 0:
+        raise ValueError("no membership edges between live nodes")
+    stride = int(max(node_at.max(), dst_e.max())) + 1
+    pair_keys = np.unique(src_e * stride + dst_e)
+    mutual = int(np.isin(dst_e * stride + src_e, pair_keys).sum())
+    return mutual / src_e.size
 
 
 def neighbor_overlap_fraction(protocol: GossipProtocol, max_pairs: int = 50_000) -> float:

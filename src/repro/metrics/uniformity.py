@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.protocols.base import GossipProtocol
 from repro.util.stats import chi_square_uniformity
 
@@ -33,12 +35,22 @@ class OccupancyTracker:
         self._counts: Dict[Tuple[int, int], int] = {}
 
     def sample(self) -> None:
-        """Record the current views of all observers."""
+        """Record the current views of all observers.
+
+        Array-backed kernels expose ``view_ids_array``; distinct held ids
+        then come from one ``np.unique`` per observer instead of a
+        Counter build.
+        """
         self.samples += 1
+        fast = getattr(self.protocol, "view_ids_array", None)
         for observer in self.observers:
             if not self.protocol.has_node(observer):
                 continue
-            for node_id in self.protocol.view_of(observer):
+            if fast is not None:
+                present = np.unique(fast(observer)).tolist()
+            else:
+                present = self.protocol.view_of(observer)
+            for node_id in present:
                 key = (observer, node_id)
                 self._counts[key] = self._counts.get(key, 0) + 1
 

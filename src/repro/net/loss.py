@@ -8,7 +8,7 @@ the receive step silently never runs — no retransmission, no bookkeeping.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 NodeId = int
 
@@ -19,6 +19,17 @@ class LossModel(abc.ABC):
     @abc.abstractmethod
     def is_lost(self, sender: NodeId, target: NodeId, rng) -> bool:
         """Return True if the message from ``sender`` to ``target`` is lost."""
+
+    def rate_for(self, sender: NodeId, target: NodeId) -> Optional[float]:
+        """The deterministic loss rate for this message, if one exists.
+
+        Stateless models return the probability a message from ``sender``
+        to ``target`` is lost, letting batch kernels decide loss from a
+        pre-drawn uniform (see :func:`repro.kernel.base.decide_loss`).
+        Stateful models (whose verdict needs extra randomness or evolves
+        per message) return ``None`` to request the ``is_lost`` path.
+        """
+        return None
 
     def expected_rate(self) -> float:
         """A nominal overall loss rate, for reporting (may be approximate)."""
@@ -39,6 +50,9 @@ class UniformLoss(LossModel):
         if self.rate == 1.0:
             return True
         return bool(rng.random() < self.rate)
+
+    def rate_for(self, sender: NodeId, target: NodeId) -> float:
+        return self.rate
 
     def expected_rate(self) -> float:
         return self.rate
@@ -152,13 +166,17 @@ class PartitionLoss(LossModel):
         """(Re)activate the partition."""
         self.active = True
 
-    def is_lost(self, sender: NodeId, target: NodeId, rng) -> bool:
+    def rate_for(self, sender: NodeId, target: NodeId) -> float:
         rate = self.base_loss
         if self.active:
             sender_group = self.group_of.get(sender, self.default_group)
             target_group = self.group_of.get(target, self.default_group)
             if sender_group != target_group:
                 rate = self.cross_loss
+        return rate
+
+    def is_lost(self, sender: NodeId, target: NodeId, rng) -> bool:
+        rate = self.rate_for(sender, target)
         if rate <= 0.0:
             return False
         if rate >= 1.0:
@@ -194,9 +212,11 @@ class PerLinkLoss(LossModel):
         self.rates = dict(rates)
         self.default_rate = default_rate
 
+    def rate_for(self, sender: NodeId, target: NodeId) -> float:
+        return self.rates.get((sender, target), self.default_rate)
+
     def is_lost(self, sender: NodeId, target: NodeId, rng) -> bool:
-        rate = self.rates.get((sender, target), self.default_rate)
-        return bool(rng.random() < rate)
+        return bool(rng.random() < self.rate_for(sender, target))
 
     def expected_rate(self) -> float:
         if not self.rates:

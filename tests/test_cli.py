@@ -19,6 +19,20 @@ class TestParser:
         args = build_parser().parse_args(["simulate"])
         assert args.nodes == 500
         assert args.view_size == 40
+        assert args.backend == "reference"
+
+    def test_backend_flag_on_all_simulation_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "fig-6.3", "--backend", "array"],
+            ["simulate", "--backend", "array"],
+            ["report", "fig-6.3", "--backend", "reference-kernel"],
+        ):
+            assert parser.parse_args(argv).backend == argv[-1]
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--backend", "gpu"])
 
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -68,6 +82,23 @@ class TestCommands:
 
     def test_simulate_too_few_nodes(self, capsys):
         assert main(["simulate", "--nodes", "5", "--view-size", "40"]) == 2
+
+    def test_simulate_array_backend(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "60",
+                "--view-size", "12",
+                "--d-low", "2",
+                "--loss", "0.02",
+                "--rounds", "40",
+                "--backend", "array",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outdegree" in out
+        assert "connected=True" in out
 
     def test_registry_covers_design_index(self):
         """Every experiment family from DESIGN.md has a CLI entry."""

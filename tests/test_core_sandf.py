@@ -140,6 +140,62 @@ class TestDeliver:
         assert flags[5] is True
         assert flags[7] is False
 
+    def test_single_empty_slot_deletes_whole_payload(self):
+        """All-or-nothing deletion (Fig 5.1 right, line 2).
+
+        With exactly one empty slot and a two-id payload, the protocol
+        deletes BOTH ids rather than storing one: a partial store would
+        make the outdegree odd and break Observation 5.1.
+        """
+        protocol = make_protocol(view_size=6, d_low=0)
+        protocol.add_node(0, [1, 2, 3, 4])
+        from repro.core.view import ViewEntry
+
+        view = protocol.raw_view(0)
+        view.store_into(view.nth_empty_slot(0), ViewEntry(8))
+        assert view.empty_count == 1
+        message = Message(
+            sender=5, target=0, payload=[(98, False), (99, False)], kind="sandf"
+        )
+        protocol.deliver(message, make_rng(0))
+        ids = protocol.view_of(0)
+        assert 98 not in ids and 99 not in ids
+        assert protocol.outdegree(0) == 5  # unchanged — nothing partial
+        assert protocol.stats.deletions == 1
+        assert protocol.stats.deliveries == 1
+
+    def test_exactly_two_empty_slots_accepts(self):
+        """The capacity gate is ``empty_count >= payload size``, sharp."""
+        protocol = make_protocol(view_size=6, d_low=0)
+        protocol.add_node(0, [1, 2, 3, 4])
+        message = Message(
+            sender=5, target=0, payload=[(98, False), (99, False)], kind="sandf"
+        )
+        protocol.deliver(message, make_rng(0))
+        assert protocol.outdegree(0) == 6
+        assert protocol.stats.deletions == 0
+        ids = protocol.view_of(0)
+        assert ids[98] == 1 and ids[99] == 1
+
+    def test_deliver_ranked_matches_capacity_gate(self):
+        """The kernel-facing entry point shares the all-or-nothing rule."""
+        protocol = make_protocol(view_size=6, d_low=0)
+        protocol.add_node(0, [1, 2, 3, 4, 5, 6])  # full view
+        message = Message(
+            sender=5, target=0, payload=[(98, False), (99, False)], kind="sandf"
+        )
+        protocol.deliver_ranked(message, [0.0, 0.0])
+        assert protocol.stats.deletions == 1
+        assert protocol.outdegree(0) == 6
+        protocol2 = make_protocol(view_size=6, d_low=0)
+        protocol2.add_node(0, [1, 2, 3, 4])
+        protocol2.deliver_ranked(message, [0.0, 0.0])
+        # Ranked stores fill the lowest-indexed empties for ranks 0, 0.
+        slots = [
+            None if e is None else e.node_id for e in protocol2.raw_view(0)
+        ]
+        assert slots == [1, 2, 3, 4, 98, 99]
+
 
 class TestInvariant:
     def test_invariant_after_random_actions(self):

@@ -5,7 +5,6 @@ import pytest
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
 from repro.engine.sequential import SequentialEngine
-from repro.net.loss import UniformLoss
 
 from conftest import build_system
 
@@ -68,12 +67,35 @@ class TestLossAccounting:
         engine.run_rounds(100)
         assert abs(engine.stats.loss_fraction() - 0.2) < 0.03
 
-    def test_departed_target_counts_as_loss(self, small_params):
+    def test_departed_target_tracked_separately_from_loss(self, small_params):
         protocol, engine = build_system(10, small_params)
         protocol.remove_node(3)
         engine.run_rounds(20)
-        # Messages to node 3 evaporate; engine records them as lost.
-        assert engine.stats.messages_lost > 0
+        # Messages to node 3 evaporate, but that is the leave model, not
+        # network loss — they land in their own counter.
+        assert engine.stats.messages_to_departed > 0
+        assert engine.stats.messages_lost == 0
+
+    def test_loss_fraction_excludes_departed_targets(self, small_params):
+        protocol, engine = build_system(10, small_params)
+        protocol.remove_node(3)
+        engine.run_rounds(20)
+        assert engine.stats.loss_fraction() == 0.0
+        accounted = (
+            engine.stats.messages_delivered
+            + engine.stats.messages_lost
+            + engine.stats.messages_to_departed
+        )
+        assert accounted == engine.stats.messages_sent
+
+    def test_loss_fraction_unbiased_under_churn(self, small_params):
+        _, engine = build_system(30, small_params, loss_rate=0.2, seed=5)
+        engine.protocol.remove_node(7)
+        engine.protocol.remove_node(19)
+        engine.run_rounds(100)
+        assert engine.stats.messages_to_departed > 0
+        # ℓ estimate stays near the network rate despite departures.
+        assert abs(engine.stats.loss_fraction() - 0.2) < 0.03
 
 
 class TestHooks:

@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.core.params import SFParams
 from repro.experiments import (
     connectivity_exp,
     fig_6_1,

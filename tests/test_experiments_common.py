@@ -51,6 +51,62 @@ class TestBuildSystem:
         assert engine.rounds_completed == pytest.approx(10.0, abs=0.01)
 
 
+class TestBackends:
+    def test_backend_registry(self):
+        from repro.experiments.common import BACKENDS
+
+        assert BACKENDS == ("reference", "array", "reference-kernel")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            build_sf_system(20, SFParams(view_size=12, d_low=2), backend="gpu")
+
+    @pytest.mark.parametrize("backend", ["reference", "array", "reference-kernel"])
+    def test_every_backend_builds_and_runs(self, backend):
+        params = SFParams(view_size=12, d_low=2)
+        protocol, engine = build_sf_system(
+            30, params, loss_rate=0.05, seed=3, backend=backend
+        )
+        engine.run_rounds(15)
+        assert engine.stats.actions == 30 * 15
+        assert protocol.stats.actions == 30 * 15
+        protocol.check_invariant()
+        summary_nodes = protocol.node_ids()
+        assert sorted(summary_nodes) == list(range(30))
+
+    def test_default_backend_is_legacy_protocol(self):
+        from repro.core.sandf import SendForget
+
+        protocol, engine = build_sf_system(20, SFParams(view_size=12, d_low=2))
+        assert isinstance(protocol, SendForget)
+        assert engine.kernel is None
+
+    def test_kernel_backends_share_trajectories(self):
+        """'array' and 'reference-kernel' are bit-identical at any seed."""
+        params = SFParams(view_size=12, d_low=2)
+        ref_protocol, ref_engine = build_sf_system(
+            40, params, loss_rate=0.1, seed=11, backend="reference-kernel"
+        )
+        arr_protocol, arr_engine = build_sf_system(
+            40, params, loss_rate=0.1, seed=11, backend="array"
+        )
+        ref_engine.run_rounds(25)
+        arr_engine.run_rounds(25)
+        assert ref_engine.stats == arr_engine.stats
+        for u in ref_protocol.node_ids():
+            assert ref_protocol.view_slots(u) == arr_protocol.view_slots(u)
+
+    def test_reference_backend_unchanged_by_kernel_layer(self):
+        """Legacy trajectories at a fixed seed are part of the contract:
+        the default backend must keep producing them."""
+        params = SFParams(view_size=12, d_low=2)
+        protocol_a, engine_a = build_sf_system(25, params, seed=9)
+        engine_a.run_rounds(20)
+        protocol_b, engine_b = build_sf_system(25, params, seed=9)
+        engine_b.run_rounds(20)
+        assert protocol_a.export_graph() == protocol_b.export_graph()
+
+
 class TestReportCommand:
     def test_report_writes_text_and_json(self, tmp_path, capsys):
         from repro.cli import main

@@ -5,7 +5,6 @@ configurations.  Assertions target the paper's *shape* claims rather than
 exact numbers.
 """
 
-import math
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.params import SFParams
 from repro.experiments import loss_sweep, parameter_sweep, partition_recovery
 from repro.net.loss import PartitionLoss
 from repro.util.rng import make_rng

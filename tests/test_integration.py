@@ -7,7 +7,6 @@ from repro.churn.process import ChurnProcess
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
 from repro.engine.des import DiscreteEventEngine
-from repro.engine.sequential import SequentialEngine
 from repro.markov.degree_mc import DegreeMarkovChain
 from repro.metrics.convergence import view_snapshot, view_overlap_fraction
 from repro.metrics.degrees import degree_summary

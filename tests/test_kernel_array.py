@@ -1,0 +1,192 @@
+"""Unit tests for the vectorized array kernel's own machinery.
+
+``tests/test_kernel_equivalence.py`` proves the array kernel matches the
+reference implementation bit-for-bit; these tests cover the array-specific
+surface — id-index growth, swap-remove row moves, input validation, the
+metrics fast paths, and invariant checking — where a bug could hide
+behind a compensating bug in batch execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.engine.sequential import EngineStats
+from repro.kernel import ArrayKernel, ReferenceKernel
+from repro.net.loss import UniformLoss
+from repro.util.rng import make_rng
+
+PARAMS = SFParams(view_size=10, d_low=4)
+
+
+def ring_kernel(n, capacity=None, params=PARAMS, init_outdegree=6):
+    kernel = ArrayKernel(params, capacity=capacity or n)
+    for u in range(n):
+        kernel.add_node(u, [(u + k) % n for k in range(1, init_outdegree + 1)])
+    return kernel
+
+
+def run_some(kernel, actions=2000, seed=1, loss_rate=0.1):
+    kernel.run_batch(actions, make_rng(seed), UniformLoss(loss_rate), EngineStats())
+
+
+class TestPopulation:
+    def test_add_and_views(self):
+        kernel = ring_kernel(12)
+        assert kernel.population == 12
+        assert kernel.node_ids() == list(range(12))
+        assert kernel.outdegree(0) == 6
+        assert kernel.view_of(0) == {(0 + k) % 12: 1 for k in range(1, 7)}
+        slots = kernel.view_slots(0)
+        assert len(slots) == PARAMS.view_size
+        assert slots[6:] == (None,) * 4
+        assert all(entry == (v, False) for entry, v in zip(slots[:6], range(1, 7)))
+
+    def test_capacity_growth_preserves_state(self):
+        kernel = ring_kernel(50, capacity=2)
+        assert kernel.population == 50
+        for u in range(50):
+            assert kernel.outdegree(u) == 6
+        kernel.check_invariant()
+
+    def test_id_index_growth_covers_bootstrap_ids(self):
+        # A view may hold an id far above any live node's; target lookup
+        # must resolve it (to "departed") rather than read out of bounds.
+        kernel = ArrayKernel(PARAMS, capacity=4)
+        kernel.add_node(0, [10_000, 10_001, 10_002, 10_003])
+        kernel.add_node(1, [0, 10_000, 10_001, 10_002])
+        run_some(kernel, actions=200)
+        kernel.check_invariant()
+
+    def test_swap_remove_keeps_canonical_order(self):
+        kernel = ring_kernel(6)
+        kernel.remove_node(1)
+        # The last node takes the vacated position.
+        assert kernel.node_ids() == [0, 5, 2, 3, 4]
+        assert not kernel.has_node(1)
+        kernel.check_invariant()
+
+    def test_remove_unknown_raises(self):
+        kernel = ring_kernel(5)
+        with pytest.raises(KeyError):
+            kernel.remove_node(99)
+
+    def test_duplicate_add_raises(self):
+        kernel = ring_kernel(5)
+        with pytest.raises(ValueError, match="already exists"):
+            kernel.add_node(2, [0, 1])
+
+    def test_negative_node_id_rejected(self):
+        kernel = ArrayKernel(PARAMS)
+        with pytest.raises(ValueError, match="nonnegative"):
+            kernel.add_node(-1, [0, 1, 2, 3])
+
+    def test_negative_bootstrap_id_rejected(self):
+        kernel = ArrayKernel(PARAMS)
+        with pytest.raises(ValueError, match="nonnegative"):
+            kernel.add_node(0, [1, -2, 3, 4])
+
+    def test_bootstrap_size_rules(self):
+        kernel = ArrayKernel(PARAMS)
+        with pytest.raises(ValueError, match="even"):
+            kernel.add_node(0, [1, 2, 3])
+        with pytest.raises(ValueError, match="d_low"):
+            kernel.add_node(0, [1, 2])
+        with pytest.raises(ValueError, match="view size"):
+            kernel.add_node(0, list(range(1, 13)))
+
+    def test_empty_population_cannot_run(self):
+        kernel = ArrayKernel(PARAMS)
+        with pytest.raises(RuntimeError):
+            kernel.run_batch(1, make_rng(0), UniformLoss(0.0), EngineStats())
+
+
+class TestObservation:
+    def test_degree_arrays_match_slow_paths(self):
+        kernel = ring_kernel(40)
+        run_some(kernel)
+        out, indeg = kernel.degree_arrays()
+        nodes = kernel.node_ids()
+        assert out.tolist() == [kernel.outdegree(u) for u in nodes]
+        slow = kernel.indegrees()
+        assert indeg.tolist() == [slow[u] for u in nodes]
+
+    def test_indegrees_ignore_departed_ids(self):
+        kernel = ring_kernel(10)
+        kernel.remove_node(3)
+        indeg = kernel.indegrees()
+        assert 3 not in indeg
+        _, fast = kernel.degree_arrays()
+        assert fast.tolist() == [indeg[u] for u in kernel.node_ids()]
+
+    def test_dependent_fraction_matches_reference(self):
+        arr = ring_kernel(40)
+        ref = ReferenceKernel(PARAMS)
+        for u in range(40):
+            ref.add_node(u, [(u + k) % 40 for k in range(1, 7)])
+        stats_a, stats_r = EngineStats(), EngineStats()
+        arr.run_batch(3000, make_rng(4), UniformLoss(0.1), stats_a)
+        ref.run_batch(3000, make_rng(4), UniformLoss(0.1), stats_r)
+        assert arr.dependent_fraction() == pytest.approx(
+            ref.dependent_fraction(), abs=1e-12
+        )
+        assert 0.0 < arr.dependent_fraction() < 1.0
+
+    def test_view_ids_array_matches_view_of(self):
+        kernel = ring_kernel(20)
+        run_some(kernel, actions=500)
+        for u in kernel.node_ids():
+            held = kernel.view_ids_array(u)
+            assert (held >= 0).all()
+            counted = {}
+            for node_id in held.tolist():
+                counted[node_id] = counted.get(node_id, 0) + 1
+            assert counted == dict(kernel.view_of(u))
+
+    def test_array_state_is_live_slice(self):
+        kernel = ring_kernel(15)
+        ids, node_at = kernel.array_state()
+        assert ids.shape == (15, PARAMS.view_size)
+        assert node_at.tolist() == kernel.node_ids()
+
+    def test_load_counts_track_and_reset(self):
+        kernel = ring_kernel(25)
+        stats = EngineStats()
+        kernel.run_batch(2000, make_rng(2), UniformLoss(0.0), stats)
+        sent = kernel.load_counts("sent")
+        received = kernel.load_counts("received")
+        assert sum(sent.values()) == stats.messages_sent
+        assert sum(received.values()) == stats.messages_delivered
+        kernel.reset_load_counts("sent")
+        assert kernel.load_counts("sent") == {}
+        assert kernel.load_counts("received") == received
+
+    def test_export_graph_counts_multiplicity(self):
+        kernel = ring_kernel(10)
+        run_some(kernel, actions=300)
+        graph = kernel.export_graph()
+        for u in kernel.node_ids():
+            assert graph.outdegree(u) <= kernel.outdegree(u)
+
+
+class TestInvariant:
+    def test_even_outdegrees_maintained(self):
+        kernel = ring_kernel(30)
+        run_some(kernel, actions=5000, loss_rate=0.3)
+        out, _ = kernel.degree_arrays()
+        assert (out % 2 == 0).all()
+        assert (out <= PARAMS.view_size).all()
+        kernel.check_invariant()
+
+    def test_invariant_detects_corruption(self):
+        kernel = ring_kernel(10)
+        kernel._outdeg[0] += 1  # desync the cached outdegree
+        with pytest.raises(AssertionError):
+            kernel.check_invariant()
+
+    def test_invariant_detects_stale_id_index(self):
+        kernel = ring_kernel(10)
+        kernel._id_index[3] = -1  # forget a live node
+        with pytest.raises(AssertionError):
+            kernel.check_invariant()

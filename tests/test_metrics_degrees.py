@@ -80,3 +80,34 @@ class TestIdInstanceCount:
         after = id_instance_count(protocol, victim)
         assert before > 0
         assert after < before
+
+
+class TestArrayFastPath:
+    """degree_summary / id_instance_count on an array-backed kernel must
+    agree exactly with the generic per-node walk on an identical state."""
+
+    def _matched_kernels(self):
+        from repro.engine.sequential import EngineStats
+        from repro.kernel import ArrayKernel, ReferenceKernel
+        from repro.net.loss import UniformLoss
+        from repro.util.rng import make_rng
+
+        params = SFParams(view_size=10, d_low=4)
+        arr, ref = ArrayKernel(params, capacity=40), ReferenceKernel(params)
+        for kernel in (arr, ref):
+            for u in range(40):
+                kernel.add_node(u, [(u + k) % 40 for k in range(1, 7)])
+        arr.run_batch(3000, make_rng(6), UniformLoss(0.1), EngineStats())
+        ref.run_batch(3000, make_rng(6), UniformLoss(0.1), EngineStats())
+        return arr, ref
+
+    def test_degree_summary_matches_generic_path(self):
+        arr, ref = self._matched_kernels()
+        assert degree_summary(arr) == degree_summary(ref)
+
+    def test_id_instance_count_matches_generic_path(self):
+        arr, ref = self._matched_kernels()
+        arr.remove_node(7)
+        ref.remove_node(7)
+        for target in (0, 7, 39, 999):
+            assert id_instance_count(arr, target) == id_instance_count(ref, target)

@@ -77,3 +77,25 @@ class TestNeighborOverlap:
         protocol.add_node(0, [])
         with pytest.raises(ValueError):
             neighbor_overlap_fraction(protocol)
+
+
+class TestArrayFastPath:
+    def test_mutual_edge_fraction_matches_generic_path(self):
+        from repro.engine.sequential import EngineStats
+        from repro.kernel import ArrayKernel, ReferenceKernel
+        from repro.net.loss import UniformLoss
+        from repro.util.rng import make_rng
+
+        params = SFParams(view_size=10, d_low=4)
+        arr, ref = ArrayKernel(params, capacity=50), ReferenceKernel(params)
+        for kernel in (arr, ref):
+            for u in range(50):
+                kernel.add_node(u, [(u + k) % 50 for k in range(1, 7)])
+        arr.run_batch(4000, make_rng(8), UniformLoss(0.1), EngineStats())
+        ref.run_batch(4000, make_rng(8), UniformLoss(0.1), EngineStats())
+        # Departed ids in views exercise the liveness mask.
+        arr.remove_node(3)
+        ref.remove_node(3)
+        assert mutual_edge_fraction(arr) == pytest.approx(
+            mutual_edge_fraction(ref), abs=1e-12
+        )

@@ -78,3 +78,27 @@ class TestSteadyStateUniformity:
         # The chi-square helper runs on the pooled counts without error.
         statistic, p_value = tracker.chi_square(protocol.node_ids())
         assert statistic > 0 and 0.0 <= p_value <= 1.0
+
+
+class TestArrayFastPath:
+    def test_tracker_counts_match_generic_path(self):
+        from repro.engine.sequential import EngineStats
+        from repro.kernel import ArrayKernel, ReferenceKernel
+        from repro.net.loss import UniformLoss
+        from repro.util.rng import make_rng
+        from repro.core.params import SFParams
+
+        params = SFParams(view_size=10, d_low=4)
+        arr, ref = ArrayKernel(params, capacity=30), ReferenceKernel(params)
+        for kernel in (arr, ref):
+            for u in range(30):
+                kernel.add_node(u, [(u + k) % 30 for k in range(1, 7)])
+        tracker_arr, tracker_ref = OccupancyTracker(arr), OccupancyTracker(ref)
+        rng_arr, rng_ref = make_rng(13), make_rng(13)
+        for _ in range(10):
+            arr.run_batch(300, rng_arr, UniformLoss(0.05), EngineStats())
+            ref.run_batch(300, rng_ref, UniformLoss(0.05), EngineStats())
+            tracker_arr.sample()
+            tracker_ref.sample()
+        nodes = ref.node_ids()
+        assert tracker_arr.pooled_counts(nodes) == tracker_ref.pooled_counts(nodes)

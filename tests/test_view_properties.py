@@ -1,0 +1,119 @@
+"""Property-based tests for the View free-list machinery (Hypothesis).
+
+The view's O(1) operations lean on two mirrored indices — ``_empty`` (the
+free list) and ``_empty_pos`` (each empty slot's position in it) — that
+must stay consistent under any interleaving of stores, clears, and
+resets.  Example tests exercise happy paths; these drive randomized
+operation sequences and check the invariants the kernel layer's canonical
+empty-slot ranking depends on:
+
+* ``validate()`` holds after every operation;
+* ``empty_count`` + ``outdegree`` = ``size`` always;
+* ``nth_empty_slot(k)`` enumerates exactly the empty slots, ascending;
+* a store into the rank-``k`` empty slot lands where a linear scan says.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.view import View, ViewEntry
+
+#: An operation is (kind, value) with value a uniform-ish selector that
+#: each step maps onto whatever is currently legal for that kind.
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["store_rank", "store_slot", "clear", "clear_all"]),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    max_size=60,
+)
+
+
+def empty_slots(view: View):
+    return [i for i in range(view.size) if view.get(i) is None]
+
+
+def apply_op(view: View, kind: str, selector: int, counter: int) -> None:
+    empties = empty_slots(view)
+    occupied = [i for i in range(view.size) if view.get(i) is not None]
+    if kind == "store_rank" and empties:
+        rank = selector % len(empties)
+        slot = view.nth_empty_slot(rank)
+        assert slot == empties[rank]
+        view.store_into(slot, ViewEntry(counter, dependent=bool(selector & 1)))
+        assert view.get(slot).node_id == counter
+    elif kind == "store_slot" and empties:
+        slot = empties[selector % len(empties)]
+        view.store_into(slot, ViewEntry(counter))
+    elif kind == "clear" and occupied:
+        slot = occupied[selector % len(occupied)]
+        entry = view.clear_slot(slot)
+        assert entry is not None
+        assert view.get(slot) is None
+    elif kind == "clear_all":
+        view.clear_all()
+        assert view.empty_count == view.size
+
+
+@settings(max_examples=200, deadline=None)
+@given(size=st.integers(min_value=1, max_value=12), ops=OPS)
+def test_free_list_invariants_hold_under_any_sequence(size, ops):
+    view = View(size)
+    for counter, (kind, selector) in enumerate(ops):
+        apply_op(view, kind, selector, counter)
+        view.validate()
+        assert view.empty_count + view.outdegree == view.size
+        assert view.empty_count == len(empty_slots(view))
+        assert view.is_full == (view.empty_count == 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(size=st.integers(min_value=1, max_value=12), ops=OPS)
+def test_nth_empty_slot_enumerates_empties_ascending(size, ops):
+    view = View(size)
+    for counter, (kind, selector) in enumerate(ops):
+        apply_op(view, kind, selector, counter)
+        empties = empty_slots(view)
+        assert [view.nth_empty_slot(k) for k in range(len(empties))] == empties
+
+
+@settings(max_examples=100, deadline=None)
+@given(size=st.integers(min_value=1, max_value=12), ops=OPS, data=st.data())
+def test_rank_store_rejects_out_of_range(size, ops, data):
+    import pytest
+
+    view = View(size)
+    for counter, (kind, selector) in enumerate(ops):
+        apply_op(view, kind, selector, counter)
+    with pytest.raises(ValueError):
+        view.nth_empty_slot(view.empty_count)
+    with pytest.raises(ValueError):
+        view.nth_empty_slot(-1)
+    occupied = [i for i in range(view.size) if view.get(i) is not None]
+    if occupied:
+        slot = occupied[data.draw(st.integers(0, len(occupied) - 1))]
+        with pytest.raises(ValueError):
+            view.store_into(slot, ViewEntry(999))
+
+
+@settings(max_examples=100, deadline=None)
+@given(size=st.integers(min_value=2, max_value=12), seed=st.integers(0, 2**31 - 1))
+def test_random_and_ranked_stores_agree_on_occupancy(size, seed):
+    """store_random_empty and the ranked discipline fill the same slots
+    when driven to saturation, whatever the free-list history."""
+    from repro.util.rng import make_rng
+
+    random_view = View(size)
+    ranked_view = View(size)
+    rng = make_rng(seed)
+    for counter in range(size):
+        random_view.store_random_empty(ViewEntry(counter), rng)
+        empties = ranked_view.empty_count
+        rank = min(int(rng.random() * empties), empties - 1)
+        ranked_view.store_into(ranked_view.nth_empty_slot(rank), ViewEntry(counter))
+    assert random_view.is_full and ranked_view.is_full
+    assert sorted(e.node_id for _, e in random_view.entries()) == sorted(
+        e.node_id for _, e in ranked_view.entries()
+    )
