@@ -1,0 +1,121 @@
+"""Degree-MC solver benchmark: loop vs vectorized build, cold vs warm cache.
+
+Times a full fixed-point ``solve()`` of the §6.2 degree Markov chain at
+the paper's working parameters (``s = 40, dL = 18``) with the original
+per-state scalar matrix builder (``matrix_method="loop"``) and the
+templated vectorized builder, then measures the content-addressed solve
+cache (memory hit and cross-process disk hit).  Writes
+``BENCH_degree_mc.json`` at the repo root.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_degree_mc.py [--quick]
+
+Both builders produce bit-identical matrices
+(``tests/test_markov_degree_mc_vectorized.py`` guards that); this file
+only measures speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.params import SFParams
+from repro.markov.degree_mc import DegreeMarkovChain
+from repro.markov.solve_cache import SolveCache
+
+PARAMS = SFParams(view_size=40, d_low=18)
+LOSS_RATE = 0.01
+
+
+def time_solve(matrix_method: str, repeats: int, cache=False) -> dict:
+    """Best-of-``repeats`` timed full solves (fresh chain each pass)."""
+    elapsed = float("inf")
+    result = None
+    for _ in range(repeats):
+        chain = DegreeMarkovChain(
+            PARAMS, loss_rate=LOSS_RATE, matrix_method=matrix_method
+        )
+        start = time.perf_counter()
+        result = chain.solve(cache=cache)
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return {
+        "matrix_method": matrix_method,
+        "states": len(result.states),
+        "iterations": result.iterations,
+        "repeats": repeats,
+        "seconds": round(elapsed, 4),
+    }
+
+
+def time_cache(repeats: int) -> dict:
+    """Cold solve, then memory-layer and disk-layer (fresh process view) hits."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SolveCache(directory=Path(tmp))
+        start = time.perf_counter()
+        cold = DegreeMarkovChain(PARAMS, loss_rate=LOSS_RATE).solve(cache=cache)
+        cold_s = time.perf_counter() - start
+
+        memory_s = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            DegreeMarkovChain(PARAMS, loss_rate=LOSS_RATE).solve(cache=cache)
+            memory_s = min(memory_s, time.perf_counter() - start)
+
+        disk_s = float("inf")
+        for _ in range(repeats):
+            fresh = SolveCache(directory=Path(tmp))  # no memory layer yet
+            start = time.perf_counter()
+            warm = DegreeMarkovChain(PARAMS, loss_rate=LOSS_RATE).solve(cache=fresh)
+            disk_s = min(disk_s, time.perf_counter() - start)
+        assert warm.iterations == cold.iterations
+    return {
+        "cold_seconds": round(cold_s, 4),
+        "memory_hit_seconds": round(memory_s, 5),
+        "disk_hit_seconds": round(disk_s, 5),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer repeats for a smoke run"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_degree_mc.json"),
+    )
+    args = parser.parse_args()
+    repeats = 1 if args.quick else 3
+
+    loop = time_solve("loop", repeats)
+    print(f"loop solve:       {loop['seconds']:.3f}s "
+          f"({loop['states']} states, {loop['iterations']} iterations)")
+    vectorized = time_solve("vectorized", repeats)
+    print(f"vectorized solve: {vectorized['seconds']:.3f}s")
+    speedup = loop["seconds"] / vectorized["seconds"]
+    print(f"  speedup x{speedup:.1f}")
+
+    cache = time_cache(repeats)
+    print(f"cache: cold {cache['cold_seconds']:.3f}s, "
+          f"memory hit {cache['memory_hit_seconds']:.5f}s, "
+          f"disk hit {cache['disk_hit_seconds']:.5f}s")
+
+    payload = {
+        "params": {"view_size": PARAMS.view_size, "d_low": PARAMS.d_low},
+        "loss_rate": LOSS_RATE,
+        "quick": args.quick,
+        "loop": loop,
+        "vectorized": vectorized,
+        "speedup": round(speedup, 2),
+        "cache": cache,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Sweep-runner benchmark: serial seed path vs jobs=4 with a warm cache.
+
+Times ``loss_sweep`` and ``parameter_sweep`` two ways:
+
+* **serial seed path** — the pre-runner configuration: ``jobs=1``, the
+  scalar loop matrix builder, solve cache disabled;
+* **parallel + warm cache** — ``jobs=4`` with the vectorized builder and
+  a pre-warmed content-addressed solve cache (the steady-state of a
+  workflow that re-runs sweeps while iterating on plots/analysis).
+
+Asserts the two paths produce *identical* rows (the vectorized builder
+is bit-identical to the loop builder and sweep results are collected in
+grid order), and writes ``BENCH_sweeps.json`` at the repo root.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_sweeps.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import loss_sweep, parameter_sweep
+from repro.markov.degree_mc import DegreeMarkovChain
+
+PARALLEL_JOBS = 4
+
+
+class _seed_path:
+    """Run with the pre-runner defaults: loop builder, cache off."""
+
+    def __enter__(self):
+        self._env = os.environ.get("REPRO_SOLVE_CACHE")
+        os.environ["REPRO_SOLVE_CACHE"] = "off"
+        self._init = DegreeMarkovChain.__init__
+
+        def loop_init(chain, *args, **kwargs):
+            kwargs.setdefault("matrix_method", "loop")
+            self._init(chain, *args, **kwargs)
+
+        DegreeMarkovChain.__init__ = loop_init
+        return self
+
+    def __exit__(self, *exc):
+        DegreeMarkovChain.__init__ = self._init
+        if self._env is None:
+            del os.environ["REPRO_SOLVE_CACHE"]
+        else:
+            os.environ["REPRO_SOLVE_CACHE"] = self._env
+        return False
+
+
+def bench_experiment(name: str, run_kwargs: dict, rows_of) -> dict:
+    """Serial-seed-path vs parallel-warm timings for one experiment."""
+    module = {"loss_sweep": loss_sweep, "parameter_sweep": parameter_sweep}[name]
+
+    with _seed_path():
+        start = time.perf_counter()
+        serial = module.run(jobs=1, **run_kwargs)
+        serial_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        saved = os.environ.get("REPRO_SOLVE_CACHE_DIR")
+        os.environ["REPRO_SOLVE_CACHE_DIR"] = tmp
+        try:
+            # Warm: populate the disk cache (workers inherit the env).
+            module.run(jobs=PARALLEL_JOBS, **run_kwargs)
+            start = time.perf_counter()
+            warm = module.run(jobs=PARALLEL_JOBS, **run_kwargs)
+            warm_s = time.perf_counter() - start
+        finally:
+            if saved is None:
+                del os.environ["REPRO_SOLVE_CACHE_DIR"]
+            else:
+                os.environ["REPRO_SOLVE_CACHE_DIR"] = saved
+
+    identical = rows_of(serial) == rows_of(warm)
+    assert identical, f"{name}: parallel warm rows differ from the seed path"
+    speedup = serial_s / warm_s
+    print(f"{name}: serial seed path {serial_s:.2f}s, "
+          f"jobs={PARALLEL_JOBS} warm cache {warm_s:.2f}s, x{speedup:.1f}")
+    return {
+        "experiment": name,
+        "cells": len(rows_of(serial)),
+        "serial_seed_seconds": round(serial_s, 3),
+        "parallel_warm_seconds": round(warm_s, 3),
+        "jobs": PARALLEL_JOBS,
+        "speedup": round(speedup, 2),
+        "identical_outputs": identical,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink the grids for a smoke run"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_sweeps.json"),
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        loss_kwargs = {"losses": (0.0, 0.01, 0.05, 0.1)}
+        param_kwargs = {"d_lows": (10, 18), "view_sizes": (32, 40)}
+    else:
+        loss_kwargs = {}
+        param_kwargs = {}
+
+    results = [
+        bench_experiment("loss_sweep", loss_kwargs, lambda r: r.rows),
+        bench_experiment("parameter_sweep", param_kwargs, lambda r: r.cells),
+    ]
+
+    payload = {"quick": args.quick, "results": results}
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

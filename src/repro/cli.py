@@ -30,7 +30,7 @@ from repro.core.params import SFParams
 # ----------------------------------------------------------------------
 
 
-def _fig_6_1(fast: bool, backend: str = "reference"):
+def _fig_6_1(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import fig_6_1
 
     # Purely analytic (Markov-chain) experiment: backend is accepted for
@@ -38,42 +38,43 @@ def _fig_6_1(fast: bool, backend: str = "reference"):
     return fig_6_1.run(dm=30 if fast else 90)
 
 
-def _fig_6_2(fast: bool, backend: str = "reference"):
+def _fig_6_2(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import fig_6_2
 
     return fig_6_2.run()
 
 
-def _table_6_3(fast: bool, backend: str = "reference"):
+def _table_6_3(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import table_6_3
 
     return table_6_3.run(d_hats=(30,) if fast else (10, 20, 30, 40, 50))
 
 
-def _fig_6_3(fast: bool, backend: str = "reference"):
+def _fig_6_3(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import fig_6_3
 
     if fast:
-        return fig_6_3.run(simulate=False)
+        return fig_6_3.run(simulate=False, jobs=jobs)
     return fig_6_3.run(
         simulate=True,
         simulate_n=300,
         simulate_rounds=(400.0, 150.0),
         backend=backend,
+        jobs=jobs,
     )
 
 
-def _fig_6_4(fast: bool, backend: str = "reference"):
+def _fig_6_4(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import fig_6_4
 
     if fast:
-        return fig_6_4.run(max_round=200, step=50)
+        return fig_6_4.run(max_round=200, step=50, jobs=jobs)
     return fig_6_4.run(
-        simulate=True, simulate_n=300, warmup_rounds=200, backend=backend
+        simulate=True, simulate_n=300, warmup_rounds=200, backend=backend, jobs=jobs
     )
 
 
-def _cor_6_14(fast: bool, backend: str = "reference"):
+def _cor_6_14(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import join_integration
 
     if fast:
@@ -83,7 +84,7 @@ def _cor_6_14(fast: bool, backend: str = "reference"):
     return join_integration.run(n=400, joiners=10, warmup_rounds=300, backend=backend)
 
 
-def _lemma_6_6(fast: bool, backend: str = "reference"):
+def _lemma_6_6(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import dup_del_balance
 
     if fast:
@@ -99,7 +100,7 @@ def _lemma_6_6(fast: bool, backend: str = "reference"):
     )
 
 
-def _lemma_7_5(fast: bool, backend: str = "reference"):
+def _lemma_7_5(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import lemma_7_5
 
     class _Bundle:
@@ -115,21 +116,21 @@ def _lemma_7_5(fast: bool, backend: str = "reference"):
     return _Bundle()
 
 
-def _lemma_7_6(fast: bool, backend: str = "reference"):
+def _lemma_7_6(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import uniformity_exp
 
     class _Bundle:
         def format(self) -> str:
             exact = uniformity_exp.run_exact(loss_rate=0.2)
             empirical = uniformity_exp.run_empirical(
-                replications=3 if fast else 6, backend=backend
+                replications=3 if fast else 6, backend=backend, jobs=jobs
             )
             return exact.format() + "\n" + empirical.format()
 
     return _Bundle()
 
 
-def _lemma_7_9(fast: bool, backend: str = "reference"):
+def _lemma_7_9(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import independence_exp
 
     if fast:
@@ -139,13 +140,14 @@ def _lemma_7_9(fast: bool, backend: str = "reference"):
             warmup_rounds=200,
             measure_rounds=60,
             backend=backend,
+            jobs=jobs,
         )
     return independence_exp.run(
-        n=600, warmup_rounds=300, measure_rounds=100, backend=backend
+        n=600, warmup_rounds=300, measure_rounds=100, backend=backend, jobs=jobs
     )
 
 
-def _lemma_7_15(fast: bool, backend: str = "reference"):
+def _lemma_7_15(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import temporal_exp
 
     class _Bundle:
@@ -162,20 +164,20 @@ def _lemma_7_15(fast: bool, backend: str = "reference"):
     return _Bundle()
 
 
-def _connectivity(fast: bool, backend: str = "reference"):
+def _connectivity(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import connectivity_exp
 
     return connectivity_exp.run(simulate=not fast, simulate_n=300, backend=backend)
 
 
-def _load_balance(fast: bool, backend: str = "reference"):
+def _load_balance(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import load_balance
 
     rounds = 150 if fast else 400
     return load_balance.run(n=200 if fast else 300, rounds=rounds, sample_every=50)
 
 
-def _baselines(fast: bool, backend: str = "reference"):
+def _baselines(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import baselines
 
     return baselines.run(
@@ -183,13 +185,13 @@ def _baselines(fast: bool, backend: str = "reference"):
     )
 
 
-def _random_walks(fast: bool, backend: str = "reference"):
+def _random_walks(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import random_walk_exp
 
     return random_walk_exp.run(attempts=800 if fast else 2000)
 
 
-def _ablation(fast: bool, backend: str = "reference"):
+def _ablation(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import ablation_variants
 
     if fast:
@@ -197,23 +199,23 @@ def _ablation(fast: bool, backend: str = "reference"):
     return ablation_variants.run(n=300)
 
 
-def _loss_sweep(fast: bool, backend: str = "reference"):
+def _loss_sweep(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import loss_sweep
 
     if fast:
-        return loss_sweep.run(losses=(0.0, 0.01, 0.05, 0.1))
-    return loss_sweep.run()
+        return loss_sweep.run(losses=(0.0, 0.01, 0.05, 0.1), jobs=jobs)
+    return loss_sweep.run(jobs=jobs)
 
 
-def _parameter_sweep(fast: bool, backend: str = "reference"):
+def _parameter_sweep(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import parameter_sweep
 
     if fast:
-        return parameter_sweep.run(d_lows=(10, 18), view_sizes=(40,))
-    return parameter_sweep.run()
+        return parameter_sweep.run(d_lows=(10, 18), view_sizes=(40,), jobs=jobs)
+    return parameter_sweep.run(jobs=jobs)
 
 
-def _partition(fast: bool, backend: str = "reference"):
+def _partition(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import partition_recovery
 
     if fast:
@@ -223,7 +225,7 @@ def _partition(fast: bool, backend: str = "reference"):
     return partition_recovery.run()
 
 
-def _samplers(fast: bool, backend: str = "reference"):
+def _samplers(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import sampler_exp
 
     if fast:
@@ -231,7 +233,7 @@ def _samplers(fast: bool, backend: str = "reference"):
     return sampler_exp.run()
 
 
-def _mixing(fast: bool, backend: str = "reference"):
+def _mixing(fast: bool, backend: str = "reference", jobs: int = 1):
     from repro.experiments import mixing_exp
 
     return mixing_exp.run(epsilon=0.1 if fast else 0.05)
@@ -275,6 +277,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_jobs(jobs: int) -> int:
+    """``--jobs 0`` means "use the machine": one worker per CPU, capped."""
+    if jobs > 0:
+        return jobs
+    from repro.runner import default_jobs
+
+    return default_jobs()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = EXPERIMENTS.get(args.experiment)
     if runner is None:
@@ -283,7 +294,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = runner(args.fast, backend=args.backend)
+    result = runner(args.fast, backend=args.backend, jobs=_resolve_jobs(args.jobs))
     print(result.format())
     return 0
 
@@ -340,7 +351,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     output_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
         print(f"== {name} ==")
-        result = EXPERIMENTS[name](args.fast, backend=args.backend)
+        result = EXPERIMENTS[name](args.fast, backend=args.backend, jobs=_resolve_jobs(args.jobs))
         text = result.format()
         print(text)
         print()
@@ -389,6 +400,13 @@ def build_parser() -> argparse.ArgumentParser:
         "'array' (vectorized numpy kernel), or 'reference-kernel' "
         "(object-per-node under the batched kernel discipline)",
     )
+    jobs_kwargs = dict(
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep experiments (default 1 = serial; "
+        "0 = one per CPU, capped at 8); results are identical at any value",
+    )
 
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id (see 'list')")
@@ -396,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="shrink sizes for a quick look"
     )
     run_parser.add_argument("--backend", **backend_kwargs)
+    run_parser.add_argument("--jobs", **jobs_kwargs)
     run_parser.set_defaults(func=_cmd_run)
 
     simulate_parser = sub.add_parser("simulate", help="run a custom S&F deployment")
@@ -419,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--output", default="report", help="output directory")
     report_parser.add_argument("--fast", action="store_true")
     report_parser.add_argument("--backend", **backend_kwargs)
+    report_parser.add_argument("--jobs", **jobs_kwargs)
     report_parser.set_defaults(func=_cmd_report)
 
     size_parser = sub.add_parser("size", help="apply the paper's sizing rules")

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.decay import half_life_rounds, survival_curve
 from repro.core.params import SFParams
 from repro.metrics.degrees import id_instance_count
+from repro.runner import GridCell, SweepRunner
 from repro.util.tables import format_series
 
 
@@ -57,6 +58,19 @@ class Fig64Result:
         return f"{body}\n50% bound crossings (rounds): {half}"
 
 
+def _solve_curves(cell: GridCell, context: tuple):
+    """Sweep worker: Lemma 6.10 bound curve plus optional simulated decay."""
+    params, delta, rounds, simulate, n, leavers, warmup, backend = context
+    loss = cell.point
+    bound = survival_curve(rounds, params.d_low, params.view_size, loss, delta)
+    simulated = (
+        _simulate_decay(params, loss, rounds, n, leavers, warmup, cell.seed, backend)
+        if simulate
+        else None
+    )
+    return bound, simulated
+
+
 def run(
     losses: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
     params: Optional[SFParams] = None,
@@ -69,27 +83,31 @@ def run(
     warmup_rounds: float = 300.0,
     seed: int = 64,
     backend: str = "reference",
+    jobs: Optional[int] = None,
 ) -> Fig64Result:
-    """Compute the Lemma 6.10 curves; optionally simulate actual decay."""
+    """Compute the Lemma 6.10 curves; optionally simulate actual decay.
+
+    ``jobs > 1`` distributes loss points over a process pool; every loss
+    rate uses the same simulation seed (the historical convention), so
+    outputs are independent of ``jobs``.
+    """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
     rounds = list(range(0, max_round + 1, step))
     result = Fig64Result(params=params, delta=delta, rounds=rounds)
-    for loss in losses:
-        result.bound_curves[loss] = survival_curve(
-            rounds, params.d_low, params.view_size, loss, delta
-        )
-        if simulate:
-            result.simulated_curves[loss] = _simulate_decay(
-                params,
-                loss,
-                rounds,
-                simulate_n,
-                simulate_leavers,
-                warmup_rounds,
-                seed,
-                backend,
-            )
+    curves = SweepRunner(jobs=jobs).run(
+        _solve_curves,
+        list(losses),
+        seed_fn=lambda point, replication: seed,
+        context=(
+            params, delta, rounds, simulate,
+            simulate_n, simulate_leavers, warmup_rounds, backend,
+        ),
+    )
+    for loss, (bound, simulated) in zip(losses, curves):
+        result.bound_curves[loss] = bound
+        if simulated is not None:
+            result.simulated_curves[loss] = simulated
     return result
 
 

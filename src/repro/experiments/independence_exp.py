@@ -23,6 +23,7 @@ from repro.analysis.independence import (
 )
 from repro.core.params import SFParams
 from repro.markov.dependence_mc import DependenceMarkovChain
+from repro.runner import GridCell, SweepRunner
 from repro.util.tables import format_table
 
 
@@ -65,6 +66,41 @@ class IndependenceResult:
         )
 
 
+def _measure_row(cell: GridCell, context: tuple) -> IndependenceRow:
+    """Sweep worker: simulate one loss rate and compare with the bound."""
+    import numpy as np
+
+    from repro.experiments.common import build_sf_system, warm_up
+
+    n, params, delta, warmup_rounds, measure_rounds, backend = context
+    loss = cell.point
+    protocol, engine = build_sf_system(
+        n, params, loss_rate=loss, seed=cell.seed, backend=backend
+    )
+    warm_up(engine, warmup_rounds)
+    fractions = []
+    snapshots = 5
+    for _ in range(snapshots):
+        engine.run_rounds(measure_rounds / snapshots)
+        fractions.append(protocol.dependent_fraction())
+    dep = float(np.mean(fractions))
+    mean_out = float(
+        np.mean([protocol.outdegree(u) for u in protocol.node_ids()])
+    )
+    floor = max(0.0, (mean_out - 1.0) / (2.0 * n))
+    bound = 1.0 - independence_lower_bound(loss, delta)
+    mc = DependenceMarkovChain(loss, delta).stationary_dependent_fraction()
+    return IndependenceRow(
+        loss_rate=loss,
+        delta=delta,
+        dependent_fraction=dep,
+        bound=bound,
+        mc_stationary=mc,
+        iid_duplicate_floor=floor,
+        within_bound=dep <= bound + floor + 0.01,
+    )
+
+
 def run(
     losses: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
     n: int = 1000,
@@ -74,47 +110,27 @@ def run(
     measure_rounds: float = 100.0,
     seed: int = 79,
     backend: str = "reference",
+    jobs: Optional[int] = None,
 ) -> IndependenceResult:
     """Measure dependence per loss rate against the Lemma 7.9 bound.
 
     The acceptance criterion adds the finite-size duplicate floor to the
     asymptotic bound, since the simulation runs at finite ``n``.
+    ``jobs > 1`` distributes loss points over a process pool; every loss
+    rate uses the same simulation seed (the historical convention), so
+    outputs are independent of ``jobs``.
     """
-    import numpy as np
-
-    from repro.experiments.common import build_sf_system, warm_up
-
     if params is None:
         params = SFParams(view_size=40, d_low=18)
     result = IndependenceResult(params=params, n=n)
-    for loss in losses:
-        protocol, engine = build_sf_system(
-            n, params, loss_rate=loss, seed=seed, backend=backend
+    result.rows.extend(
+        SweepRunner(jobs=jobs).run(
+            _measure_row,
+            list(losses),
+            seed_fn=lambda point, replication: seed,
+            context=(n, params, delta, warmup_rounds, measure_rounds, backend),
         )
-        warm_up(engine, warmup_rounds)
-        fractions = []
-        snapshots = 5
-        for _ in range(snapshots):
-            engine.run_rounds(measure_rounds / snapshots)
-            fractions.append(protocol.dependent_fraction())
-        dep = float(np.mean(fractions))
-        mean_out = float(
-            np.mean([protocol.outdegree(u) for u in protocol.node_ids()])
-        )
-        floor = max(0.0, (mean_out - 1.0) / (2.0 * n))
-        bound = 1.0 - independence_lower_bound(loss, delta)
-        mc = DependenceMarkovChain(loss, delta).stationary_dependent_fraction()
-        result.rows.append(
-            IndependenceRow(
-                loss_rate=loss,
-                delta=delta,
-                dependent_fraction=dep,
-                bound=bound,
-                mc_stationary=mc,
-                iid_duplicate_floor=floor,
-                within_bound=dep <= bound + floor + 0.01,
-            )
-        )
+    )
     return result
 
 

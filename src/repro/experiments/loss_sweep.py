@@ -25,6 +25,7 @@ from repro.analysis.independence import (
 from repro.analysis.temporal import expected_conductance_bound
 from repro.core.params import SFParams
 from repro.markov.degree_mc import DegreeMarkovChain
+from repro.runner import GridCell, SweepRunner
 from repro.util.tables import format_table
 
 
@@ -73,36 +74,47 @@ class LossSweepResult:
         return [row.expected_outdegree for row in self.rows]
 
 
+def _solve_row(cell: GridCell, context: tuple) -> LossSweepRow:
+    """Sweep worker: the full per-ℓ row (module-level: picklable)."""
+    params, delta = context
+    loss = cell.point
+    solved = DegreeMarkovChain(params, loss_rate=loss).solve()
+    d_e = solved.expected_outdegree()
+    alpha = independence_lower_bound(loss, delta)
+    conductance = (
+        expected_conductance_bound(d_e, params.view_size, alpha)
+        if alpha > 0.0 and d_e > 1.0
+        else 0.0
+    )
+    return LossSweepRow(
+        loss_rate=loss,
+        expected_outdegree=d_e,
+        margin_over_d_low=d_e - params.d_low,
+        duplication=solved.duplication_probability,
+        deletion=solved.deletion_probability,
+        alpha_bound=alpha,
+        dependence_exact=dependence_stationary_exact(loss, delta),
+        conductance_bound=conductance,
+    )
+
+
 def run(
     losses: Sequence[float] = (
         0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.075, 0.1, 0.15, 0.2,
     ),
     params: Optional[SFParams] = None,
     delta: float = 0.01,
+    jobs: Optional[int] = None,
 ) -> LossSweepResult:
-    """Solve the degree MC across the loss grid."""
+    """Solve the degree MC across the loss grid.
+
+    ``jobs > 1`` distributes loss points over a process pool; each row is
+    a pure function of its point, so results are identical at any ``jobs``.
+    """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
     result = LossSweepResult(params=params, delta=delta)
-    for loss in losses:
-        solved = DegreeMarkovChain(params, loss_rate=loss).solve()
-        d_e = solved.expected_outdegree()
-        alpha = independence_lower_bound(loss, delta)
-        conductance = (
-            expected_conductance_bound(d_e, params.view_size, alpha)
-            if alpha > 0.0 and d_e > 1.0
-            else 0.0
-        )
-        result.rows.append(
-            LossSweepRow(
-                loss_rate=loss,
-                expected_outdegree=d_e,
-                margin_over_d_low=d_e - params.d_low,
-                duplication=solved.duplication_probability,
-                deletion=solved.deletion_probability,
-                alpha_bound=alpha,
-                dependence_exact=dependence_stationary_exact(loss, delta),
-                conductance_bound=conductance,
-            )
-        )
+    result.rows.extend(
+        SweepRunner(jobs=jobs).run(_solve_row, list(losses), context=(params, delta))
+    )
     return result

@@ -16,10 +16,11 @@ Solved entirely with the degree MC — no simulation needed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.params import SFParams
 from repro.markov.degree_mc import DegreeMarkovChain
+from repro.runner import GridCell, SweepRunner
 from repro.util.tables import format_table
 
 
@@ -63,30 +64,44 @@ class ParameterSweepResult:
         )
 
 
+def _solve_cell(cell: GridCell, loss_rate: float) -> SweepCell:
+    """Sweep worker: solve one (dL, s) point (module-level: picklable)."""
+    view_size, d_low = cell.point
+    params = SFParams(view_size=view_size, d_low=d_low)
+    solved = DegreeMarkovChain(params, loss_rate=loss_rate).solve()
+    _, in_std = solved.indegree_mean_std()
+    return SweepCell(
+        d_low=d_low,
+        view_size=view_size,
+        expected_outdegree=solved.expected_outdegree(),
+        duplication=solved.duplication_probability,
+        deletion=solved.deletion_probability,
+        indegree_std=in_std,
+    )
+
+
 def run(
     d_lows: Sequence[int] = (10, 14, 18, 22, 26),
     view_sizes: Sequence[int] = (32, 40, 48),
     loss_rate: float = 0.01,
+    jobs: Optional[int] = None,
 ) -> ParameterSweepResult:
-    """Solve the degree MC for each feasible (dL, s) pair."""
+    """Solve the degree MC for each feasible (dL, s) pair.
+
+    ``jobs > 1`` fans the grid over a process pool (see
+    :class:`repro.runner.SweepRunner`); results are identical at any
+    ``jobs`` since each cell's solve is pure.
+    """
+    points = [
+        (view_size, d_low)
+        for view_size in view_sizes
+        for d_low in d_lows
+        if d_low <= view_size - 6  # else infeasible per the parametrization
+    ]
     result = ParameterSweepResult(loss_rate=loss_rate)
-    for view_size in view_sizes:
-        for d_low in d_lows:
-            if d_low > view_size - 6:
-                continue  # infeasible per the protocol's parametrization
-            params = SFParams(view_size=view_size, d_low=d_low)
-            solved = DegreeMarkovChain(params, loss_rate=loss_rate).solve()
-            _, in_std = solved.indegree_mean_std()
-            result.cells.append(
-                SweepCell(
-                    d_low=d_low,
-                    view_size=view_size,
-                    expected_outdegree=solved.expected_outdegree(),
-                    duplication=solved.duplication_probability,
-                    deletion=solved.deletion_probability,
-                    indegree_std=in_std,
-                )
-            )
+    result.cells.extend(
+        SweepRunner(jobs=jobs).run(_solve_cell, points, context=loss_rate)
+    )
     return result
 
 

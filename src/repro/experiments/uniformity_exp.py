@@ -14,10 +14,11 @@ same probability.  Two validations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.params import SFParams
 from repro.metrics.uniformity import OccupancyTracker
+from repro.runner import GridCell, SweepRunner
 from repro.util.tables import format_table
 
 
@@ -85,6 +86,27 @@ class EmpiricalUniformityResult:
         )
 
 
+def _occupancy_counts(cell: GridCell, context: tuple) -> List[int]:
+    """Sweep worker: one replication's per-id occupancy counts."""
+    from repro.experiments.common import build_sf_system, warm_up
+
+    n, params, loss_rate, warmup_rounds, samples, sample_gap_rounds, backend = context
+    protocol, engine = build_sf_system(
+        n,
+        params,
+        loss_rate=loss_rate,
+        seed=cell.seed,
+        init_outdegree=min(4, params.view_size - 2),
+        backend=backend,
+    )
+    warm_up(engine, warmup_rounds)
+    tracker = OccupancyTracker(protocol)
+    for _ in range(samples):
+        engine.run_rounds(sample_gap_rounds)
+        tracker.sample()
+    return tracker.pooled_counts(list(range(n)))
+
+
 def run_empirical(
     n: int = 30,
     params: SFParams = SFParams(view_size=8, d_low=2),
@@ -95,6 +117,7 @@ def run_empirical(
     replications: int = 6,
     seed: int = 76,
     backend: str = "reference",
+    jobs: Optional[int] = None,
 ) -> EmpiricalUniformityResult:
     """Empirical occupancy uniformity, pooled over independent runs.
 
@@ -103,27 +126,22 @@ def run_empirical(
     widely spaced snapshots remain correlated.  Pooling several runs with
     independent seeds removes that correlation; the acceptance statistic
     is the scale-free (max − min)/mean spread of per-id presence counts.
-    """
-    from repro.experiments.common import build_sf_system, warm_up
 
+    ``jobs > 1`` runs replications in parallel processes.  Replication
+    ``i`` keeps its historical seed ``seed + i``, and pooling integer
+    counts is order-independent, so results are identical at any ``jobs``.
+    """
     if replications <= 0:
         raise ValueError(f"replications must be positive, got {replications}")
+    per_replication = SweepRunner(jobs=jobs).run(
+        _occupancy_counts,
+        [loss_rate],
+        replications=replications,
+        seed_fn=lambda point, replication: seed + replication,
+        context=(n, params, loss_rate, warmup_rounds, samples, sample_gap_rounds, backend),
+    )
     pooled = [0] * n
-    for replication in range(replications):
-        protocol, engine = build_sf_system(
-            n,
-            params,
-            loss_rate=loss_rate,
-            seed=seed + replication,
-            init_outdegree=min(4, params.view_size - 2),
-            backend=backend,
-        )
-        warm_up(engine, warmup_rounds)
-        tracker = OccupancyTracker(protocol)
-        for _ in range(samples):
-            engine.run_rounds(sample_gap_rounds)
-            tracker.sample()
-        counts = tracker.pooled_counts(list(range(n)))
+    for counts in per_replication:
         pooled = [a + b for a, b in zip(pooled, counts)]
     mean = sum(pooled) / n
     return EmpiricalUniformityResult(

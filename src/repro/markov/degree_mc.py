@@ -44,16 +44,58 @@ this reproduces the "S&F Markov" curves of Figure 6.1.
 
 from __future__ import annotations
 
+import copy
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
-from scipy.sparse import csr_matrix, lil_matrix
+from scipy.sparse import coo_matrix, csr_matrix, lil_matrix
 from scipy.sparse.linalg import spsolve
 
 from repro.core.params import SFParams
+from repro.markov.solve_cache import DEFAULT_CACHE, SolveCache, solve_key
 
 State = Tuple[int, int]  # (outdegree, indegree)
+
+# Transition kinds: every rate in ``_transitions`` is ``base × factor``
+# where ``base`` depends only on the source state (q for initiates, k for
+# holder events) and ``factor`` is one fixed polynomial in the environment
+# triple (r, p_dup, p_full).  The vectorized matrix build precomputes
+# (row, col, base, kind) once and re-evaluates only the eight factors per
+# fixed-point iteration — applying each factor with exactly the operation
+# order of the scalar code so both builds are bit-identical.
+_INIT_DELIVER = 0       # q · deliver_space
+_INIT_FAIL = 1          # q · (1 − deliver_space)
+_TARGET_DELIVER = 2     # k·r · (1 − p_dup) · arrive
+_TARGET_LOST = 3        # k·r · (1 − p_dup) · (1 − arrive)
+_TARGET_DUP = 4         # k·r · p_dup · arrive
+_TARGET_FULL_CLEAR = 5  # k·r · (1 − p_dup)
+_FORWARD_CLEAR = 6      # k·r · (1 − p_dup) · (1 − deliver_space)
+_FORWARD_DUP = 7        # k·r · p_dup · deliver_space
+_NUM_KINDS = 8
+
+
+@dataclass
+class _TransitionTemplate:
+    """Environment-independent structure of the rate matrix.
+
+    ``rows/cols/base/kind`` hold one entry per potential transition, in
+    the exact order the scalar builder generates them (so ordered
+    accumulations reproduce its floating-point sums bit for bit).
+    ``order/group_starts/merged_rows/merged_cols`` pre-merge duplicate
+    ``(row, col)`` pairs via a stable sort, preserving first-generated
+    order inside each group.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    base: np.ndarray
+    kind_indices: Tuple[np.ndarray, ...]
+    order: np.ndarray
+    group_starts: np.ndarray
+    merged_rows: np.ndarray
+    merged_cols: np.ndarray
 
 
 @dataclass
@@ -71,6 +113,8 @@ class DegreeMCResult:
         deletion_probability: Pr(deletion | non-self-loop action), i.e.
             ``(1−ℓ)·P_full``.
         iterations: fixed-point iterations used.
+        converged: whether the environment fixed point met the tolerance
+            within ``max_iterations`` (``solve`` warns when it did not).
     """
 
     states: List[State]
@@ -82,6 +126,7 @@ class DegreeMCResult:
     duplication_probability: float
     deletion_probability: float
     iterations: int
+    converged: bool = True
 
     def expected_outdegree(self) -> float:
         return sum(d * p for d, p in self.outdegree_pmf.items())
@@ -125,7 +170,14 @@ class DegreeMarkovChain:
         conserved_sum_degree: restrict states to the line ``d + 2k = dm``
             (requires ``ℓ = 0`` and ``dL = 0``; Lemma 6.2's invariant).
         sum_degree_cap: cap on ``d + 2k`` (default ``3s``, as in the paper).
+        matrix_method: ``"vectorized"`` (default) rebuilds the rate matrix
+            from precomputed index/coefficient templates each fixed-point
+            iteration; ``"loop"`` is the original per-state scalar builder,
+            kept as the reference the vectorized path is tested against.
+            Both produce bit-identical matrices.
     """
+
+    MATRIX_METHODS = ("vectorized", "loop")
 
     def __init__(
         self,
@@ -133,7 +185,15 @@ class DegreeMarkovChain:
         loss_rate: float = 0.0,
         conserved_sum_degree: Optional[int] = None,
         sum_degree_cap: Optional[int] = None,
+        matrix_method: str = "vectorized",
     ):
+        if matrix_method not in self.MATRIX_METHODS:
+            raise ValueError(
+                f"matrix_method must be one of {self.MATRIX_METHODS}, "
+                f"got {matrix_method!r}"
+            )
+        self.matrix_method = matrix_method
+        self._template: Optional[_TransitionTemplate] = None
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.params = params
@@ -261,6 +321,12 @@ class DegreeMarkovChain:
         return _Environment(rate, p_dup, p_full)
 
     def _build_matrix(self, env: _Environment) -> csr_matrix:
+        if self.matrix_method == "loop":
+            return self._build_matrix_loop(env)
+        return self._build_matrix_vectorized(env)
+
+    def _build_matrix_loop(self, env: _Environment) -> csr_matrix:
+        """Reference builder: per-state Python loops over ``_transitions``."""
         n = len(self.states)
         rates = lil_matrix((n, n))
         outflow = np.zeros(n)
@@ -279,14 +345,148 @@ class DegreeMarkovChain:
             transition[i, i] = 1.0 - outflow[i] / lam
         return transition.tocsr()
 
+    def _build_template(self) -> _TransitionTemplate:
+        """Enumerate potential transitions once, in scalar-builder order."""
+        s, d_low = self.params.view_size, self.params.d_low
+        pair_choice = s * (s - 1)
+        rows: List[int] = []
+        cols: List[int] = []
+        base: List[float] = []
+        kind: List[int] = []
+
+        def add(source: int, target: State, weight: float, what: int) -> None:
+            j = self._index.get(target)
+            if j is None or j == source:
+                return
+            rows.append(source)
+            cols.append(j)
+            base.append(weight)
+            kind.append(what)
+
+        for i, (d, k) in enumerate(self.states):
+            q = d * (d - 1) / pair_choice
+            if q > 0.0:
+                d_after = d if d <= d_low else d - 2
+                add(i, (d_after, k + 1), q, _INIT_DELIVER)
+                if d_after != d:
+                    add(i, (d_after, k), q, _INIT_FAIL)
+            if k > 0:
+                kf = float(k)
+                if d < s:
+                    add(i, (d + 2, k - 1), kf, _TARGET_DELIVER)
+                    add(i, (d, k - 1), kf, _TARGET_LOST)
+                    add(i, (d + 2, k), kf, _TARGET_DUP)
+                else:
+                    add(i, (d, k - 1), kf, _TARGET_FULL_CLEAR)
+                add(i, (d, k - 1), kf, _FORWARD_CLEAR)
+                add(i, (d, k + 1), kf, _FORWARD_DUP)
+
+        n = len(self.states)
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        cols_arr = np.asarray(cols, dtype=np.int64)
+        kind_arr = np.asarray(kind, dtype=np.int64)
+        # Stable sort groups duplicate (row, col) pairs while keeping each
+        # group's entries in generation order, so ``reduceat`` sums them
+        # exactly as the scalar builder's ``+=`` does.
+        order = np.argsort(rows_arr * n + cols_arr, kind="stable")
+        sorted_rows = rows_arr[order]
+        sorted_cols = cols_arr[order]
+        flat = sorted_rows * n + sorted_cols
+        is_start = np.ones(flat.shape, dtype=bool)
+        is_start[1:] = flat[1:] != flat[:-1]
+        group_starts = np.flatnonzero(is_start)
+        return _TransitionTemplate(
+            rows=rows_arr,
+            cols=cols_arr,
+            base=np.asarray(base, dtype=np.float64),
+            kind_indices=tuple(
+                np.flatnonzero(kind_arr == what) for what in range(_NUM_KINDS)
+            ),
+            order=order,
+            group_starts=group_starts,
+            merged_rows=sorted_rows[group_starts],
+            merged_cols=sorted_cols[group_starts],
+        )
+
+    def _build_matrix_vectorized(self, env: _Environment) -> csr_matrix:
+        """Template builder: array scaling plus one coo→csr construction.
+
+        Bit-identical to :meth:`_build_matrix_loop`: each kind's factor is
+        applied with the scalar builder's operation order, duplicate
+        entries are summed in generation order, env-zeroed entries are
+        pruned (the scalar builder's ``rate > 0`` filter), and the
+        diagonal is always materialized (``lil`` stores assigned zeros).
+        """
+        if self._template is None:
+            self._template = self._build_template()
+        template = self._template
+        n = len(self.states)
+        loss = self.loss_rate
+        arrive = 1.0 - loss
+        deliver_space = (1.0 - loss) * (1.0 - env.p_full)
+        r = env.rate_per_instance
+        p_dup = env.p_dup_holder
+
+        data = np.zeros(template.base.shape, dtype=np.float64)
+        for what, idx in enumerate(template.kind_indices):
+            if idx.size == 0:
+                continue
+            b = template.base[idx]
+            if what == _INIT_DELIVER:
+                value = b * deliver_space
+            elif what == _INIT_FAIL:
+                value = b * (1.0 - deliver_space)
+            elif what == _TARGET_DELIVER:
+                value = ((b * r) * (1.0 - p_dup)) * arrive
+            elif what == _TARGET_LOST:
+                value = ((b * r) * (1.0 - p_dup)) * (1.0 - arrive)
+            elif what == _TARGET_DUP:
+                value = ((b * r) * p_dup) * arrive
+            elif what == _TARGET_FULL_CLEAR:
+                value = (b * r) * (1.0 - p_dup)
+            elif what == _FORWARD_CLEAR:
+                value = ((b * r) * (1.0 - p_dup)) * (1.0 - deliver_space)
+            else:  # _FORWARD_DUP
+                value = ((b * r) * p_dup) * deliver_space
+            data[idx] = value
+
+        outflow = np.bincount(template.rows, weights=data, minlength=n)
+        lam = float(outflow.max())
+        if lam <= 0.0:
+            raise RuntimeError("degenerate chain: no transitions anywhere")
+        merged = np.add.reduceat(data[template.order], template.group_starts)
+        keep = merged != 0.0
+        # scipy's ``csr / lam`` multiplies by the reciprocal; do the same
+        # so off-diagonal probabilities match the loop builder bit for bit.
+        off_diag = merged[keep] * (1.0 / lam)
+        diagonal = 1.0 - outflow / lam
+        # ``lil`` assignment drops zeros, so the loop builder stores no
+        # zero entries anywhere — prune them here too (off-diagonal zeros
+        # come from env-zeroed factors, diagonal zeros from max-outflow
+        # rows) to keep the sparsity structure identical.
+        diag_keep = diagonal != 0.0
+        diag_idx = np.flatnonzero(diag_keep)
+        all_rows = np.concatenate([template.merged_rows[keep], diag_idx])
+        all_cols = np.concatenate([template.merged_cols[keep], diag_idx])
+        all_vals = np.concatenate([off_diag, diagonal[diag_keep]])
+        return coo_matrix((all_vals, (all_rows, all_cols)), shape=(n, n)).tocsr()
+
     @staticmethod
     def _stationary(matrix: csr_matrix) -> np.ndarray:
         n = matrix.shape[0]
-        a = (matrix.T - _sparse_eye(n)).tolil()
-        a[n - 1, :] = 1.0
+        balance = (matrix.T - _sparse_eye(n)).tocsr()
+        # Replace the last balance equation with the normalization row
+        # Σπ = 1 by splicing a dense ones-row into the csr arrays directly
+        # (equivalent to ``tolil(); a[n-1, :] = 1.0`` but without the two
+        # format conversions, which dominate the solve at these sizes).
+        cut = balance.indptr[n - 1]
+        indptr = np.concatenate([balance.indptr[:n], [cut + n]])
+        indices = np.concatenate([balance.indices[:cut], np.arange(n)])
+        data = np.concatenate([balance.data[:cut], np.ones(n)])
+        a = csr_matrix((data, indices, indptr), shape=(n, n))
         b = np.zeros(n)
         b[n - 1] = 1.0
-        pi = spsolve(a.tocsr(), b)
+        pi = spsolve(a, b)
         pi = np.clip(pi, 0.0, None)
         total = pi.sum()
         if total <= 0.0:
@@ -302,13 +502,40 @@ class DegreeMarkovChain:
         max_iterations: int = 200,
         tolerance: float = 1e-10,
         damping: float = 0.5,
+        cache: Union[None, bool, SolveCache] = None,
     ) -> DegreeMCResult:
         """Run the paper's iterative scheme to the self-consistent π.
 
         Each iteration computes the stationary distribution for the current
         environment and re-derives the environment from it; ``damping``
-        mixes old and new environments for stability.
+        mixes old and new environments for stability.  Warns (and sets
+        ``converged=False`` on the result) when the fixed point has not met
+        ``tolerance`` after ``max_iterations``.
+
+        ``cache`` selects the content-addressed solve cache: ``None`` uses
+        the process-wide default (disable with ``REPRO_SOLVE_CACHE=off``),
+        ``True``/``False`` force it on/off, and a :class:`SolveCache`
+        instance substitutes a custom cache.  Keys cover every input the
+        result depends on — chain construction and solver settings alike —
+        so a hit is always exact; cached results are deep-copied on return.
         """
+        cache_obj = self._resolve_cache(cache)
+        key = None
+        if cache_obj is not None:
+            key = solve_key(
+                view_size=self.params.view_size,
+                d_low=self.params.d_low,
+                loss_rate=self.loss_rate,
+                conserved_sum_degree=self.conserved_sum_degree,
+                sum_degree_cap=self.sum_degree_cap,
+                max_iterations=max_iterations,
+                tolerance=tolerance,
+                damping=damping,
+                matrix_method=self.matrix_method,
+            )
+            hit = cache_obj.get(key)
+            if hit is not None:
+                return self._finish(copy.deepcopy(hit), max_iterations)
         s = self.params.view_size
         # Neutral starting guess: moderately busy network.
         env = _Environment(
@@ -318,6 +545,7 @@ class DegreeMarkovChain:
         )
         pi = np.full(len(self.states), 1.0 / len(self.states))
         iterations = 0
+        converged = False
         for iterations in range(1, max_iterations + 1):
             matrix = self._build_matrix(env)
             pi = self._stationary(matrix)
@@ -334,12 +562,44 @@ class DegreeMarkovChain:
             )
             if new_env.distance(env) < tolerance:
                 env = new_env
+                converged = True
                 break
             env = blended
-        return self._result(pi, env, iterations)
+        result = self._result(pi, env, iterations, converged)
+        if cache_obj is not None and key is not None:
+            cache_obj.put(key, copy.deepcopy(result))
+        return self._finish(result, max_iterations)
+
+    @staticmethod
+    def _resolve_cache(
+        cache: Union[None, bool, SolveCache]
+    ) -> Optional[SolveCache]:
+        if isinstance(cache, SolveCache):
+            return cache
+        if cache is True:
+            return DEFAULT_CACHE
+        if cache is False:
+            return None
+        return DEFAULT_CACHE if SolveCache.enabled() else None
+
+    def _finish(self, result: DegreeMCResult, max_iterations: int) -> DegreeMCResult:
+        if not result.converged:
+            warnings.warn(
+                f"degree-MC fixed point did not converge within "
+                f"{max_iterations} iterations "
+                f"(s={self.params.view_size}, dL={self.params.d_low}, "
+                f"l={self.loss_rate}); returning the last iterate",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return result
 
     def _result(
-        self, pi: np.ndarray, env: _Environment, iterations: int
+        self,
+        pi: np.ndarray,
+        env: _Environment,
+        iterations: int,
+        converged: bool = True,
     ) -> DegreeMCResult:
         out_pmf: Dict[int, float] = {}
         in_pmf: Dict[int, float] = {}
@@ -367,6 +627,7 @@ class DegreeMarkovChain:
             duplication_probability=duplication,
             deletion_probability=deletion,
             iterations=iterations,
+            converged=converged,
         )
 
     # ------------------------------------------------------------------

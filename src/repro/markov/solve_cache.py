@@ -1,0 +1,170 @@
+"""Content-addressed cache for degree-MC fixed-point solves.
+
+Many experiments solve *identical* chains — ``fig_6_2``, ``fig_6_3``,
+``table_6_3``, and the sweeps all revisit ``s = 40, dL = 18`` at the same
+handful of loss rates.  A solve is pure: its result is fully determined
+by the chain construction parameters and the solver settings.  This
+module memoizes solves under a key derived from exactly those inputs
+(plus a schema version, so any change to the solver semantics invalidates
+every old entry wholesale).
+
+Two layers:
+
+* an in-process dictionary (free hits within one experiment run);
+* a disk directory of pickle files named by the SHA-256 of the key, so
+  separate processes — including :class:`repro.runner.SweepRunner`
+  workers — share results across runs.
+
+Disk writes go through a temporary file in the cache directory followed
+by :func:`os.replace`, which is atomic on POSIX and Windows: concurrent
+workers solving the same chain race harmlessly (last writer wins with an
+identical payload) and a reader never observes a half-written entry.
+Unreadable or truncated entries are treated as misses and overwritten.
+
+Configuration:
+
+* ``REPRO_SOLVE_CACHE=off`` (or ``0``) disables the cache entirely;
+* ``REPRO_SOLVE_CACHE_DIR=<path>`` relocates the disk layer (default
+  ``~/.cache/repro-gossip/degree-mc``).
+
+The cache stores pickles of results this library itself produced; it is
+a private scratch directory, not an interchange format — do not point
+``REPRO_SOLVE_CACHE_DIR`` at untrusted data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Bump whenever the solver's numerical behavior changes: every key
+#: embeds this, so stale entries from older code can never be returned.
+SOLVE_SCHEMA_VERSION = 1
+
+_ENV_SWITCH = "REPRO_SOLVE_CACHE"
+_ENV_DIR = "REPRO_SOLVE_CACHE_DIR"
+
+
+def solve_key(**inputs: Any) -> str:
+    """SHA-256 content address for a solve described by ``inputs``.
+
+    ``inputs`` must contain every value the solve result depends on
+    (chain construction *and* solver settings).  Floats are addressed by
+    ``repr``, which round-trips IEEE doubles exactly — ``0.1`` and the
+    nearest double to ``0.1`` share a key, distinct doubles never do.
+    """
+    canonical = {
+        "schema": SOLVE_SCHEMA_VERSION,
+        **{name: repr(value) for name, value in sorted(inputs.items())},
+    }
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by layer."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+@dataclass
+class SolveCache:
+    """Two-layer (memory + disk) content-addressed result cache.
+
+    Args:
+        directory: disk location; ``None`` resolves per-operation from
+            ``REPRO_SOLVE_CACHE_DIR`` falling back to the user cache dir,
+            so tests and deployments can redirect it via the environment
+            without touching code.
+        use_disk: set ``False`` for a memory-only cache.
+    """
+
+    directory: Optional[Path] = None
+    use_disk: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: Dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def enabled() -> bool:
+        """Whether caching is globally enabled (``REPRO_SOLVE_CACHE``)."""
+        return os.environ.get(_ENV_SWITCH, "").lower() not in ("off", "0", "false")
+
+    def resolve_directory(self) -> Path:
+        if self.directory is not None:
+            return Path(self.directory)
+        override = os.environ.get(_ENV_DIR)
+        if override:
+            return Path(override)
+        return Path.home() / ".cache" / "repro-gossip" / "degree-mc"
+
+    def _path(self, key: str) -> Path:
+        return self.resolve_directory() / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        if key in self._memory:
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self.use_disk:
+            try:
+                with open(self._path(key), "rb") as handle:
+                    result = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                pass  # missing or unreadable entry: plain miss
+            else:
+                self.stats.disk_hits += 1
+                self._memory[key] = result
+                return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: Any) -> None:
+        """Store ``result`` under ``key`` in memory and (atomically) on disk."""
+        self._memory[key] = result
+        self.stats.writes += 1
+        if not self.use_disk:
+            return
+        directory = self.resolve_directory()
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, self._path(key))
+            except BaseException:
+                os.unlink(temp_name)
+                raise
+        except OSError:
+            pass  # read-only filesystem etc.: keep the memory layer only
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def clear_disk(self) -> None:
+        """Delete every cache file in the resolved directory."""
+        directory = self.resolve_directory()
+        if directory.is_dir():
+            for entry in directory.glob("*.pkl"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+
+#: Process-wide default used by :meth:`DegreeMarkovChain.solve` when the
+#: caller does not supply a cache of their own.
+DEFAULT_CACHE = SolveCache()

@@ -1,0 +1,29 @@
+"""Parallel sweep-execution subsystem.
+
+* :mod:`repro.runner.sweep` — :class:`SweepRunner`: deterministic
+  (point × replication) grids fanned over a process pool with
+  position-derived seeds and ordered result collection.
+
+The sweep experiments (``parameter_sweep``, ``loss_sweep``, ``fig_6_3``,
+``fig_6_4``, ``uniformity_exp``, ``independence_exp``) all accept a
+``jobs`` argument that routes their grid through this layer; the CLI
+exposes it as ``--jobs``.
+"""
+
+from repro.runner.sweep import (
+    GridCell,
+    SweepError,
+    SweepRunner,
+    default_jobs,
+    derive_seeds,
+    run_sweep,
+)
+
+__all__ = [
+    "GridCell",
+    "SweepError",
+    "SweepRunner",
+    "default_jobs",
+    "derive_seeds",
+    "run_sweep",
+]

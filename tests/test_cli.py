@@ -38,6 +38,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_jobs_flag_on_run_and_report(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "fig-6.3", "--jobs", "4"]).jobs == 4
+        assert parser.parse_args(["report", "--jobs", "0"]).jobs == 0
+        assert parser.parse_args(["run", "fig-6.3"]).jobs == 1  # serial default
+
 
 class TestCommands:
     def test_list(self, capsys):

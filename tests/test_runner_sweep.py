@@ -1,0 +1,136 @@
+"""Tests for the parallel sweep runner (repro.runner.sweep)."""
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.markov.degree_mc import DegreeMarkovChain
+from repro.markov.solve_cache import SolveCache
+from repro.runner import (
+    GridCell,
+    SweepError,
+    SweepRunner,
+    default_jobs,
+    derive_seeds,
+    run_sweep,
+)
+
+
+# Workers must be module-level so jobs > 1 can pickle them.
+
+def _echo_cell(cell: GridCell, context):
+    return (cell.index, cell.point, cell.replication, cell.seed, context)
+
+
+def _square(cell: GridCell, context):
+    return cell.point * cell.point + (cell.seed or 0) % 1000
+
+
+def _boom(cell: GridCell, context):
+    if cell.point == "bad":
+        raise ValueError("worker exploded")
+    return cell.point
+
+
+def _solve_tiny(cell: GridCell, context):
+    cache = SolveCache(directory=context)
+    chain = DegreeMarkovChain(SFParams(view_size=12, d_low=2), loss_rate=cell.point)
+    return chain.solve(cache=cache).expected_outdegree()
+
+
+class TestDeriveSeeds:
+    def test_deterministic(self):
+        assert derive_seeds(7, 5) == derive_seeds(7, 5)
+
+    def test_distinct_across_cells_and_bases(self):
+        seeds = derive_seeds(7, 8)
+        assert len(set(seeds)) == 8
+        assert seeds != derive_seeds(8, 8)
+
+    def test_none_propagates(self):
+        assert derive_seeds(None, 3) == [None, None, None]
+
+    def test_prefix_stable(self):
+        # Cell i's seed depends only on (base, i), not on the grid size.
+        assert derive_seeds(7, 10)[:4] == derive_seeds(7, 4)
+
+
+class TestGridConstruction:
+    def test_grid_order_points_outer_replications_inner(self):
+        rows = SweepRunner().run(
+            _echo_cell, ["a", "b"], replications=2, seed=1, context="ctx"
+        )
+        assert [(r[0], r[1], r[2]) for r in rows] == [
+            (0, "a", 0), (1, "a", 1), (2, "b", 0), (3, "b", 1),
+        ]
+        assert all(r[4] == "ctx" for r in rows)
+
+    def test_seed_fn_override(self):
+        rows = SweepRunner().run(
+            _echo_cell,
+            [10, 20],
+            replications=2,
+            seed_fn=lambda point, replication: point + replication,
+        )
+        assert [r[3] for r in rows] == [10, 11, 20, 21]
+
+    def test_empty_points(self):
+        assert SweepRunner(jobs=4).run(_square, []) == []
+
+    def test_replications_must_be_positive(self):
+        with pytest.raises(ValueError, match="replications"):
+            SweepRunner().run(_square, [1], replications=0)
+
+
+class TestExecution:
+    def test_jobs_1_and_jobs_4_identical(self):
+        kwargs = dict(points=[1, 2, 3, 4, 5], replications=2, seed=42)
+        serial = SweepRunner(jobs=1).run(_square, **kwargs)
+        parallel = SweepRunner(jobs=4).run(_square, **kwargs)
+        assert serial == parallel  # bit-identical, in grid order
+
+    def test_results_in_grid_order_despite_completion_order(self):
+        points = list(range(12))
+        assert SweepRunner(jobs=4).run(_square, points, seed=None) == [
+            p * p for p in points
+        ]
+
+    def test_worker_error_wrapped_inline(self):
+        with pytest.raises(SweepError, match="point='bad'") as info:
+            SweepRunner(jobs=1).run(_boom, ["ok", "bad"])
+        assert info.value.cell.point == "bad"
+        assert info.value.cell.index == 1
+
+    def test_worker_error_wrapped_in_pool(self):
+        with pytest.raises(SweepError, match="worker exploded"):
+            SweepRunner(jobs=2).run(_boom, ["ok", "bad"])
+
+    def test_progress_hook(self):
+        calls = []
+        runner = SweepRunner(
+            jobs=1, progress=lambda cell, result, done, total: calls.append(
+                (cell.index, result, done, total)
+            )
+        )
+        runner.run(_square, [1, 2, 3], seed=None)
+        assert [(c[2], c[3]) for c in calls] == [(1, 3), (2, 3), (3, 3)]
+        assert {c[0] for c in calls} == {0, 1, 2}
+
+    def test_run_sweep_convenience(self):
+        assert run_sweep(_square, [2, 3], jobs=2, seed=None) == [4, 9]
+
+    def test_default_jobs_bounds(self):
+        assert 1 <= default_jobs() <= 8
+
+
+class TestSolveCacheThroughSweep:
+    def test_rerun_hits_disk_cache_with_identical_results(self, tmp_path):
+        points = [0.0, 0.05]
+        first = SweepRunner(jobs=2).run(_solve_tiny, points, context=tmp_path)
+        cached_files = sorted(tmp_path.glob("*.pkl"))
+        assert len(cached_files) == len(points)
+        second = SweepRunner(jobs=2).run(_solve_tiny, points, context=tmp_path)
+        assert first == second
+        # Re-run added no new entries — every solve was a cache hit.
+        assert sorted(tmp_path.glob("*.pkl")) == cached_files
+        # And the warm path matches serial execution exactly.
+        assert SweepRunner(jobs=1).run(_solve_tiny, points, context=tmp_path) == first

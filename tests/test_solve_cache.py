@@ -1,0 +1,166 @@
+"""Tests for the content-addressed degree-MC solve cache."""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.params import SFParams
+from repro.markov.degree_mc import DegreeMarkovChain
+from repro.markov.solve_cache import (
+    SOLVE_SCHEMA_VERSION,
+    SolveCache,
+    solve_key,
+)
+
+
+def _solve(cache, s=12, d_low=2, loss=0.05, **kwargs):
+    chain = DegreeMarkovChain(SFParams(view_size=s, d_low=d_low), loss_rate=loss)
+    return chain.solve(cache=cache, **kwargs)
+
+
+class TestSolveKey:
+    def test_deterministic(self):
+        assert solve_key(a=1, b=0.5) == solve_key(a=1, b=0.5)
+
+    def test_order_independent(self):
+        assert solve_key(a=1, b=2) == solve_key(b=2, a=1)
+
+    def test_sensitive_to_every_input(self):
+        base = solve_key(view_size=40, d_low=18, loss_rate=0.01, tolerance=1e-10)
+        assert base != solve_key(view_size=40, d_low=18, loss_rate=0.01, tolerance=1e-8)
+        assert base != solve_key(view_size=40, d_low=16, loss_rate=0.01, tolerance=1e-10)
+        assert base != solve_key(view_size=40, d_low=18, loss_rate=0.02, tolerance=1e-10)
+
+    def test_float_repr_distinguishes_distinct_doubles(self):
+        # repr round-trips IEEE doubles: adjacent doubles get distinct keys.
+        x = 0.1
+        y = np.nextafter(0.1, 1.0)
+        assert solve_key(loss_rate=x) != solve_key(loss_rate=y)
+
+    def test_schema_version_embedded(self):
+        # The canonical payload embeds the schema version, so bumping it
+        # invalidates all old entries (sanity-check the constant exists).
+        assert isinstance(SOLVE_SCHEMA_VERSION, int)
+
+
+class TestSolveCacheLayers:
+    def test_memory_hit(self, tmp_path):
+        cache = SolveCache(directory=tmp_path)
+        cache.put("k", {"x": 1})
+        assert cache.get("k") == {"x": 1}
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 0
+
+    def test_disk_hit_from_fresh_instance(self, tmp_path):
+        SolveCache(directory=tmp_path).put("k", [1, 2, 3])
+        other = SolveCache(directory=tmp_path)  # simulates another process
+        assert other.get("k") == [1, 2, 3]
+        assert other.stats.disk_hits == 1
+        # Promoted to memory: second get is a memory hit.
+        assert other.get("k") == [1, 2, 3]
+        assert other.stats.memory_hits == 1
+
+    def test_miss_counted(self, tmp_path):
+        cache = SolveCache(directory=tmp_path)
+        assert cache.get("absent") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits() == 0
+
+    def test_memory_only_mode_writes_no_files(self, tmp_path):
+        cache = SolveCache(directory=tmp_path, use_disk=False)
+        cache.put("k", 42)
+        assert list(tmp_path.iterdir()) == []
+        assert cache.get("k") == 42
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SolveCache(directory=tmp_path)
+        cache.put("k", 42)
+        path = tmp_path / "k.pkl"
+        path.write_bytes(pickle.dumps(42)[:3])  # truncate
+        fresh = SolveCache(directory=tmp_path)
+        assert fresh.get("k") is None
+        assert fresh.stats.misses == 1
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = SolveCache(directory=tmp_path)
+        for i in range(5):
+            cache.put(f"k{i}", i)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(list(tmp_path.glob("*.pkl"))) == 5
+
+    def test_clear_disk_and_memory(self, tmp_path):
+        cache = SolveCache(directory=tmp_path)
+        cache.put("k", 1)
+        cache.clear_disk()
+        assert list(tmp_path.glob("*.pkl")) == []
+        assert cache.get("k") == 1  # memory layer survives clear_disk
+        cache.clear_memory()
+        assert cache.get("k") is None
+
+
+class TestConfiguration:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVE_CACHE", raising=False)
+        assert SolveCache.enabled()
+
+    @pytest.mark.parametrize("value", ["off", "0", "false", "OFF", "False"])
+    def test_disabled_via_env(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SOLVE_CACHE", value)
+        assert not SolveCache.enabled()
+
+    def test_directory_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SOLVE_CACHE_DIR", str(tmp_path / "alt"))
+        assert SolveCache().resolve_directory() == tmp_path / "alt"
+
+    def test_explicit_directory_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SOLVE_CACHE_DIR", str(tmp_path / "alt"))
+        cache = SolveCache(directory=tmp_path / "explicit")
+        assert cache.resolve_directory() == tmp_path / "explicit"
+
+
+class TestSolveIntegration:
+    def test_cache_hit_returns_equal_result(self, tmp_path):
+        cache = SolveCache(directory=tmp_path)
+        cold = _solve(cache)
+        assert cache.stats.misses == 1 and cache.stats.writes == 1
+        warm = _solve(cache)
+        assert cache.stats.hits() == 1
+        np.testing.assert_array_equal(cold.stationary, warm.stationary)
+        assert cold.outdegree_pmf == warm.outdegree_pmf
+        assert cold.iterations == warm.iterations
+
+    def test_disk_shared_across_instances(self, tmp_path):
+        _solve(SolveCache(directory=tmp_path))
+        other = SolveCache(directory=tmp_path)
+        _solve(other)
+        assert other.stats.disk_hits == 1
+        assert other.stats.writes == 0
+
+    def test_key_covers_solver_settings(self, tmp_path):
+        cache = SolveCache(directory=tmp_path)
+        _solve(cache)
+        _solve(cache, tolerance=1e-8)  # different settings: no false hit
+        assert cache.stats.misses == 2
+        assert cache.stats.hits() == 0
+
+    def test_cached_result_is_mutation_isolated(self, tmp_path):
+        cache = SolveCache(directory=tmp_path)
+        first = _solve(cache)
+        first.stationary[:] = -1.0
+        first.outdegree_pmf.clear()
+        second = _solve(cache)
+        assert (second.stationary >= 0.0).all()
+        assert second.outdegree_pmf  # untouched by the caller's mutation
+
+    def test_cache_false_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVE_CACHE_DIR", str(tmp_path))
+        _solve(False)
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_deepcopyable_and_picklable_result(self, tmp_path):
+        result = _solve(SolveCache(directory=tmp_path))
+        clone = copy.deepcopy(result)
+        np.testing.assert_array_equal(clone.stationary, result.stationary)
+        assert pickle.loads(pickle.dumps(result)).iterations == result.iterations
