@@ -30,7 +30,7 @@ from repro.core.params import SFParams
 # ----------------------------------------------------------------------
 
 
-def _fig_6_1(fast: bool, backend: str = "reference", jobs: int = 1):
+def _fig_6_1(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import fig_6_1
 
     # Purely analytic (Markov-chain) experiment: backend is accepted for
@@ -38,43 +38,45 @@ def _fig_6_1(fast: bool, backend: str = "reference", jobs: int = 1):
     return fig_6_1.run(dm=30 if fast else 90)
 
 
-def _fig_6_2(fast: bool, backend: str = "reference", jobs: int = 1):
+def _fig_6_2(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import fig_6_2
 
     return fig_6_2.run()
 
 
-def _table_6_3(fast: bool, backend: str = "reference", jobs: int = 1):
+def _table_6_3(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import table_6_3
 
     return table_6_3.run(d_hats=(30,) if fast else (10, 20, 30, 40, 50))
 
 
-def _fig_6_3(fast: bool, backend: str = "reference", jobs: int = 1):
+def _fig_6_3(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import fig_6_3
 
     if fast:
-        return fig_6_3.run(simulate=False, jobs=jobs)
+        return fig_6_3.run(simulate=False, jobs=jobs, runner=runner)
     return fig_6_3.run(
         simulate=True,
         simulate_n=300,
         simulate_rounds=(400.0, 150.0),
         backend=backend,
         jobs=jobs,
+        runner=runner,
     )
 
 
-def _fig_6_4(fast: bool, backend: str = "reference", jobs: int = 1):
+def _fig_6_4(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import fig_6_4
 
     if fast:
-        return fig_6_4.run(max_round=200, step=50, jobs=jobs)
+        return fig_6_4.run(max_round=200, step=50, jobs=jobs, runner=runner)
     return fig_6_4.run(
-        simulate=True, simulate_n=300, warmup_rounds=200, backend=backend, jobs=jobs
+        simulate=True, simulate_n=300, warmup_rounds=200, backend=backend,
+        jobs=jobs, runner=runner,
     )
 
 
-def _cor_6_14(fast: bool, backend: str = "reference", jobs: int = 1):
+def _cor_6_14(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import join_integration
 
     if fast:
@@ -84,7 +86,7 @@ def _cor_6_14(fast: bool, backend: str = "reference", jobs: int = 1):
     return join_integration.run(n=400, joiners=10, warmup_rounds=300, backend=backend)
 
 
-def _lemma_6_6(fast: bool, backend: str = "reference", jobs: int = 1):
+def _lemma_6_6(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import dup_del_balance
 
     if fast:
@@ -100,7 +102,7 @@ def _lemma_6_6(fast: bool, backend: str = "reference", jobs: int = 1):
     )
 
 
-def _lemma_7_5(fast: bool, backend: str = "reference", jobs: int = 1):
+def _lemma_7_5(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import lemma_7_5
 
     class _Bundle:
@@ -116,21 +118,22 @@ def _lemma_7_5(fast: bool, backend: str = "reference", jobs: int = 1):
     return _Bundle()
 
 
-def _lemma_7_6(fast: bool, backend: str = "reference", jobs: int = 1):
+def _lemma_7_6(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import uniformity_exp
 
     class _Bundle:
         def format(self) -> str:
             exact = uniformity_exp.run_exact(loss_rate=0.2)
             empirical = uniformity_exp.run_empirical(
-                replications=3 if fast else 6, backend=backend, jobs=jobs
+                replications=3 if fast else 6, backend=backend, jobs=jobs,
+                runner=runner,
             )
             return exact.format() + "\n" + empirical.format()
 
     return _Bundle()
 
 
-def _lemma_7_9(fast: bool, backend: str = "reference", jobs: int = 1):
+def _lemma_7_9(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import independence_exp
 
     if fast:
@@ -141,13 +144,15 @@ def _lemma_7_9(fast: bool, backend: str = "reference", jobs: int = 1):
             measure_rounds=60,
             backend=backend,
             jobs=jobs,
+            runner=runner,
         )
     return independence_exp.run(
-        n=600, warmup_rounds=300, measure_rounds=100, backend=backend, jobs=jobs
+        n=600, warmup_rounds=300, measure_rounds=100, backend=backend,
+        jobs=jobs, runner=runner,
     )
 
 
-def _lemma_7_15(fast: bool, backend: str = "reference", jobs: int = 1):
+def _lemma_7_15(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import temporal_exp
 
     class _Bundle:
@@ -164,20 +169,20 @@ def _lemma_7_15(fast: bool, backend: str = "reference", jobs: int = 1):
     return _Bundle()
 
 
-def _connectivity(fast: bool, backend: str = "reference", jobs: int = 1):
+def _connectivity(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import connectivity_exp
 
     return connectivity_exp.run(simulate=not fast, simulate_n=300, backend=backend)
 
 
-def _load_balance(fast: bool, backend: str = "reference", jobs: int = 1):
+def _load_balance(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import load_balance
 
     rounds = 150 if fast else 400
     return load_balance.run(n=200 if fast else 300, rounds=rounds, sample_every=50)
 
 
-def _baselines(fast: bool, backend: str = "reference", jobs: int = 1):
+def _baselines(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import baselines
 
     return baselines.run(
@@ -185,13 +190,13 @@ def _baselines(fast: bool, backend: str = "reference", jobs: int = 1):
     )
 
 
-def _random_walks(fast: bool, backend: str = "reference", jobs: int = 1):
+def _random_walks(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import random_walk_exp
 
     return random_walk_exp.run(attempts=800 if fast else 2000)
 
 
-def _ablation(fast: bool, backend: str = "reference", jobs: int = 1):
+def _ablation(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import ablation_variants
 
     if fast:
@@ -199,23 +204,25 @@ def _ablation(fast: bool, backend: str = "reference", jobs: int = 1):
     return ablation_variants.run(n=300)
 
 
-def _loss_sweep(fast: bool, backend: str = "reference", jobs: int = 1):
+def _loss_sweep(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import loss_sweep
 
     if fast:
-        return loss_sweep.run(losses=(0.0, 0.01, 0.05, 0.1), jobs=jobs)
-    return loss_sweep.run(jobs=jobs)
+        return loss_sweep.run(losses=(0.0, 0.01, 0.05, 0.1), jobs=jobs, runner=runner)
+    return loss_sweep.run(jobs=jobs, runner=runner)
 
 
-def _parameter_sweep(fast: bool, backend: str = "reference", jobs: int = 1):
+def _parameter_sweep(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import parameter_sweep
 
     if fast:
-        return parameter_sweep.run(d_lows=(10, 18), view_sizes=(40,), jobs=jobs)
-    return parameter_sweep.run(jobs=jobs)
+        return parameter_sweep.run(
+            d_lows=(10, 18), view_sizes=(40,), jobs=jobs, runner=runner
+        )
+    return parameter_sweep.run(jobs=jobs, runner=runner)
 
 
-def _partition(fast: bool, backend: str = "reference", jobs: int = 1):
+def _partition(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import partition_recovery
 
     if fast:
@@ -225,7 +232,7 @@ def _partition(fast: bool, backend: str = "reference", jobs: int = 1):
     return partition_recovery.run()
 
 
-def _samplers(fast: bool, backend: str = "reference", jobs: int = 1):
+def _samplers(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import sampler_exp
 
     if fast:
@@ -233,7 +240,7 @@ def _samplers(fast: bool, backend: str = "reference", jobs: int = 1):
     return sampler_exp.run()
 
 
-def _mixing(fast: bool, backend: str = "reference", jobs: int = 1):
+def _mixing(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
     from repro.experiments import mixing_exp
 
     return mixing_exp.run(epsilon=0.1 if fast else 0.05)
@@ -286,6 +293,32 @@ def _resolve_jobs(jobs: int) -> int:
     return default_jobs()
 
 
+def _make_runner(args: argparse.Namespace):
+    """A :class:`SweepRunner` configured from the fault-tolerance flags."""
+    from repro.runner import CheckpointStore, SweepRunner
+
+    checkpoint = None
+    if args.checkpoint_dir:
+        checkpoint = CheckpointStore(args.checkpoint_dir)
+    return SweepRunner(
+        jobs=_resolve_jobs(args.jobs),
+        on_error=args.on_error,
+        cell_timeout=args.cell_timeout,
+        checkpoint=checkpoint,
+    )
+
+
+def _print_failures(sweep_runner) -> None:
+    """Summarize cells skipped under ``--on-error skip`` (to stderr)."""
+    for failure in sweep_runner.last_failures:
+        print(
+            f"WARNING: skipped point={failure.cell.point!r} "
+            f"replication={failure.cell.replication} after "
+            f"{failure.attempts} attempt(s): {failure.errors[-1]}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = EXPERIMENTS.get(args.experiment)
     if runner is None:
@@ -294,8 +327,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = runner(args.fast, backend=args.backend, jobs=_resolve_jobs(args.jobs))
+    sweep_runner = _make_runner(args)
+    result = runner(
+        args.fast,
+        backend=args.backend,
+        jobs=_resolve_jobs(args.jobs),
+        runner=sweep_runner,
+    )
     print(result.format())
+    _print_failures(sweep_runner)
     return 0
 
 
@@ -351,9 +391,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     output_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
         print(f"== {name} ==")
-        result = EXPERIMENTS[name](args.fast, backend=args.backend, jobs=_resolve_jobs(args.jobs))
+        sweep_runner = _make_runner(args)
+        result = EXPERIMENTS[name](
+            args.fast,
+            backend=args.backend,
+            jobs=_resolve_jobs(args.jobs),
+            runner=sweep_runner,
+        )
         text = result.format()
         print(text)
+        _print_failures(sweep_runner)
         print()
         slug = name.replace(".", "_")
         (output_dir / f"{slug}.txt").write_text(text + "\n")
@@ -407,6 +454,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for sweep experiments (default 1 = serial; "
         "0 = one per CPU, capped at 8); results are identical at any value",
     )
+    on_error_kwargs = dict(
+        choices=["raise", "retry", "skip"],
+        default="raise",
+        help="sweep failure policy: 'raise' fails fast (default); 'retry' "
+        "retries each failing cell with exponential backoff, then fails; "
+        "'skip' retries likewise, then drops the cell and keeps the rest",
+    )
+    cell_timeout_kwargs = dict(
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget for sweep experiments; an overdue "
+        "cell counts as failed (pool path only, i.e. --jobs > 1)",
+    )
+    checkpoint_kwargs = dict(
+        default=None,
+        metavar="DIR",
+        help="journal each completed sweep cell to DIR; re-running the same "
+        "sweep resumes from the journal with bit-identical output",
+    )
 
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id (see 'list')")
@@ -415,6 +482,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--backend", **backend_kwargs)
     run_parser.add_argument("--jobs", **jobs_kwargs)
+    run_parser.add_argument("--on-error", **on_error_kwargs)
+    run_parser.add_argument("--cell-timeout", **cell_timeout_kwargs)
+    run_parser.add_argument("--checkpoint-dir", **checkpoint_kwargs)
     run_parser.set_defaults(func=_cmd_run)
 
     simulate_parser = sub.add_parser("simulate", help="run a custom S&F deployment")
@@ -439,6 +509,9 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--fast", action="store_true")
     report_parser.add_argument("--backend", **backend_kwargs)
     report_parser.add_argument("--jobs", **jobs_kwargs)
+    report_parser.add_argument("--on-error", **on_error_kwargs)
+    report_parser.add_argument("--cell-timeout", **cell_timeout_kwargs)
+    report_parser.add_argument("--checkpoint-dir", **checkpoint_kwargs)
     report_parser.set_defaults(func=_cmd_report)
 
     size_parser = sub.add_parser("size", help="apply the paper's sizing rules")

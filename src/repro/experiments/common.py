@@ -77,6 +77,10 @@ def build_sf_system(
         bootstrap = [(u + k) % n for k in range(1, init_outdegree + 1)]
         protocol.add_node(u, bootstrap)
     loss = loss_model if loss_model is not None else UniformLoss(loss_rate)
+    # A caller-supplied stateful model (e.g. GilbertElliottLoss) may be
+    # reused across replications; start each assembled system with a clean
+    # channel so replications stay independent.
+    loss.reset()
     engine = SequentialEngine(protocol, loss, seed=seed)
     return protocol, engine
 

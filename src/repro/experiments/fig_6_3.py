@@ -112,6 +112,7 @@ def run(
     seed: int = 2009,
     backend: str = "reference",
     jobs: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig63Result:
     """Solve the degree MC per loss rate; optionally validate by simulation.
 
@@ -119,19 +120,22 @@ def run(
     selects the simulation kernel (see ``build_sf_system``); ``jobs > 1``
     distributes the loss points over a process pool.  Every loss rate uses
     the same simulation seed (the historical convention, preserved so
-    outputs are independent of ``jobs``).
+    outputs are independent of ``jobs``).  A preconfigured ``runner``
+    (retries, ``on_error="skip"``, checkpoint) overrides ``jobs``; cells
+    skipped under that policy are omitted from the result.
     """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
     result = Fig63Result(params=params)
-    result.rows.extend(
-        SweepRunner(jobs=jobs).run(
-            _solve_row,
-            list(losses),
-            seed_fn=lambda point, replication: seed,
-            context=(params, simulate, simulate_n, simulate_rounds, backend),
-        )
+    rows = runner.run(
+        _solve_row,
+        list(losses),
+        seed_fn=lambda point, replication: seed,
+        context=(params, simulate, simulate_n, simulate_rounds, backend),
     )
+    result.rows.extend(row for row in rows if row is not None)
     return result
 
 

@@ -84,18 +84,23 @@ def run(
     seed: int = 64,
     backend: str = "reference",
     jobs: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig64Result:
     """Compute the Lemma 6.10 curves; optionally simulate actual decay.
 
     ``jobs > 1`` distributes loss points over a process pool; every loss
     rate uses the same simulation seed (the historical convention), so
-    outputs are independent of ``jobs``.
+    outputs are independent of ``jobs``.  A preconfigured ``runner``
+    (retries, ``on_error="skip"``, checkpoint) overrides ``jobs``; loss
+    rates whose cell was skipped under that policy get no curves.
     """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
     rounds = list(range(0, max_round + 1, step))
     result = Fig64Result(params=params, delta=delta, rounds=rounds)
-    curves = SweepRunner(jobs=jobs).run(
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
+    curves = runner.run(
         _solve_curves,
         list(losses),
         seed_fn=lambda point, replication: seed,
@@ -104,7 +109,10 @@ def run(
             simulate_n, simulate_leavers, warmup_rounds, backend,
         ),
     )
-    for loss, (bound, simulated) in zip(losses, curves):
+    for loss, outcome in zip(losses, curves):
+        if outcome is None:  # cell skipped under on_error="skip"
+            continue
+        bound, simulated = outcome
         result.bound_curves[loss] = bound
         if simulated is not None:
             result.simulated_curves[loss] = simulated

@@ -111,6 +111,7 @@ def run(
     seed: int = 79,
     backend: str = "reference",
     jobs: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> IndependenceResult:
     """Measure dependence per loss rate against the Lemma 7.9 bound.
 
@@ -118,19 +119,22 @@ def run(
     asymptotic bound, since the simulation runs at finite ``n``.
     ``jobs > 1`` distributes loss points over a process pool; every loss
     rate uses the same simulation seed (the historical convention), so
-    outputs are independent of ``jobs``.
+    outputs are independent of ``jobs``.  A preconfigured ``runner``
+    (retries, ``on_error="skip"``, checkpoint) overrides ``jobs``; cells
+    skipped under that policy are omitted from the result.
     """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
     result = IndependenceResult(params=params, n=n)
-    result.rows.extend(
-        SweepRunner(jobs=jobs).run(
-            _measure_row,
-            list(losses),
-            seed_fn=lambda point, replication: seed,
-            context=(n, params, delta, warmup_rounds, measure_rounds, backend),
-        )
+    rows = runner.run(
+        _measure_row,
+        list(losses),
+        seed_fn=lambda point, replication: seed,
+        context=(n, params, delta, warmup_rounds, measure_rounds, backend),
     )
+    result.rows.extend(row for row in rows if row is not None)
     return result
 
 

@@ -105,16 +105,21 @@ def run(
     params: Optional[SFParams] = None,
     delta: float = 0.01,
     jobs: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> LossSweepResult:
     """Solve the degree MC across the loss grid.
 
     ``jobs > 1`` distributes loss points over a process pool; each row is
     a pure function of its point, so results are identical at any ``jobs``.
+    A preconfigured ``runner`` (retries, ``on_error="skip"``, checkpoint)
+    overrides ``jobs``; cells skipped under that policy are omitted from
+    the result.
     """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
     result = LossSweepResult(params=params, delta=delta)
-    result.rows.extend(
-        SweepRunner(jobs=jobs).run(_solve_row, list(losses), context=(params, delta))
-    )
+    rows = runner.run(_solve_row, list(losses), context=(params, delta))
+    result.rows.extend(row for row in rows if row is not None)
     return result

@@ -85,12 +85,15 @@ def run(
     view_sizes: Sequence[int] = (32, 40, 48),
     loss_rate: float = 0.01,
     jobs: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ParameterSweepResult:
     """Solve the degree MC for each feasible (dL, s) pair.
 
     ``jobs > 1`` fans the grid over a process pool (see
     :class:`repro.runner.SweepRunner`); results are identical at any
-    ``jobs`` since each cell's solve is pure.
+    ``jobs`` since each cell's solve is pure.  A preconfigured ``runner``
+    (retries, ``on_error="skip"``, checkpoint) overrides ``jobs``; cells
+    skipped under that policy are omitted from the result.
     """
     points = [
         (view_size, d_low)
@@ -98,10 +101,11 @@ def run(
         for d_low in d_lows
         if d_low <= view_size - 6  # else infeasible per the parametrization
     ]
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
     result = ParameterSweepResult(loss_rate=loss_rate)
-    result.cells.extend(
-        SweepRunner(jobs=jobs).run(_solve_cell, points, context=loss_rate)
-    )
+    cells = runner.run(_solve_cell, points, context=loss_rate)
+    result.cells.extend(cell for cell in cells if cell is not None)
     return result
 
 

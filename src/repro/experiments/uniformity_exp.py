@@ -118,6 +118,7 @@ def run_empirical(
     seed: int = 76,
     backend: str = "reference",
     jobs: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> EmpiricalUniformityResult:
     """Empirical occupancy uniformity, pooled over independent runs.
 
@@ -130,24 +131,32 @@ def run_empirical(
     ``jobs > 1`` runs replications in parallel processes.  Replication
     ``i`` keeps its historical seed ``seed + i``, and pooling integer
     counts is order-independent, so results are identical at any ``jobs``.
+    A preconfigured ``runner`` (retries, ``on_error="skip"``, checkpoint)
+    overrides ``jobs``; skipped replications are excluded from the pool
+    (and from the reported replication count).
     """
     if replications <= 0:
         raise ValueError(f"replications must be positive, got {replications}")
-    per_replication = SweepRunner(jobs=jobs).run(
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
+    per_replication = runner.run(
         _occupancy_counts,
         [loss_rate],
         replications=replications,
         seed_fn=lambda point, replication: seed + replication,
         context=(n, params, loss_rate, warmup_rounds, samples, sample_gap_rounds, backend),
     )
+    successful = [counts for counts in per_replication if counts is not None]
+    if not successful:
+        raise RuntimeError("every replication failed; nothing to pool")
     pooled = [0] * n
-    for counts in per_replication:
+    for counts in successful:
         pooled = [a + b for a, b in zip(pooled, counts)]
     mean = sum(pooled) / n
     return EmpiricalUniformityResult(
         n=n,
         samples=samples,
-        replications=replications,
+        replications=len(successful),
         relative_spread=(max(pooled) - min(pooled)) / mean,
         pooled_counts=pooled,
     )

@@ -19,7 +19,10 @@ Disk writes go through a temporary file in the cache directory followed
 by :func:`os.replace`, which is atomic on POSIX and Windows: concurrent
 workers solving the same chain race harmlessly (last writer wins with an
 identical payload) and a reader never observes a half-written entry.
-Unreadable or truncated entries are treated as misses and overwritten.
+Corrupt or unpicklable entries are quarantined (deleted) on first read
+and treated as misses — one bad file costs one re-solve, not a warning
+per run forever; unreadable-but-intact files (permissions, I/O errors)
+are left in place and miss softly.
 
 Configuration:
 
@@ -36,12 +39,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+LOGGER = logging.getLogger("repro.markov.solve_cache")
 
 #: Bump whenever the solver's numerical behavior changes: every key
 #: embeds this, so stale entries from older code can never be returned.
@@ -96,6 +102,7 @@ class SolveCache:
     use_disk: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
     _memory: Dict[str, Any] = field(default_factory=dict)
+    _quarantine_logged: bool = field(default=False, repr=False)
 
     @staticmethod
     def enabled() -> bool:
@@ -114,22 +121,48 @@ class SolveCache:
         return self.resolve_directory() / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[Any]:
-        """Return the cached result for ``key``, or ``None`` on a miss."""
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        A corrupt or unpicklable disk entry is quarantined (deleted) so
+        it costs one re-solve instead of silently re-failing on every
+        future read; missing or unreadable files are plain misses.
+        """
         if key in self._memory:
             self.stats.memory_hits += 1
             return self._memory[key]
         if self.use_disk:
+            path = self._path(key)
             try:
-                with open(self._path(key), "rb") as handle:
+                with open(path, "rb") as handle:
                     result = pickle.load(handle)
-            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            except (FileNotFoundError, OSError):
                 pass  # missing or unreadable entry: plain miss
+            except Exception as exc:
+                self._quarantine(path, exc)
             else:
                 self.stats.disk_hits += 1
                 self._memory[key] = result
                 return result
         self.stats.misses += 1
         return None
+
+    def _quarantine(self, path: Path, exc: BaseException) -> None:
+        """Delete a corrupt entry; warn once, then log further ones at DEBUG."""
+        try:
+            path.unlink()
+        except OSError:
+            return
+        if not self._quarantine_logged:
+            self._quarantine_logged = True
+            LOGGER.warning(
+                "quarantined corrupt solve-cache entry %s (%r); the solve "
+                "will be recomputed (further quarantines logged at DEBUG)",
+                path.name, exc,
+            )
+        else:
+            LOGGER.debug(
+                "quarantined corrupt solve-cache entry %s (%r)", path.name, exc
+            )
 
     def put(self, key: str, result: Any) -> None:
         """Store ``result`` under ``key`` in memory and (atomically) on disk."""

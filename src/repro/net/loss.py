@@ -35,6 +35,16 @@ class LossModel(abc.ABC):
         """A nominal overall loss rate, for reporting (may be approximate)."""
         return 0.0
 
+    def reset(self) -> None:
+        """Discard any accumulated per-run channel state.
+
+        Stateless models are no-ops.  Stateful models (e.g.
+        :class:`GilbertElliottLoss`) must override this so one model
+        instance can be reused across replications without leaking state
+        — :func:`repro.experiments.common.build_sf_system` calls it for
+        every system it assembles.
+        """
+
 
 class UniformLoss(LossModel):
     """The paper's model: i.i.d. loss with probability ``rate`` per message."""
@@ -122,6 +132,16 @@ class GilbertElliottLoss(LossModel):
             return self.good_loss
         stationary_bad = self.p_good_to_bad / denom
         return stationary_bad * self.bad_loss + (1 - stationary_bad) * self.good_loss
+
+    def reset(self) -> None:
+        """Return every sender's channel to the good state.
+
+        The per-sender ``_bad_state`` map otherwise accumulates entries
+        (and burst state) for the lifetime of the instance — reusing one
+        model across replications would correlate runs that are supposed
+        to be independent and grow memory with every distinct sender.
+        """
+        self._bad_state.clear()
 
     def __repr__(self) -> str:
         return (

@@ -1,29 +1,67 @@
-"""Parallel sweep-execution subsystem.
+"""Fault-tolerant parallel sweep-execution subsystem.
 
 * :mod:`repro.runner.sweep` — :class:`SweepRunner`: deterministic
   (point × replication) grids fanned over a process pool with
-  position-derived seeds and ordered result collection.
+  position-derived seeds, ordered result collection, per-cell retries
+  with exponential backoff, ``on_error`` policies (``raise`` / ``retry``
+  / ``skip`` + :class:`FailureReport`), per-cell timeouts, and
+  BrokenProcessPool recovery.
+* :mod:`repro.runner.checkpoint` — :class:`CheckpointStore`: an opt-in
+  atomic on-disk journal of completed cells, so interrupted sweeps
+  resume bit-identically.
+* :mod:`repro.runner.chaos` — :class:`ChaosWorker` / :class:`FaultSpec`:
+  deterministic injection of exceptions, hangs, and process kills for
+  exercising every recovery path without flakiness.
 
 The sweep experiments (``parameter_sweep``, ``loss_sweep``, ``fig_6_3``,
 ``fig_6_4``, ``uniformity_exp``, ``independence_exp``) all accept a
-``jobs`` argument that routes their grid through this layer; the CLI
-exposes it as ``--jobs``.
+``jobs`` argument (CLI ``--jobs``) and a preconfigured ``runner=`` that
+routes their grid through this layer; the CLI exposes the failure knobs
+as ``--on-error``, ``--cell-timeout``, and ``--checkpoint-dir``.
 """
 
+from repro.runner.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointStats,
+    CheckpointStore,
+    worker_token,
+)
+from repro.runner.chaos import (
+    ChaosError,
+    ChaosSetupError,
+    ChaosWorker,
+    FaultSpec,
+)
 from repro.runner.sweep import (
+    CellTimeout,
+    FailureReport,
     GridCell,
+    PoolCrashError,
     SweepError,
     SweepRunner,
+    SweepStats,
     default_jobs,
     derive_seeds,
     run_sweep,
 )
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CellTimeout",
+    "ChaosError",
+    "ChaosSetupError",
+    "ChaosWorker",
+    "CheckpointStats",
+    "CheckpointStore",
+    "FailureReport",
+    "FaultSpec",
     "GridCell",
+    "PoolCrashError",
     "SweepError",
     "SweepRunner",
+    "SweepStats",
     "default_jobs",
     "derive_seeds",
     "run_sweep",
+    "worker_token",
 ]

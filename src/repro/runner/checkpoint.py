@@ -1,0 +1,204 @@
+"""Checkpoint/resume journal for sweep grids.
+
+A long sweep that dies 90% of the way through should not repeat the 90%.
+:class:`CheckpointStore` journals each completed cell's result to disk as
+it lands, so a re-run of the *same* sweep resumes from where the previous
+run stopped — with bit-identical output for pure workers, because the
+journaled result **is** the worker's return value and per-cell seeds are
+position-derived (see :mod:`repro.runner.sweep`).
+
+Entries follow the same content-address discipline as
+:mod:`repro.markov.solve_cache`:
+
+* the key is the SHA-256 of everything the cell's result depends on — a
+  schema version, the worker's identity, the cell's grid position, point,
+  replication, seed, and the shared context — so a changed grid, seed, or
+  worker can never produce a false resume;
+* writes go through a temporary file plus :func:`os.replace` (atomic on
+  POSIX and Windows), so a crash mid-write never leaves a half-written
+  entry and concurrent writers race harmlessly;
+* corrupt or unpicklable entries are quarantined (deleted) on first read
+  and treated as misses, so one bad file costs one recomputation, not a
+  wedged resume.
+
+Only *successful* cells are journaled.  Failed, skipped, and timed-out
+cells are retried by the next run — exactly the semantics a resumable
+sweep wants.
+
+A fault-injection wrapper that merely perturbs *execution* (not the
+computed value) can set a ``checkpoint_token`` attribute naming the
+worker it wraps; :func:`worker_token` honors it, which is what lets a
+sweep interrupted under :class:`repro.runner.chaos.ChaosWorker` resume
+with the plain worker.
+
+Like the solve cache, a checkpoint directory stores pickles this library
+itself produced; it is a private scratch directory, not an interchange
+format — do not point it at untrusted data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
+    from repro.runner.sweep import GridCell
+
+LOGGER = logging.getLogger("repro.runner.checkpoint")
+
+#: Bump whenever the journal layout or keying semantics change: every key
+#: embeds this, so entries from older code can never be resumed from.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def worker_token(worker: Any) -> str:
+    """The identity under which ``worker``'s results are journaled.
+
+    A wrapper that changes *how* a worker runs but not *what* it computes
+    (e.g. a fault injector) sets ``checkpoint_token`` to the wrapped
+    worker's token so its checkpoints interoperate with the plain worker.
+    """
+    token = getattr(worker, "checkpoint_token", None)
+    if token:
+        return str(token)
+    module = getattr(worker, "__module__", type(worker).__module__)
+    name = getattr(worker, "__qualname__", type(worker).__qualname__)
+    return f"{module}.{name}"
+
+
+def _describe(value: Any) -> str:
+    """Content description of ``value`` for key derivation.
+
+    ``repr`` alone truncates containers like numpy arrays, so a pickle
+    digest is appended when the value is picklable; together they make
+    distinct points/contexts collide only if both their repr *and* their
+    serialized form agree.
+    """
+    try:
+        digest = hashlib.sha256(pickle.dumps(value, protocol=4)).hexdigest()
+    except Exception:
+        digest = "unpicklable"
+    return f"{value!r}#{digest}"
+
+
+@dataclass
+class CheckpointStats:
+    """Journal counters for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+
+class CheckpointStore:
+    """Disk journal of completed sweep cells, one pickle per cell.
+
+    Args:
+        directory: where entries live; created on first write.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.stats = CheckpointStats()
+        self._quarantine_logged = False
+
+    def cell_key(self, worker: Any, cell: "GridCell", context: Any) -> str:
+        """SHA-256 content address of one (worker, cell, context) triple."""
+        canonical = {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "worker": worker_token(worker),
+            "index": cell.index,
+            "point": _describe(cell.point),
+            "replication": cell.replication,
+            "seed": repr(cell.seed),
+            "context": _describe(context),
+        }
+        payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def load(self, key: str) -> Tuple[bool, Any]:
+        """``(True, result)`` for a journaled cell, else ``(False, None)``.
+
+        A corrupt entry is quarantined (deleted) and reported as a miss,
+        so the cell is simply recomputed.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            result = payload["result"]
+        except (FileNotFoundError, OSError):
+            self.stats.misses += 1
+            return False, None
+        except Exception as exc:
+            self._quarantine(path, exc)
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, result
+
+    def store(self, key: str, cell: "GridCell", result: Any) -> None:
+        """Atomically journal one completed cell's result."""
+        payload = {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "cell": {
+                "index": cell.index,
+                "point": cell.point,
+                "replication": cell.replication,
+                "seed": cell.seed,
+            },
+            "result": result,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, self._path(key))
+            except BaseException:
+                os.unlink(temp_name)
+                raise
+        except OSError:
+            LOGGER.debug("checkpoint write failed for %s; continuing", key)
+            return
+        self.stats.writes += 1
+
+    def _quarantine(self, path: Path, exc: BaseException) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        if not self._quarantine_logged:
+            self._quarantine_logged = True
+            LOGGER.warning(
+                "quarantined corrupt checkpoint entry %s (%r); the cell will "
+                "be recomputed (further quarantines logged at DEBUG)",
+                path.name, exc,
+            )
+        else:
+            LOGGER.debug("quarantined corrupt checkpoint entry %s (%r)", path.name, exc)
+
+    def clear(self) -> None:
+        """Delete every journal entry."""
+        if self.directory.is_dir():
+            for entry in self.directory.glob("*.pkl"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -1,4 +1,4 @@
-"""Parallel sweep execution: fan a (point × replication) grid over processes.
+"""Fault-tolerant parallel sweep execution over a (point × replication) grid.
 
 Every sweep experiment in this repository has the same shape — a grid of
 parameter points, optionally replicated over independent seeds, with one
@@ -17,23 +17,61 @@ pure worker call per cell.  :class:`SweepRunner` owns that shape once:
 * **ordered collection** — results are returned in grid order regardless
   of completion order, which is what makes ``jobs=1`` and ``jobs=4``
   bit-identical for pure workers;
-* **hooks** — an optional ``progress`` callback fires per completed cell
-  (in completion order) and a ``repro.runner`` logger records timing.
+* **hooks** — an optional ``progress`` callback fires per settled cell
+  (in completion order) and a ``repro.runner`` logger records timing.  A
+  hook that raises is logged at WARNING and never aborts the sweep.
 
-Workers submitted with ``jobs > 1`` must be module-level callables and
-their arguments picklable — the standard multiprocessing constraint.
+The paper this repository reproduces is about correctness *under loss*;
+the runner applies the same stance to its own execution:
+
+* **retries with exponential backoff** — a failed cell is re-executed up
+  to ``max_retries`` times, delayed ``backoff_base · backoff_factor^k``
+  seconds (capped at ``backoff_max``).  Because a pure worker's result is
+  a function of its cell alone, a retried cell's result is bit-identical
+  to a first-try result.
+* **an ``on_error`` policy** — ``"raise"`` (default, the historical
+  fail-fast behavior), ``"retry"`` (retry, then raise), or ``"skip"``
+  (retry, then record a :class:`FailureReport` and yield ``None`` for
+  that cell instead of poisoning the whole grid).
+* **per-cell timeouts** (pool path only) — a cell running longer than
+  ``cell_timeout`` seconds is treated as failed: the pool is rebuilt
+  (killing the hung worker), innocent in-flight cells are requeued
+  uncharged, and the overdue cell is retried/skipped/raised per policy.
+* **BrokenProcessPool recovery** — an OOM-killed or crashed worker
+  process no longer discards completed results: the pool is rebuilt (at
+  most ``max_pool_rebuilds`` times per run) and in-flight cells are
+  requeued, each at most ``crash_retries`` times, since the crashed cell
+  cannot be told apart from its in-flight neighbors.
+* **checkpoint/resume** — with a :class:`repro.runner.CheckpointStore`,
+  every completed cell is journaled atomically as it lands; a re-run of
+  the same grid loads journaled cells instead of recomputing them, so an
+  interrupted sweep resumes where it died with bit-identical output.
+
+Workers submitted with ``jobs > 1`` must be module-level callables (or
+picklable callable objects) and their arguments picklable — the standard
+multiprocessing constraint.
 """
 
 from __future__ import annotations
 
+import heapq
 import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.runner.checkpoint import CheckpointStore
 
 LOGGER = logging.getLogger("repro.runner")
 
@@ -43,6 +81,12 @@ SweepWorker = Callable[["GridCell", Any], Any]
 #: Signature of the per-completion progress hook:
 #: ``progress(cell, result, done, total)``.
 ProgressHook = Callable[["GridCell", Any, int, int], None]
+
+#: Valid ``on_error`` policies.
+ON_ERROR_POLICIES = ("raise", "retry", "skip")
+
+#: Longest sleep while the loop is only waiting on retry backoff.
+_IDLE_TICK = 0.25
 
 
 @dataclass(frozen=True)
@@ -63,15 +107,75 @@ class GridCell:
     seed: Optional[int]
 
 
-class SweepError(RuntimeError):
-    """A worker raised; carries the failing cell for diagnosis."""
+@dataclass(frozen=True)
+class FailureReport:
+    """Structured record of a cell given up on under ``on_error="skip"``.
 
-    def __init__(self, cell: GridCell, cause: BaseException):
+    Attributes:
+        cell: the failing cell.
+        attempts: executions charged to the cell (worker raises, timeouts,
+            and pool crashes while it was in flight).
+        errors: ``repr`` of each failure, in order.
+        wall_time: parent-observed seconds spent on the cell across all
+            attempts (includes pool queueing, excludes backoff waits).
+    """
+
+    cell: GridCell
+    attempts: int
+    errors: Tuple[str, ...]
+    wall_time: float
+
+
+@dataclass
+class SweepStats:
+    """Execution counters for the most recent :meth:`SweepRunner.run`."""
+
+    total: int = 0
+    completed: int = 0
+    resumed: int = 0
+    retries: int = 0
+    skipped: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+
+
+class SweepError(RuntimeError):
+    """A worker failed terminally; carries the failing cell for diagnosis."""
+
+    def __init__(self, cell: GridCell, cause: BaseException, attempts: int = 1):
         super().__init__(
             f"sweep worker failed at point={cell.point!r} "
-            f"replication={cell.replication} (cell {cell.index}): {cause!r}"
+            f"replication={cell.replication} (cell {cell.index}) "
+            f"after {attempts} attempt(s): {cause!r}"
         )
         self.cell = cell
+        self.cause = cause
+        self.attempts = attempts
+
+
+class CellTimeout(RuntimeError):
+    """A cell exceeded ``cell_timeout``; raised parent-side, never in the worker."""
+
+
+class PoolCrashError(RuntimeError):
+    """The process pool crashed more than ``max_pool_rebuilds`` times."""
+
+
+class _CellState:
+    """Per-cell failure bookkeeping (attempts, crashes, errors, wall time)."""
+
+    __slots__ = ("cell", "attempts", "crashes", "errors", "elapsed", "submitted")
+
+    def __init__(self, cell: GridCell):
+        self.cell = cell
+        self.attempts = 0  # worker raises + timeouts
+        self.crashes = 0   # pool crashes while in flight (blame uncertain)
+        self.errors: List[str] = []
+        self.elapsed = 0.0
+        self.submitted = 0.0
+
+    def charged(self) -> int:
+        return self.attempts + self.crashes
 
 
 def default_jobs() -> int:
@@ -100,17 +204,79 @@ class SweepRunner:
     Args:
         jobs: worker processes; ``None`` or ``<= 1`` runs inline in this
             process.  (Use :func:`default_jobs` for "all the machine".)
-        progress: optional per-completion hook
-            ``progress(cell, result, done, total)``.
+        progress: optional per-settled-cell hook
+            ``progress(cell, result, done, total)``; exceptions it raises
+            are logged and swallowed.
+        on_error: ``"raise"`` fails fast on the first worker error (the
+            historical behavior); ``"retry"`` retries each failing cell up
+            to ``max_retries`` times and raises if it still fails;
+            ``"skip"`` retries likewise but then records a
+            :class:`FailureReport` and leaves ``None`` in that cell's slot.
+        max_retries: extra executions granted per cell after its first
+            failure (total attempts = ``max_retries + 1``).
+        backoff_base: delay before the first retry, in seconds; retry
+            ``k`` waits ``backoff_base * backoff_factor**(k-1)``.
+        backoff_factor: exponential backoff multiplier.
+        backoff_max: upper bound on any single backoff delay.
+        cell_timeout: wall-clock budget per cell execution, in seconds.
+            Enforced only in the pool path (``jobs > 1``) — a hung worker
+            is killed by rebuilding the pool and the cell is handled per
+            ``on_error``; with ``jobs <= 1`` the setting is ignored with a
+            warning (nothing can preempt the inline call).
+        checkpoint: optional :class:`repro.runner.CheckpointStore`; every
+            completed cell is journaled and journaled cells are loaded
+            instead of executed on re-runs.
+        max_pool_rebuilds: how many worker-process crashes to survive per
+            run before raising :class:`PoolCrashError`.
+        crash_retries: requeues granted to a cell that was in flight
+            during a pool crash (defaults to ``max_retries``); beyond it
+            the cell is handled per ``on_error``.
+
+    After :meth:`run`, :attr:`last_failures` holds the run's
+    :class:`FailureReport` list and :attr:`last_stats` its
+    :class:`SweepStats`.
     """
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         progress: Optional[ProgressHook] = None,
+        *,
+        on_error: str = "raise",
+        max_retries: int = 2,
+        backoff_base: float = 0.1,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 30.0,
+        cell_timeout: Optional[float] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+        max_pool_rebuilds: int = 5,
+        crash_retries: Optional[int] = None,
     ):
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError(f"cell_timeout must be positive, got {cell_timeout}")
+        if max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+            )
         self.jobs = 1 if jobs is None else max(1, int(jobs))
         self.progress = progress
+        self.on_error = on_error
+        self.max_retries = max_retries
+        self.backoff_base = max(0.0, backoff_base)
+        self.backoff_factor = max(1.0, backoff_factor)
+        self.backoff_max = max(0.0, backoff_max)
+        self.cell_timeout = cell_timeout
+        self.checkpoint = checkpoint
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.crash_retries = max_retries if crash_retries is None else crash_retries
+        self.last_failures: List[FailureReport] = []
+        self.last_stats = SweepStats()
 
     def run(
         self,
@@ -129,25 +295,43 @@ class SweepRunner:
         closures are fine even with ``jobs > 1``.  ``context`` is passed
         verbatim to every worker call (shared configuration).
 
-        Returns results in grid order (points outer, replications inner).
-        Raises :class:`SweepError` if any worker raises.
+        Returns results in grid order (points outer, replications inner);
+        cells skipped under ``on_error="skip"`` hold ``None`` and are
+        described in :attr:`last_failures`.  Raises :class:`SweepError`
+        when a cell fails terminally under ``"raise"``/``"retry"``, and
+        :class:`PoolCrashError` when worker processes crash more than
+        ``max_pool_rebuilds`` times.
         """
         if replications <= 0:
             raise ValueError(f"replications must be positive, got {replications}")
         cells = self._build_cells(points, replications, seed, seed_fn)
+        self.last_failures = []
+        self.last_stats = SweepStats(total=len(cells))
         if not cells:
             return []
         start = time.perf_counter()
         LOGGER.debug(
-            "sweep start: %d points x %d replications, jobs=%d",
-            len(points), replications, self.jobs,
+            "sweep start: %d points x %d replications, jobs=%d, on_error=%s",
+            len(points), replications, self.jobs, self.on_error,
         )
-        if self.jobs <= 1:
-            results = self._run_inline(worker, cells, context)
-        else:
-            results = self._run_pool(worker, cells, context)
+        results: List[Any] = [None] * len(cells)
+        keys: Dict[int, str] = {}
+        to_run = self._resume_from_checkpoint(worker, cells, context, results, keys)
+        done = len(cells) - len(to_run)
+        if self.last_stats.resumed:
+            LOGGER.info(
+                "resumed %d/%d cells from checkpoint",
+                self.last_stats.resumed, len(cells),
+            )
+        if to_run:
+            if self.jobs <= 1:
+                self._run_inline(worker, to_run, context, results, done, len(cells), keys)
+            else:
+                self._run_pool(worker, to_run, context, results, done, len(cells), keys)
         LOGGER.debug(
-            "sweep done: %d cells in %.3fs", len(cells), time.perf_counter() - start
+            "sweep done: %d cells (%d resumed, %d skipped) in %.3fs",
+            len(cells), self.last_stats.resumed, self.last_stats.skipped,
+            time.perf_counter() - start,
         )
         return results
 
@@ -180,42 +364,372 @@ class SweepRunner:
             for r in range(replications)
         ]
 
+    def _resume_from_checkpoint(
+        self,
+        worker: SweepWorker,
+        cells: List[GridCell],
+        context: Any,
+        results: List[Any],
+        keys: Dict[int, str],
+    ) -> List[GridCell]:
+        """Load journaled cells; return the cells that still need running."""
+        if self.checkpoint is None:
+            return list(cells)
+        to_run: List[GridCell] = []
+        resumed: List[GridCell] = []
+        for cell in cells:
+            key = self.checkpoint.cell_key(worker, cell, context)
+            keys[cell.index] = key
+            hit, value = self.checkpoint.load(key)
+            if hit:
+                results[cell.index] = value
+                resumed.append(cell)
+            else:
+                to_run.append(cell)
+        self.last_stats.resumed = len(resumed)
+        for done, cell in enumerate(resumed, start=1):
+            self._notify(cell, results[cell.index], done, len(cells))
+        return to_run
+
+    def _backoff_delay(self, failed_attempts: int) -> float:
+        if self.backoff_base <= 0.0:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** (failed_attempts - 1)
+        return min(delay, self.backoff_max)
+
     def _notify(self, cell: GridCell, result: Any, done: int, total: int) -> None:
-        if self.progress is not None:
+        if self.progress is None:
+            return
+        try:
             self.progress(cell, result, done, total)
+        except Exception:
+            LOGGER.warning(
+                "progress hook raised for cell %d; continuing the sweep",
+                cell.index, exc_info=True,
+            )
+
+    def _record_success(
+        self,
+        cell: GridCell,
+        result: Any,
+        results: List[Any],
+        keys: Dict[int, str],
+    ) -> None:
+        results[cell.index] = result
+        self.last_stats.completed += 1
+        if self.checkpoint is not None:
+            self.checkpoint.store(keys[cell.index], cell, result)
+
+    def _skip(self, cell: GridCell, state: _CellState, results: List[Any]) -> None:
+        report = FailureReport(
+            cell=cell,
+            attempts=state.charged(),
+            errors=tuple(state.errors),
+            wall_time=state.elapsed,
+        )
+        self.last_failures.append(report)
+        self.last_stats.skipped += 1
+        results[cell.index] = None
+        LOGGER.warning(
+            "skipping cell %d (point=%r, replication=%d) after %d attempt(s): %s",
+            cell.index, cell.point, cell.replication, report.attempts,
+            state.errors[-1] if state.errors else "unknown failure",
+        )
+
+    def _handle_failure(
+        self,
+        cell: GridCell,
+        exc: BaseException,
+        state: _CellState,
+        results: List[Any],
+        requeue: Callable[[GridCell, float], None],
+    ) -> bool:
+        """Bookkeep one failed execution.  True when the cell is settled
+        (skipped); False when a retry was scheduled via ``requeue(cell,
+        delay)``.  Raises :class:`SweepError` per policy."""
+        state.attempts += 1
+        state.errors.append(repr(exc))
+        if self.on_error == "raise":
+            raise SweepError(cell, exc, attempts=state.charged()) from exc
+        if state.attempts <= self.max_retries:
+            delay = self._backoff_delay(state.attempts)
+            self.last_stats.retries += 1
+            LOGGER.warning(
+                "cell %d failed (attempt %d/%d): %r; retrying in %.2fs",
+                cell.index, state.attempts, self.max_retries + 1, exc, delay,
+            )
+            requeue(cell, delay)
+            return False
+        if self.on_error == "retry":
+            raise SweepError(cell, exc, attempts=state.charged()) from exc
+        self._skip(cell, state, results)
+        return True
+
+    # -- inline path ---------------------------------------------------
 
     def _run_inline(
-        self, worker: SweepWorker, cells: List[GridCell], context: Any
-    ) -> List[Any]:
-        results: List[Any] = []
-        for done, cell in enumerate(cells, start=1):
-            try:
-                result = worker(cell, context)
-            except Exception as exc:
-                raise SweepError(cell, exc) from exc
-            results.append(result)
-            self._notify(cell, result, done, len(cells))
-        return results
+        self,
+        worker: SweepWorker,
+        cells: List[GridCell],
+        context: Any,
+        results: List[Any],
+        done: int,
+        total: int,
+        keys: Dict[int, str],
+    ) -> None:
+        if self.cell_timeout is not None:
+            LOGGER.warning(
+                "cell_timeout is only enforced with jobs > 1; "
+                "running inline without deadlines"
+            )
+        for cell in cells:
+            state = _CellState(cell)
+            retry_delay = [0.0]
+
+            def _requeue(_cell: GridCell, delay: float) -> None:
+                retry_delay[0] = delay
+
+            while True:
+                if retry_delay[0] > 0.0:
+                    time.sleep(retry_delay[0])
+                    retry_delay[0] = 0.0
+                started = time.monotonic()
+                try:
+                    result = worker(cell, context)
+                except Exception as exc:
+                    state.elapsed += time.monotonic() - started
+                    if self._handle_failure(cell, exc, state, results, _requeue):
+                        break  # skipped
+                else:
+                    self._record_success(cell, result, results, keys)
+                    break
+            done += 1
+            self._notify(cell, results[cell.index], done, total)
+
+    # -- pool path -----------------------------------------------------
 
     def _run_pool(
-        self, worker: SweepWorker, cells: List[GridCell], context: Any
-    ) -> List[Any]:
-        results: List[Any] = [None] * len(cells)
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(cells))) as pool:
-            futures = {
-                pool.submit(worker, cell, context): cell for cell in cells
-            }
-            done = 0
-            for future in as_completed(futures):
-                cell = futures[future]
-                try:
-                    result = future.result()
-                except Exception as exc:
-                    raise SweepError(cell, exc) from exc
-                results[cell.index] = result
+        self,
+        worker: SweepWorker,
+        cells: List[GridCell],
+        context: Any,
+        results: List[Any],
+        done: int,
+        total: int,
+        keys: Dict[int, str],
+    ) -> None:
+        max_workers = min(self.jobs, len(cells))
+        pending: deque = deque(cells)
+        waiting: List[Tuple[float, int, GridCell]] = []  # (ready_at, idx, cell)
+        states = {cell.index: _CellState(cell) for cell in cells}
+        inflight: Dict[Future, GridCell] = {}
+        rebuilds = 0
+
+        def _requeue(cell: GridCell, delay: float) -> None:
+            heapq.heappush(waiting, (time.monotonic() + delay, cell.index, cell))
+
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        try:
+            while pending or waiting or inflight:
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    _, _, ready_cell = heapq.heappop(waiting)
+                    pending.append(ready_cell)
+                # Cap outstanding submissions at the worker count: in-flight
+                # cells are then (almost) the running set, which keeps the
+                # blame set small when the pool crashes.
+                while pending and len(inflight) < max_workers:
+                    cell = pending.popleft()
+                    future = pool.submit(worker, cell, context)
+                    inflight[future] = cell
+                    states[cell.index].submitted = time.monotonic()
+                if not inflight:
+                    # Everything is waiting out a retry backoff.
+                    pause = max(0.0, waiting[0][0] - time.monotonic())
+                    time.sleep(min(pause, _IDLE_TICK))
+                    continue
+
+                finished, _ = wait(
+                    set(inflight),
+                    timeout=self._wait_timeout(waiting, inflight, states),
+                    return_when=FIRST_COMPLETED,
+                )
+                crash: Optional[BaseException] = None
+                for future in finished:
+                    cell = inflight[future]
+                    try:
+                        result = future.result()
+                    except BrokenExecutor as exc:
+                        # Pool is dead: every in-flight future fails with
+                        # this; handle them wholesale below.
+                        crash = exc
+                        break
+                    except Exception as exc:
+                        del inflight[future]
+                        state = states[cell.index]
+                        state.elapsed += time.monotonic() - state.submitted
+                        if self._handle_failure(cell, exc, state, results, _requeue):
+                            done += 1
+                            self._notify(cell, None, done, total)
+                    else:
+                        del inflight[future]
+                        self._record_success(cell, result, results, keys)
+                        done += 1
+                        self._notify(cell, result, done, total)
+
+                if crash is not None:
+                    rebuilds += 1
+                    self.last_stats.pool_rebuilds += 1
+                    LOGGER.warning(
+                        "worker process died (%r); rebuilding pool (%d/%d), "
+                        "requeueing %d in-flight cell(s); %d completed result(s) kept",
+                        crash, rebuilds, self.max_pool_rebuilds, len(inflight),
+                        self.last_stats.completed,
+                    )
+                    if rebuilds > self.max_pool_rebuilds:
+                        raise PoolCrashError(
+                            f"process pool crashed {rebuilds} times "
+                            f"(max_pool_rebuilds={self.max_pool_rebuilds}); "
+                            f"last crash: {crash!r}"
+                        ) from crash
+                    pool = self._rebuild_pool(pool, max_workers)
+                    done = self._settle_crashed(
+                        crash, inflight, states, pending, results, done, total
+                    )
+                    continue
+
+                if self.cell_timeout is not None and inflight:
+                    done, pool = self._enforce_deadlines(
+                        pool, max_workers, inflight, states, pending,
+                        results, done, total, _requeue,
+                    )
+        finally:
+            self._shutdown_pool(pool)
+
+    def _settle_crashed(
+        self,
+        crash: BaseException,
+        inflight: Dict[Future, GridCell],
+        states: Dict[int, _CellState],
+        pending: deque,
+        results: List[Any],
+        done: int,
+        total: int,
+    ) -> int:
+        """Requeue or settle every cell that was in flight during a crash.
+
+        The crashed cell cannot be told apart from its in-flight
+        neighbors, so each gets a crash charge; a cell over its
+        ``crash_retries`` budget is settled per ``on_error``.
+        """
+        now = time.monotonic()
+        for cell in inflight.values():
+            state = states[cell.index]
+            state.crashes += 1
+            state.elapsed += now - state.submitted
+            state.errors.append(repr(crash))
+            if state.crashes <= self.crash_retries:
+                pending.append(cell)
+            elif self.on_error == "skip":
+                self._skip(cell, state, results)
                 done += 1
-                self._notify(cell, result, done, len(cells))
-        return results
+                self._notify(cell, None, done, total)
+            else:
+                raise SweepError(cell, crash, attempts=state.charged()) from crash
+        inflight.clear()
+        return done
+
+    def _enforce_deadlines(
+        self,
+        pool: ProcessPoolExecutor,
+        max_workers: int,
+        inflight: Dict[Future, GridCell],
+        states: Dict[int, _CellState],
+        pending: deque,
+        results: List[Any],
+        done: int,
+        total: int,
+        requeue: Callable[[GridCell, float], None],
+    ) -> Tuple[int, ProcessPoolExecutor]:
+        """Kill the pool if any in-flight cell is over its deadline.
+
+        ``ProcessPoolExecutor`` cannot cancel a running task, so deadline
+        enforcement means rebuilding the pool: the overdue cells are
+        charged a timeout attempt and retried/skipped/raised per policy,
+        while the other in-flight cells are requeued uncharged.
+        """
+        now = time.monotonic()
+        overdue = {
+            cell.index
+            for future, cell in inflight.items()
+            if not future.done()
+            and now - states[cell.index].submitted >= self.cell_timeout
+        }
+        if not overdue:
+            return done, pool
+        self.last_stats.timeouts += len(overdue)
+        LOGGER.warning(
+            "%d cell(s) exceeded cell_timeout=%.3gs; killing the pool "
+            "and requeueing %d innocent in-flight cell(s)",
+            len(overdue), self.cell_timeout, len(inflight) - len(overdue),
+        )
+        pool = self._rebuild_pool(pool, max_workers)
+        for future, cell in list(inflight.items()):
+            state = states[cell.index]
+            state.elapsed += now - state.submitted
+            if cell.index in overdue:
+                exc = CellTimeout(
+                    f"cell {cell.index} (point={cell.point!r}) exceeded "
+                    f"cell_timeout={self.cell_timeout}s"
+                )
+                if self._handle_failure(cell, exc, state, results, requeue):
+                    done += 1
+                    self._notify(cell, None, done, total)
+            else:
+                pending.append(cell)
+        inflight.clear()
+        return done, pool
+
+    def _wait_timeout(
+        self,
+        waiting: List[Tuple[float, int, GridCell]],
+        inflight: Dict[Future, GridCell],
+        states: Dict[int, _CellState],
+    ) -> Optional[float]:
+        """How long ``wait`` may block before a deadline or retry is due."""
+        now = time.monotonic()
+        candidates = []
+        if self.cell_timeout is not None and inflight:
+            soonest = min(
+                states[cell.index].submitted for cell in inflight.values()
+            )
+            candidates.append(max(0.0, soonest + self.cell_timeout - now))
+        if waiting:
+            candidates.append(max(0.0, waiting[0][0] - now))
+        if not candidates:
+            return None
+        return min(candidates) + 0.01
+
+    def _rebuild_pool(
+        self, pool: ProcessPoolExecutor, max_workers: int
+    ) -> ProcessPoolExecutor:
+        self._shutdown_pool(pool)
+        return ProcessPoolExecutor(max_workers=max_workers)
+
+    @staticmethod
+    def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+        """Shut a pool down without waiting on (possibly hung) workers."""
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - Python < 3.9
+            pool.shutdown(wait=False)
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                if process.is_alive():
+                    process.terminate()
+            except Exception:  # pragma: no cover - already-reaped process
+                pass
 
 
 def run_sweep(
@@ -228,9 +742,22 @@ def run_sweep(
     seed_fn: Optional[Callable[[Any, int], Optional[int]]] = None,
     context: Any = None,
     progress: Optional[ProgressHook] = None,
+    on_error: str = "raise",
+    max_retries: int = 2,
+    backoff_base: float = 0.1,
+    cell_timeout: Optional[float] = None,
+    checkpoint: Optional[CheckpointStore] = None,
 ) -> List[Any]:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
-    return SweepRunner(jobs=jobs, progress=progress).run(
+    return SweepRunner(
+        jobs=jobs,
+        progress=progress,
+        on_error=on_error,
+        max_retries=max_retries,
+        backoff_base=backoff_base,
+        cell_timeout=cell_timeout,
+        checkpoint=checkpoint,
+    ).run(
         worker,
         points,
         replications=replications,

@@ -44,6 +44,28 @@ class TestBuildSystem:
         )
         assert engine.loss is model
 
+    def test_stateful_loss_model_reset_per_system(self):
+        """A reused GilbertElliott instance must not leak channel state
+        between replications: build_sf_system resets it."""
+        from repro.net.loss import GilbertElliottLoss
+
+        model = GilbertElliottLoss(p_good_to_bad=0.5, p_bad_to_good=0.1)
+        params = SFParams(view_size=12, d_low=2)
+
+        def run_once():
+            protocol, engine = build_sf_system(
+                20, params, loss_model=model, seed=13
+            )
+            engine.run_rounds(10)
+            return engine.stats.messages_lost, protocol.export_graph()
+
+        lost_a, graph_a = run_once()
+        assert model._bad_state  # channels evolved during the run
+        lost_b, graph_b = run_once()
+        # Same seed + clean channel state => a bit-identical replication.
+        assert lost_a == lost_b
+        assert graph_a == graph_b
+
     def test_warm_up_resets_stats(self):
         protocol, engine = build_sf_system(20, SFParams(view_size=12, d_low=2), seed=1)
         warm_up(engine, 10)

@@ -170,6 +170,60 @@ class TestKernelEquivalence:
         assert 0 < stats_arr.messages_lost < stats_arr.messages_sent
 
 
+class TestStatefulLossEquivalence:
+    """The ``rate_for() -> None`` / ``is_lost`` fallback path of
+    ``decide_loss``, driven through both kernels with evolving loss-model
+    state: per-sender Gilbert–Elliott channels (including a mid-schedule
+    ``reset()``) and a partition that splits and heals mid-schedule."""
+
+    def test_gilbert_elliott_requests_the_fallback_path(self):
+        loss = GilbertElliottLoss(0.1, 0.4, 0.02, 0.6)
+        assert loss.rate_for(0, 1) is None  # stateful: no precomputable rate
+        assert UniformLoss(0.3).rate_for(0, 1) == 0.3
+
+    def test_gilbert_elliott_reset_mid_schedule(self):
+        """Both kernels stay slot-exact when the channel state is wiped
+        between batches — resets happen at identical stream positions."""
+        ref = build(ReferenceKernel, 100)
+        arr = build(ArrayKernel, 100)
+        rng_ref, rng_arr = make_rng(23), make_rng(23)
+        stats_ref, stats_arr = EngineStats(), EngineStats()
+        loss_ref = GilbertElliottLoss(0.15, 0.3, 0.01, 0.7)
+        loss_arr = GilbertElliottLoss(0.15, 0.3, 0.01, 0.7)
+        for step, batch in enumerate((500, 1500, 800, 2000)):
+            ref.run_batch(batch, rng_ref, loss_ref, stats_ref)
+            arr.run_batch(batch, rng_arr, loss_arr, stats_arr)
+            assert_same_state(ref, arr, context=f"GE reset step {step}")
+            assert loss_ref._bad_state == loss_arr._bad_state, step
+            if step % 2 == 0:
+                assert loss_ref._bad_state  # channels actually evolved
+                loss_ref.reset()
+                loss_arr.reset()
+        assert stats_ref == stats_arr
+        assert 0 < stats_arr.messages_lost < stats_arr.messages_sent
+
+    def test_partition_split_and_heal_mid_schedule(self):
+        """An *activated* partition (0.9 cross loss), healed and re-split
+        between batches, must stay slot-exact across kernels."""
+        ref = build(ReferenceKernel, 120)
+        arr = build(ArrayKernel, 120)
+        rng_ref, rng_arr = make_rng(31), make_rng(31)
+        stats_ref, stats_arr = EngineStats(), EngineStats()
+        loss_ref, loss_arr = make_partition_loss(), make_partition_loss()
+        assert loss_ref.active and loss_ref.rate_for(0, 1) == 0.9
+        phases = [("split", 1200), ("heal", 1200), ("split", 2400)]
+        for phase, batch in phases:
+            for model in (loss_ref, loss_arr):
+                getattr(model, phase)()
+            ref.run_batch(batch, rng_ref, loss_ref, stats_ref)
+            arr.run_batch(batch, rng_arr, loss_arr, stats_arr)
+            assert_same_state(ref, arr, context=f"partition {phase}")
+            ref.check_invariant()
+            arr.check_invariant()
+        assert stats_ref == stats_arr
+        assert 0 < stats_arr.messages_lost < stats_arr.messages_sent
+
+
 class TestEngineLevelEquivalence:
     """The two kernel backends through the full SequentialEngine stack."""
 

@@ -79,6 +79,34 @@ class TestGilbertElliott:
         model.is_lost(5, 1, rng)
         assert set(model._bad_state) == {0, 5}
 
+    def test_reset_clears_channel_state(self):
+        model = GilbertElliottLoss(p_good_to_bad=0.9, p_bad_to_good=0.1)
+        rng = make_rng(5)
+        for sender in range(20):
+            model.is_lost(sender, 0, rng)
+        assert model._bad_state  # state accumulated across senders
+        model.reset()
+        assert model._bad_state == {}
+
+    def test_reset_isolates_replications(self):
+        """After reset(), a reused instance replays exactly the run a
+        fresh instance would produce (equal-seeded RNGs)."""
+        reused = GilbertElliottLoss(0.2, 0.3, 0.0, 0.9)
+        rng = make_rng(6)
+        first = [reused.is_lost(s % 7, 1, rng) for s in range(500)]
+        reused.reset()
+        rng_replay = make_rng(6)
+        replay = [reused.is_lost(s % 7, 1, rng_replay) for s in range(500)]
+        assert replay == first
+        # Without the reset, the leaked channel state changes the run.
+        rng_leaky = make_rng(6)
+        leaky = [reused.is_lost(s % 7, 1, rng_leaky) for s in range(500)]
+        assert leaky != first
+
+    def test_base_model_reset_is_a_noop(self):
+        UniformLoss(0.3).reset()
+        PerLinkLoss({(0, 1): 0.5}).reset()
+
 
 class TestPerLinkLoss:
     def test_specific_link_rate(self):

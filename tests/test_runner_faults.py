@@ -1,0 +1,518 @@
+"""Fault-tolerance tests for the sweep runner.
+
+Every recovery path — retry, skip, timeout, BrokenProcessPool rebuild,
+checkpoint/resume — is exercised with *deterministic* faults injected by
+``repro.runner.chaos`` (exceptions, hangs, and hard ``os._exit`` kills
+scripted per cell and per attempt), so nothing here depends on timing
+luck or real resource exhaustion.
+
+The acceptance test at the bottom is the tentpole contract: a sweep
+interrupted mid-grid by a killed worker resumes from its checkpoint and
+produces rows bit-identical to an uninterrupted ``jobs=1`` run.
+
+Pool-path tests default to ``--jobs 4``-style parallelism via the
+``REPRO_CHAOS_JOBS`` environment variable (CI's chaos job sets it);
+locally they fall back to 2 workers to stay light.
+"""
+
+import logging
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.runner import (
+    CellTimeout,
+    ChaosError,
+    ChaosSetupError,
+    ChaosWorker,
+    CheckpointStore,
+    FailureReport,
+    FaultSpec,
+    GridCell,
+    PoolCrashError,
+    SweepError,
+    SweepRunner,
+    worker_token,
+)
+
+JOBS = int(os.environ.get("REPRO_CHAOS_JOBS", "2"))
+
+
+# ----------------------------------------------------------------------
+# Module-level workers (picklable for jobs > 1)
+# ----------------------------------------------------------------------
+
+
+def _pure(cell: GridCell, context):
+    """The reference pure worker: result depends only on the cell."""
+    return (cell.index, cell.point, cell.replication, cell.seed)
+
+
+def _slow_when_negative(cell: GridCell, context):
+    if cell.point < 0:
+        time.sleep(30.0)
+    return cell.point
+
+
+class _FailNTimes:
+    """Inline-path worker failing each cell's first ``n`` attempts."""
+
+    def __init__(self, n):
+        self.n = n
+        self.attempts = {}
+
+    def __call__(self, cell: GridCell, context):
+        seen = self.attempts.get(cell.index, 0) + 1
+        self.attempts[cell.index] = seen
+        if seen <= self.n:
+            raise ValueError(f"transient failure {seen} on cell {cell.index}")
+        return _pure(cell, context)
+
+
+def chaos(worker, state_dir, *faults):
+    return ChaosWorker(worker, tuple(faults), state_dir)
+
+
+# ----------------------------------------------------------------------
+# Policy semantics (inline path)
+# ----------------------------------------------------------------------
+
+
+class TestOnErrorPolicies:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            SweepRunner(on_error="ignore")
+
+    def test_raise_is_the_default_and_fails_fast(self):
+        worker = _FailNTimes(1)
+        with pytest.raises(SweepError):
+            SweepRunner().run(worker, [1, 2, 3])
+        # Fail-fast: the failing cell ran once, later cells never ran.
+        assert worker.attempts == {0: 1}
+
+    def test_retry_recovers_transient_failures(self):
+        worker = _FailNTimes(2)
+        runner = SweepRunner(on_error="retry", max_retries=2, backoff_base=0.0)
+        out = runner.run(worker, ["a", "b"], seed=5)
+        assert out == SweepRunner().run(_pure, ["a", "b"], seed=5)
+        assert runner.last_stats.retries == 4  # 2 retries per cell
+        assert runner.last_failures == []
+
+    def test_retry_exhaustion_raises_with_attempt_count(self):
+        worker = _FailNTimes(10)
+        runner = SweepRunner(on_error="retry", max_retries=2, backoff_base=0.0)
+        with pytest.raises(SweepError, match="after 3 attempt"):
+            runner.run(worker, [1])
+        assert worker.attempts == {0: 3}
+
+    def test_skip_records_failure_report_and_none(self):
+        worker = _FailNTimes(10)
+        runner = SweepRunner(on_error="skip", max_retries=1, backoff_base=0.0)
+        out = runner.run(worker, [1, 2], seed=9)
+        assert out[0] is None and out[1] is None
+        assert runner.last_stats.skipped == 2
+        assert len(runner.last_failures) == 2
+        report = runner.last_failures[0]
+        assert isinstance(report, FailureReport)
+        assert report.cell.index == 0
+        assert report.attempts == 2
+        assert len(report.errors) == 2
+        assert "transient failure" in report.errors[-1]
+        assert report.wall_time >= 0.0
+
+    def test_skip_keeps_successful_cells(self):
+        worker = _FailNTimes(10)
+
+        class _FailOnlyMiddle:
+            def __call__(self, cell, context):
+                if cell.point == "bad":
+                    return worker(cell, context)
+                return _pure(cell, context)
+
+        runner = SweepRunner(on_error="skip", max_retries=0)
+        out = runner.run(_FailOnlyMiddle(), ["ok", "bad", "fine"], seed=2)
+        assert out[0] is not None and out[2] is not None
+        assert out[1] is None
+        assert [f.cell.point for f in runner.last_failures] == ["bad"]
+
+    def test_backoff_delay_schedule(self):
+        runner = SweepRunner(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.35
+        )
+        assert runner._backoff_delay(1) == pytest.approx(0.1)
+        assert runner._backoff_delay(2) == pytest.approx(0.2)
+        assert runner._backoff_delay(3) == pytest.approx(0.35)  # capped
+        assert SweepRunner(backoff_base=0.0)._backoff_delay(5) == 0.0
+
+    def test_retried_results_are_bit_identical(self):
+        baseline = SweepRunner().run(_pure, [3, 1, 4], replications=2, seed=1)
+        flaky = _FailNTimes(1)
+        retried = SweepRunner(on_error="retry", max_retries=1, backoff_base=0.0).run(
+            flaky, [3, 1, 4], replications=2, seed=1
+        )
+        assert retried == baseline
+
+
+# ----------------------------------------------------------------------
+# Chaos harness mechanics
+# ----------------------------------------------------------------------
+
+
+class TestChaosHarness:
+    def test_fault_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("explode", indices=(1,))
+        with pytest.raises(ValueError, match="select"):
+            FaultSpec("error")
+
+    def test_selection_by_index_and_seed(self):
+        cell = GridCell(index=3, point="p", replication=0, seed=10)
+        assert FaultSpec("error", indices=(3,)).selects(cell)
+        assert not FaultSpec("error", indices=(4,)).selects(cell)
+        assert FaultSpec("error", seed_mod=(2, 0)).selects(cell)
+        assert not FaultSpec("error", seed_mod=(2, 1)).selects(cell)
+        unseeded = GridCell(index=3, point="p", replication=0, seed=None)
+        assert not FaultSpec("error", seed_mod=(2, 0)).selects(unseeded)
+
+    def test_error_injection_counts_attempts_across_calls(self, tmp_path):
+        worker = chaos(_pure, tmp_path, FaultSpec("error", indices=(0,), times=2))
+        cell = GridCell(index=0, point="x", replication=0, seed=None)
+        for _ in range(2):
+            with pytest.raises(ChaosError):
+                worker(cell, None)
+        # Third attempt passes through to the wrapped worker.
+        assert worker(cell, None) == _pure(cell, None)
+        # A *fresh* wrapper over the same state_dir continues the count —
+        # this is what survives worker-process death.
+        fresh = chaos(_pure, tmp_path, FaultSpec("error", indices=(0,), times=2))
+        assert fresh(cell, None) == _pure(cell, None)
+
+    def test_permanent_fault(self, tmp_path):
+        worker = chaos(_pure, tmp_path, FaultSpec("error", indices=(0,), times=-1))
+        cell = GridCell(index=0, point="x", replication=0, seed=None)
+        for _ in range(5):
+            with pytest.raises(ChaosError):
+                worker(cell, None)
+
+    def test_kill_refused_in_main_process(self, tmp_path):
+        worker = chaos(_pure, tmp_path, FaultSpec("kill", indices=(0,)))
+        cell = GridCell(index=0, point="x", replication=0, seed=None)
+        with pytest.raises(ChaosSetupError, match="main process"):
+            worker(cell, None)
+
+    def test_checkpoint_token_passthrough(self, tmp_path):
+        wrapped = chaos(_pure, tmp_path, FaultSpec("error", indices=(9,)))
+        assert worker_token(wrapped) == worker_token(_pure)
+
+    def test_chaos_worker_is_picklable(self, tmp_path):
+        worker = chaos(_pure, tmp_path, FaultSpec("error", indices=(1,)))
+        clone = pickle.loads(pickle.dumps(worker))
+        assert clone.checkpoint_token == worker.checkpoint_token
+        assert clone.faults == worker.faults
+
+
+# ----------------------------------------------------------------------
+# Pool path: retries, crashes, timeouts
+# ----------------------------------------------------------------------
+
+
+class TestPoolRecovery:
+    def test_pool_retry_bit_identical(self, tmp_path):
+        baseline = SweepRunner().run(_pure, [1, 2, 3, 4], replications=2, seed=7)
+        worker = chaos(
+            _pure, tmp_path, FaultSpec("error", indices=(1, 4, 6), times=1)
+        )
+        runner = SweepRunner(
+            jobs=JOBS, on_error="retry", max_retries=2, backoff_base=0.0
+        )
+        assert runner.run(worker, [1, 2, 3, 4], replications=2, seed=7) == baseline
+        assert runner.last_stats.retries == 3
+
+    def test_pool_skip_reports_and_keeps_rest(self, tmp_path):
+        worker = chaos(_pure, tmp_path, FaultSpec("error", indices=(2,), times=-1))
+        runner = SweepRunner(
+            jobs=JOBS, on_error="skip", max_retries=1, backoff_base=0.0
+        )
+        out = runner.run(worker, list(range(6)), seed=3)
+        assert out[2] is None
+        assert sum(value is None for value in out) == 1
+        assert [f.cell.index for f in runner.last_failures] == [2]
+        assert runner.last_failures[0].attempts == 2
+
+    def test_broken_pool_recovery_keeps_completed_results(self, tmp_path):
+        baseline = SweepRunner().run(_pure, list(range(8)), seed=21)
+        worker = chaos(_pure, tmp_path, FaultSpec("kill", indices=(5,), times=1))
+        runner = SweepRunner(
+            jobs=JOBS, on_error="retry", max_retries=2, backoff_base=0.0
+        )
+        out = runner.run(worker, list(range(8)), seed=21)
+        assert out == baseline
+        assert runner.last_stats.pool_rebuilds >= 1
+        assert runner.last_stats.completed == 8
+
+    def test_poison_cell_skipped_under_skip_policy(self, tmp_path):
+        """A cell that kills its worker on *every* attempt is eventually
+        given up on without sinking the grid."""
+        worker = chaos(_pure, tmp_path, FaultSpec("kill", indices=(3,), times=-1))
+        runner = SweepRunner(
+            jobs=JOBS,
+            on_error="skip",
+            max_retries=1,
+            crash_retries=2,
+            max_pool_rebuilds=10,
+            backoff_base=0.0,
+        )
+        out = runner.run(worker, list(range(6)), seed=33)
+        assert out[3] is None
+        assert sum(value is None for value in out) == 1
+        report = runner.last_failures[0]
+        assert report.cell.index == 3
+        assert "BrokenProcessPool" in "".join(report.errors)
+
+    def test_rebuild_budget_exhaustion_raises_pool_crash_error(self, tmp_path):
+        worker = chaos(_pure, tmp_path, FaultSpec("kill", indices=(0,), times=-1))
+        runner = SweepRunner(
+            jobs=JOBS,
+            on_error="retry",
+            crash_retries=50,
+            max_pool_rebuilds=2,
+            backoff_base=0.0,
+        )
+        with pytest.raises(PoolCrashError, match="crashed 3 times"):
+            runner.run(worker, list(range(4)), seed=1)
+
+    def test_crash_budget_exhaustion_raises_sweep_error(self, tmp_path):
+        """With crash_retries=0 under "retry", the first crash settles the
+        in-flight cells as terminal failures."""
+        worker = chaos(_pure, tmp_path, FaultSpec("kill", indices=(0,), times=-1))
+        runner = SweepRunner(
+            jobs=JOBS, on_error="retry", crash_retries=0, backoff_base=0.0
+        )
+        with pytest.raises(SweepError):
+            runner.run(worker, list(range(4)), seed=1)
+
+    def test_timeout_retry_recovers_a_transient_hang(self, tmp_path):
+        baseline = SweepRunner().run(_pure, [1, 2, 3, 4], seed=13)
+        worker = chaos(
+            _pure,
+            tmp_path,
+            FaultSpec("hang", indices=(1,), times=1, hang_seconds=30.0),
+        )
+        runner = SweepRunner(
+            jobs=JOBS,
+            on_error="retry",
+            max_retries=1,
+            cell_timeout=1.5,
+            backoff_base=0.0,
+        )
+        start = time.monotonic()
+        out = runner.run(worker, [1, 2, 3, 4], seed=13)
+        assert out == baseline
+        assert runner.last_stats.timeouts == 1
+        # The hung worker was killed, not waited out.
+        assert time.monotonic() - start < 25.0
+
+    def test_timeout_skip_records_cell_timeout(self):
+        runner = SweepRunner(
+            jobs=JOBS,
+            on_error="skip",
+            max_retries=0,
+            cell_timeout=1.5,
+            backoff_base=0.0,
+        )
+        out = runner.run(_slow_when_negative, [1, -2, 3])
+        assert out == [1, None, 3]
+        report = runner.last_failures[0]
+        assert report.cell.point == -2
+        assert CellTimeout.__name__ in report.errors[-1]
+
+    def test_timeout_under_raise_policy_fails_fast(self):
+        runner = SweepRunner(jobs=JOBS, cell_timeout=1.5)
+        with pytest.raises(SweepError) as info:
+            runner.run(_slow_when_negative, [1, -2, 3])
+        assert isinstance(info.value.cause, CellTimeout)
+
+    def test_inline_timeout_ignored_with_warning(self, caplog):
+        runner = SweepRunner(jobs=1, cell_timeout=0.5)
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            out = runner.run(_pure, [1, 2], seed=4)
+        assert out == SweepRunner().run(_pure, [1, 2], seed=4)
+        assert any("cell_timeout" in r.message for r in caplog.records)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume
+# ----------------------------------------------------------------------
+
+
+class TestCheckpointStore:
+    def _cell(self, index=0, point="p", replication=0, seed=5):
+        return GridCell(index=index, point=point, replication=replication, seed=seed)
+
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = self._cell()
+        key = store.cell_key(_pure, cell, None)
+        assert store.load(key) == (False, None)
+        store.store(key, cell, {"value": 42})
+        assert store.load(key) == (True, {"value": 42})
+        assert len(store) == 1
+        assert store.stats.writes == 1 and store.stats.hits == 1
+
+    def test_key_sensitivity(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        base = store.cell_key(_pure, self._cell(), "ctx")
+        assert base == store.cell_key(_pure, self._cell(), "ctx")
+        assert base != store.cell_key(_pure, self._cell(point="q"), "ctx")
+        assert base != store.cell_key(_pure, self._cell(seed=6), "ctx")
+        assert base != store.cell_key(_pure, self._cell(replication=1), "ctx")
+        assert base != store.cell_key(_pure, self._cell(index=1), "ctx")
+        assert base != store.cell_key(_pure, self._cell(), "other-ctx")
+        assert base != store.cell_key(_slow_when_negative, self._cell(), "ctx")
+
+    def test_falsey_result_is_a_hit(self, tmp_path):
+        """A journaled None/0/[] must read back as a hit, not a miss."""
+        store = CheckpointStore(tmp_path)
+        cell = self._cell()
+        key = store.cell_key(_pure, cell, None)
+        store.store(key, cell, None)
+        assert store.load(key) == (True, None)
+
+    def test_corrupt_entry_quarantined(self, tmp_path, caplog):
+        store = CheckpointStore(tmp_path)
+        cell = self._cell()
+        key = store.cell_key(_pure, cell, None)
+        store.store(key, cell, 1)
+        (tmp_path / f"{key}.pkl").write_bytes(b"garbage")
+        fresh = CheckpointStore(tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.runner.checkpoint"):
+            assert fresh.load(key) == (False, None)
+        assert not (tmp_path / f"{key}.pkl").exists()
+        assert any("quarantined" in r.message for r in caplog.records)
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = self._cell()
+        store.store(store.cell_key(_pure, cell, None), cell, 1)
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0
+
+    def test_resume_skips_journaled_cells(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        first = SweepRunner(checkpoint=store).run(
+            _pure, [1, 2, 3], replications=2, seed=8
+        )
+        worker = _FailNTimes(99)  # would fail every cell if executed
+        # Same checkpoint identity as _pure: resume must make execution moot.
+        worker.checkpoint_token = worker_token(_pure)
+        resumed_runner = SweepRunner(checkpoint=CheckpointStore(tmp_path))
+        assert resumed_runner.run(worker, [1, 2, 3], replications=2, seed=8) == first
+        assert worker.attempts == {}  # nothing was re-executed
+        assert resumed_runner.last_stats.resumed == 6
+
+    def test_changed_grid_does_not_false_resume(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        SweepRunner(checkpoint=store).run(_pure, [1, 2], seed=8)
+        runner = SweepRunner(checkpoint=CheckpointStore(tmp_path))
+        runner.run(_pure, [1, 2], seed=9)  # different base seed
+        assert runner.last_stats.resumed == 0
+
+    def test_progress_fires_for_resumed_cells(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        SweepRunner(checkpoint=store).run(_pure, [1, 2], seed=8)
+        seen = []
+        runner = SweepRunner(
+            checkpoint=CheckpointStore(tmp_path),
+            progress=lambda cell, result, done, total: seen.append(
+                (cell.index, done, total)
+            ),
+        )
+        runner.run(_pure, [1, 2], seed=8)
+        assert [(d, t) for _, d, t in seen] == [(1, 2), (2, 2)]
+
+    def test_failed_cells_are_not_journaled(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        runner = SweepRunner(
+            on_error="skip", max_retries=0, checkpoint=store, backoff_base=0.0
+        )
+        runner.run(_FailNTimes(99), [1, 2], seed=8)
+        assert len(store) == 0  # skip != success: both cells retry next run
+
+
+# ----------------------------------------------------------------------
+# Acceptance: interrupted sweep resumes bit-identical
+# ----------------------------------------------------------------------
+
+
+class TestInterruptedSweepResume:
+    def test_kill_interrupted_sweep_resumes_bit_identical(self, tmp_path):
+        """The ISSUE's acceptance criterion, end to end.
+
+        1. Baseline: the full grid, uninterrupted, at jobs=1.
+        2. A chaotic parallel run whose worker is *killed* mid-grid
+           (``os._exit`` via the chaos harness) dies with part of the
+           grid journaled.
+        3. A resume run over the same checkpoint directory — with the
+           plain worker, at jobs=1 — loads the journaled cells and
+           computes the rest.
+
+        The resumed output must equal the baseline bit-for-bit, and the
+        resume must genuinely start from the journal (≥ 1 resumed cell).
+        """
+        points = [0.0, 0.01, 0.05, 0.1, 0.15, 0.2]
+        grid = dict(points=points, replications=2, seed=2009)
+
+        baseline = SweepRunner(jobs=1).run(_pure, **grid)
+
+        checkpoint_dir = tmp_path / "journal"
+        chaos_state = tmp_path / "chaos"
+        # The poison cell kills its worker on every attempt; with no
+        # crash-retry budget the run must die mid-grid.
+        worker = chaos(
+            _pure, chaos_state, FaultSpec("kill", indices=(9,), times=-1)
+        )
+        interrupted = SweepRunner(
+            jobs=JOBS,
+            on_error="retry",
+            crash_retries=0,
+            checkpoint=CheckpointStore(checkpoint_dir),
+            backoff_base=0.0,
+        )
+        with pytest.raises((SweepError, PoolCrashError)):
+            interrupted.run(worker, **grid)
+
+        journaled = len(CheckpointStore(checkpoint_dir))
+        assert 0 < journaled < len(points) * 2  # died mid-grid, progress kept
+
+        resume_runner = SweepRunner(
+            jobs=1, checkpoint=CheckpointStore(checkpoint_dir)
+        )
+        resumed = resume_runner.run(_pure, **grid)
+
+        assert resumed == baseline  # bit-identical to the uninterrupted run
+        assert resume_runner.last_stats.resumed == journaled >= 1
+        assert resume_runner.last_stats.completed == len(points) * 2 - journaled
+
+    def test_resume_is_also_identical_under_parallel_resume(self, tmp_path):
+        """Resuming at jobs=N equals resuming at jobs=1 (pure workers)."""
+        grid = dict(points=[1, 2, 3, 4, 5], replications=2, seed=77)
+        baseline = SweepRunner(jobs=1).run(_pure, **grid)
+        store_dir = tmp_path / "journal"
+        worker = chaos(
+            _pure, tmp_path / "chaos", FaultSpec("kill", indices=(6,), times=-1)
+        )
+        with pytest.raises((SweepError, PoolCrashError)):
+            SweepRunner(
+                jobs=JOBS,
+                crash_retries=0,
+                on_error="retry",
+                checkpoint=CheckpointStore(store_dir),
+                backoff_base=0.0,
+            ).run(worker, **grid)
+        parallel = SweepRunner(
+            jobs=JOBS, checkpoint=CheckpointStore(store_dir)
+        ).run(_pure, **grid)
+        assert parallel == baseline

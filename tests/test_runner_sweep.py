@@ -115,6 +115,29 @@ class TestExecution:
         assert [(c[2], c[3]) for c in calls] == [(1, 3), (2, 3), (3, 3)]
         assert {c[0] for c in calls} == {0, 1, 2}
 
+    def test_progress_hook_exception_does_not_abort_inline(self, caplog):
+        import logging
+
+        def hostile(cell, result, done, total):
+            raise RuntimeError("hook exploded")
+
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            out = SweepRunner(jobs=1, progress=hostile).run(_square, [1, 2, 3], seed=None)
+        assert out == [1, 4, 9]  # the sweep completed anyway
+        hook_warnings = [r for r in caplog.records if "progress hook" in r.message]
+        assert len(hook_warnings) == 3
+
+    def test_progress_hook_exception_does_not_abort_pool(self, caplog):
+        import logging
+
+        def hostile(cell, result, done, total):
+            raise RuntimeError("hook exploded")
+
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            out = SweepRunner(jobs=2, progress=hostile).run(_square, [1, 2, 3], seed=None)
+        assert out == [1, 4, 9]
+        assert any("progress hook" in r.message for r in caplog.records)
+
     def test_run_sweep_convenience(self):
         assert run_sweep(_square, [2, 3], jobs=2, seed=None) == [4, 9]
 

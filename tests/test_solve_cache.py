@@ -83,6 +83,46 @@ class TestSolveCacheLayers:
         assert fresh.get("k") is None
         assert fresh.stats.misses == 1
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path, caplog):
+        import logging
+
+        cache = SolveCache(directory=tmp_path)
+        cache.put("k", 42)
+        (tmp_path / "k.pkl").write_bytes(b"not a pickle at all")
+        fresh = SolveCache(directory=tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.markov.solve_cache"):
+            assert fresh.get("k") is None
+        # The bad file is deleted, so the next read is a clean miss that a
+        # put() can repair — not a parse failure forever.
+        assert not (tmp_path / "k.pkl").exists()
+        assert any("quarantined" in r.message for r in caplog.records)
+        fresh.put("k", 43)
+        assert SolveCache(directory=tmp_path).get("k") == 43
+
+    def test_quarantine_warns_once_then_debug(self, tmp_path, caplog):
+        import logging
+
+        for name in ("a", "b"):
+            (tmp_path / f"{name}.pkl").write_bytes(b"garbage")
+        cache = SolveCache(directory=tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.markov.solve_cache"):
+            assert cache.get("a") is None
+            assert cache.get("b") is None
+        warnings = [
+            r for r in caplog.records
+            if r.levelno == logging.WARNING and "quarantined" in r.message
+        ]
+        assert len(warnings) == 1  # first at WARNING, the rest at DEBUG
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_missing_file_is_not_quarantine_logged(self, tmp_path, caplog):
+        import logging
+
+        cache = SolveCache(directory=tmp_path)
+        with caplog.at_level(logging.DEBUG, logger="repro.markov.solve_cache"):
+            assert cache.get("never-written") is None
+        assert not caplog.records
+
     def test_no_tmp_files_left_behind(self, tmp_path):
         cache = SolveCache(directory=tmp_path)
         for i in range(5):
