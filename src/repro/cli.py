@@ -3,274 +3,33 @@
 Usage::
 
     python -m repro list
+    python -m repro list --json
     python -m repro run fig-6.1
     python -m repro run table-6.4 --fast
+    python -m repro run fig-6.3 --fast --artifacts-dir artifacts/
     python -m repro report --fast --output report/
     python -m repro simulate --nodes 500 --view-size 40 --d-low 18 \
         --loss 0.01 --rounds 300
     python -m repro size --target-degree 30 --delta 0.01 --loss 0.01
 
-``run`` executes one of the paper's experiments (see DESIGN.md's index)
-and prints the same rows/series the paper reports.  ``--fast`` shrinks
-simulation sizes for a quick look.  ``simulate`` runs a custom S&F
-deployment and summarizes its steady state; ``size`` applies the §6.3 and
-§7.4 sizing rules.
+Every experiment is an :class:`repro.experiments.registry.ExperimentSpec`
+(see docs/architecture.md); the CLI is a thin veneer over the registry.
+``run`` executes one experiment through :class:`repro.runner.SweepRunner`
+and prints the same rows/series the paper reports; ``--fast`` selects
+the CI-sized grid.  ``simulate`` runs a custom S&F deployment and
+summarizes its steady state; ``size`` applies the §6.3 and §7.4 sizing
+rules.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict
+import warnings
+from pathlib import Path
 
 from repro.core.params import SFParams
-
-# ----------------------------------------------------------------------
-# Experiment registry
-# ----------------------------------------------------------------------
-
-
-def _fig_6_1(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import fig_6_1
-
-    # Purely analytic (Markov-chain) experiment: backend is accepted for
-    # CLI uniformity but no simulation kernel is involved.
-    return fig_6_1.run(dm=30 if fast else 90)
-
-
-def _fig_6_2(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import fig_6_2
-
-    return fig_6_2.run()
-
-
-def _table_6_3(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import table_6_3
-
-    return table_6_3.run(d_hats=(30,) if fast else (10, 20, 30, 40, 50))
-
-
-def _fig_6_3(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import fig_6_3
-
-    if fast:
-        return fig_6_3.run(simulate=False, jobs=jobs, runner=runner)
-    return fig_6_3.run(
-        simulate=True,
-        simulate_n=300,
-        simulate_rounds=(400.0, 150.0),
-        backend=backend,
-        jobs=jobs,
-        runner=runner,
-    )
-
-
-def _fig_6_4(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import fig_6_4
-
-    if fast:
-        return fig_6_4.run(max_round=200, step=50, jobs=jobs, runner=runner)
-    return fig_6_4.run(
-        simulate=True, simulate_n=300, warmup_rounds=200, backend=backend,
-        jobs=jobs, runner=runner,
-    )
-
-
-def _cor_6_14(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import join_integration
-
-    if fast:
-        return join_integration.run(
-            n=200, joiners=4, warmup_rounds=150, backend=backend
-        )
-    return join_integration.run(n=400, joiners=10, warmup_rounds=300, backend=backend)
-
-
-def _lemma_6_6(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import dup_del_balance
-
-    if fast:
-        return dup_del_balance.run(
-            losses=(0.0, 0.05),
-            n=200,
-            warmup_rounds=250,
-            measure_rounds=100,
-            backend=backend,
-        )
-    return dup_del_balance.run(
-        n=300, warmup_rounds=400, measure_rounds=250, backend=backend
-    )
-
-
-def _lemma_7_5(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import lemma_7_5
-
-    class _Bundle:
-        def format(self) -> str:
-            return "\n".join(
-                [
-                    lemma_7_5.run_lossless_simple().format(),
-                    lemma_7_5.run_lossless_multiedge().format(),
-                    lemma_7_5.run_lossy(0.3).format(),
-                ]
-            )
-
-    return _Bundle()
-
-
-def _lemma_7_6(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import uniformity_exp
-
-    class _Bundle:
-        def format(self) -> str:
-            exact = uniformity_exp.run_exact(loss_rate=0.2)
-            empirical = uniformity_exp.run_empirical(
-                replications=3 if fast else 6, backend=backend, jobs=jobs,
-                runner=runner,
-            )
-            return exact.format() + "\n" + empirical.format()
-
-    return _Bundle()
-
-
-def _lemma_7_9(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import independence_exp
-
-    if fast:
-        return independence_exp.run(
-            losses=(0.0, 0.05),
-            n=300,
-            warmup_rounds=200,
-            measure_rounds=60,
-            backend=backend,
-            jobs=jobs,
-            runner=runner,
-        )
-    return independence_exp.run(
-        n=600, warmup_rounds=300, measure_rounds=100, backend=backend,
-        jobs=jobs, runner=runner,
-    )
-
-
-def _lemma_7_15(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import temporal_exp
-
-    class _Bundle:
-        def format(self) -> str:
-            bounds = temporal_exp.run_bounds()
-            decay = temporal_exp.run_decay(
-                n=150 if fast else 300,
-                max_rounds=120 if fast else 200,
-                sample_every=20 if fast else 10,
-                backend=backend,
-            )
-            return bounds.format() + "\n\n" + decay.format()
-
-    return _Bundle()
-
-
-def _connectivity(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import connectivity_exp
-
-    return connectivity_exp.run(simulate=not fast, simulate_n=300, backend=backend)
-
-
-def _load_balance(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import load_balance
-
-    rounds = 150 if fast else 400
-    return load_balance.run(n=200 if fast else 300, rounds=rounds, sample_every=50)
-
-
-def _baselines(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import baselines
-
-    return baselines.run(
-        n=200 if fast else 300, rounds=120 if fast else 200, sample_every=40
-    )
-
-
-def _random_walks(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import random_walk_exp
-
-    return random_walk_exp.run(attempts=800 if fast else 2000)
-
-
-def _ablation(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import ablation_variants
-
-    if fast:
-        return ablation_variants.run(n=150, warmup_rounds=120, measure_rounds=80)
-    return ablation_variants.run(n=300)
-
-
-def _loss_sweep(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import loss_sweep
-
-    if fast:
-        return loss_sweep.run(losses=(0.0, 0.01, 0.05, 0.1), jobs=jobs, runner=runner)
-    return loss_sweep.run(jobs=jobs, runner=runner)
-
-
-def _parameter_sweep(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import parameter_sweep
-
-    if fast:
-        return parameter_sweep.run(
-            d_lows=(10, 18), view_sizes=(40,), jobs=jobs, runner=runner
-        )
-    return parameter_sweep.run(jobs=jobs, runner=runner)
-
-
-def _partition(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import partition_recovery
-
-    if fast:
-        return partition_recovery.run(
-            n=100, partition_lengths=(20, 300), warmup_rounds=80
-        )
-    return partition_recovery.run()
-
-
-def _samplers(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import sampler_exp
-
-    if fast:
-        return sampler_exp.run(n=100, epochs=5, rounds_per_epoch=20)
-    return sampler_exp.run()
-
-
-def _mixing(fast: bool, backend: str = "reference", jobs: int = 1, runner=None):
-    from repro.experiments import mixing_exp
-
-    return mixing_exp.run(epsilon=0.1 if fast else 0.05)
-
-
-EXPERIMENTS: Dict[str, Callable[..., object]] = {
-    "fig-6.1": _fig_6_1,
-    "fig-6.2": _fig_6_2,
-    "table-6.3": _table_6_3,
-    "fig-6.3": _fig_6_3,
-    "table-6.4": _fig_6_3,  # the §6.4 table is Fig 6.3's moment summary
-    "fig-6.4": _fig_6_4,
-    "cor-6.14": _cor_6_14,
-    "lemma-6.6": _lemma_6_6,
-    "lemma-7.5": _lemma_7_5,
-    "lemma-7.6": _lemma_7_6,
-    "lemma-7.9": _lemma_7_9,
-    "lemma-7.15": _lemma_7_15,
-    "connectivity": _connectivity,
-    "load-balance": _load_balance,
-    "baselines": _baselines,
-    "random-walks": _random_walks,
-    "ablation": _ablation,
-    "loss-sweep": _loss_sweep,
-    "parameter-sweep": _parameter_sweep,
-    "partition-recovery": _partition,
-    "samplers": _samplers,
-    "mixing-exact": _mixing,
-}
-
 
 # ----------------------------------------------------------------------
 # Subcommands
@@ -278,9 +37,22 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    print("Available experiments (see DESIGN.md for the paper mapping):")
-    for name in sorted(EXPERIMENTS):
-        print(f"  {name}")
+    from repro.experiments import registry
+
+    specs = registry.list_specs()
+    if args.json:
+        print(json.dumps([spec.describe() for spec in specs], indent=2))
+        return 0
+    print("Available experiments (see docs/paper_map.md for the paper mapping):")
+    width = max(
+        len(name)
+        for spec in specs
+        for name in (spec.name, *spec.aliases)
+    )
+    for spec in specs:
+        print(f"  {spec.name:<{width}}  {spec.anchor} — {spec.description}")
+        for alias in spec.aliases:
+            print(f"  {alias:<{width}}  alias for {spec.name}")
     return 0
 
 
@@ -319,23 +91,54 @@ def _print_failures(sweep_runner) -> None:
         )
 
 
+def _execute(spec, args: argparse.Namespace):
+    """Run ``spec`` with the CLI's runner flags; returns ``(result, text)``.
+
+    Backend warnings from the registry (a non-default ``--backend`` on an
+    analytic experiment) are re-routed to stderr so they are visible even
+    where Python's once-per-location warning filter would drop them.
+    """
+    sweep_runner = _make_runner(args)
+    from repro.experiments import registry
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", RuntimeWarning)
+        result = registry.execute(
+            spec, fast=args.fast, backend=args.backend, runner=sweep_runner
+        )
+    for warning in caught:
+        print(f"WARNING: {warning.message}", file=sys.stderr)
+    _print_failures(sweep_runner)
+    return result
+
+
+def _write_artifacts(spec, result, text: str, directory) -> None:
+    """Archive ``<slug>.txt`` and the versioned ``<slug>.json`` envelope."""
+    output_dir = Path(directory)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    slug = spec.name.replace(".", "_")
+    (output_dir / f"{slug}.txt").write_text(text + "\n")
+    (output_dir / f"{slug}.json").write_text(
+        json.dumps(spec.to_json(result), indent=2, sort_keys=True)
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner = EXPERIMENTS.get(args.experiment)
-    if runner is None:
+    from repro.experiments import registry
+
+    try:
+        spec = registry.get(args.experiment)
+    except registry.UnknownExperimentError:
         print(
             f"unknown experiment {args.experiment!r}; try 'python -m repro list'",
             file=sys.stderr,
         )
         return 2
-    sweep_runner = _make_runner(args)
-    result = runner(
-        args.fast,
-        backend=args.backend,
-        jobs=_resolve_jobs(args.jobs),
-        runner=sweep_runner,
-    )
-    print(result.format())
-    _print_failures(sweep_runner)
+    result = _execute(spec, args)
+    text = result.format()
+    print(text)
+    if args.artifacts_dir:
+        _write_artifacts(spec, result, text, args.artifacts_dir)
     return 0
 
 
@@ -378,37 +181,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     """Run a set of experiments, archiving text and JSON per experiment."""
-    from pathlib import Path
+    from repro.experiments import registry
 
-    from repro.util.serialization import dump_result
-
-    names = args.experiments or sorted(EXPERIMENTS)
-    unknown = [name for name in names if name not in EXPERIMENTS]
+    names = args.experiments or registry.names()
+    specs = []
+    unknown = []
+    for name in names:
+        try:
+            specs.append(registry.get(name))
+        except registry.UnknownExperimentError:
+            unknown.append(name)
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    output_dir = Path(args.output)
-    output_dir.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        print(f"== {name} ==")
-        sweep_runner = _make_runner(args)
-        result = EXPERIMENTS[name](
-            args.fast,
-            backend=args.backend,
-            jobs=_resolve_jobs(args.jobs),
-            runner=sweep_runner,
-        )
+    for spec in specs:
+        print(f"== {spec.name} ==")
+        result = _execute(spec, args)
         text = result.format()
         print(text)
-        _print_failures(sweep_runner)
         print()
-        slug = name.replace(".", "_")
-        (output_dir / f"{slug}.txt").write_text(text + "\n")
-        try:
-            dump_result(result, output_dir / f"{slug}.json")
-        except TypeError:
-            pass  # wrapper bundles without dataclass payloads: text only
-    print(f"report written to {output_dir}/")
+        _write_artifacts(spec, result, text, args.output)
+    print(f"report written to {args.output}/")
     return 0
 
 
@@ -436,28 +229,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments").set_defaults(
-        func=_cmd_list
+    list_parser = sub.add_parser("list", help="list available experiments")
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as JSON (name, anchor, aliases, schema)",
     )
+    list_parser.set_defaults(func=_cmd_list)
 
     backend_kwargs = dict(
         choices=["reference", "array", "reference-kernel"],
         default="reference",
         help="simulation backend: 'reference' (legacy object-per-node), "
         "'array' (vectorized numpy kernel), or 'reference-kernel' "
-        "(object-per-node under the batched kernel discipline)",
+        "(object-per-node under the batched kernel discipline); analytic "
+        "experiments warn when a non-default backend cannot apply",
     )
     jobs_kwargs = dict(
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for sweep experiments (default 1 = serial; "
-        "0 = one per CPU, capped at 8); results are identical at any value",
+        help="worker processes for the experiment's cell grid (default 1 = "
+        "serial; 0 = one per CPU, capped at 8); results are identical at "
+        "any value",
     )
     on_error_kwargs = dict(
         choices=["raise", "retry", "skip"],
         default="raise",
-        help="sweep failure policy: 'raise' fails fast (default); 'retry' "
+        help="cell failure policy: 'raise' fails fast (default); 'retry' "
         "retries each failing cell with exponential backoff, then fails; "
         "'skip' retries likewise, then drops the cell and keeps the rest",
     )
@@ -465,14 +264,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="per-cell wall-clock budget for sweep experiments; an overdue "
-        "cell counts as failed (pool path only, i.e. --jobs > 1)",
+        help="per-cell wall-clock budget; an overdue cell counts as failed "
+        "(pool path only, i.e. --jobs > 1)",
     )
     checkpoint_kwargs = dict(
         default=None,
         metavar="DIR",
-        help="journal each completed sweep cell to DIR; re-running the same "
-        "sweep resumes from the journal with bit-identical output",
+        help="journal each completed cell to DIR; re-running the same "
+        "experiment resumes from the journal with bit-identical output",
     )
 
     run_parser = sub.add_parser("run", help="run one experiment")
@@ -485,6 +284,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--on-error", **on_error_kwargs)
     run_parser.add_argument("--cell-timeout", **cell_timeout_kwargs)
     run_parser.add_argument("--checkpoint-dir", **checkpoint_kwargs)
+    run_parser.add_argument(
+        "--artifacts-dir",
+        default=None,
+        metavar="DIR",
+        help="also archive <name>.txt and the versioned <name>.json to DIR",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     simulate_parser = sub.add_parser("simulate", help="run a custom S&F deployment")

@@ -1,10 +1,17 @@
 """Per-figure/table experiment runners.
 
-Each module reproduces one artifact of the paper's evaluation and returns
-a result object with the raw series plus a ``format()`` method printing
-the same rows/series the paper reports.  The benchmark suite under
-``benchmarks/`` is a thin timing/printing wrapper around these runners;
-see DESIGN.md for the experiment index.
+Each module reproduces one artifact of the paper's evaluation and
+declares it as an :class:`repro.experiments.registry.ExperimentSpec`
+(paper anchor, ``grid(fast)``, per-point cell, aggregate): the registry
+is the single index the CLI's ``list``/``run``/``report`` build on, and
+execution always routes through :class:`repro.runner.SweepRunner`.
+Every result object carries the raw series plus a ``format()`` method
+printing the same rows/series the paper reports.  Legacy
+``module.run(...)`` entry points remain as thin spec-invoking wrappers;
+the benchmark suite under ``benchmarks/`` is a thin timing/printing
+wrapper around those.  See ``docs/paper_map.md`` ("Experiment registry")
+for the index and ``EXPERIMENTS.md`` for the add-an-experiment
+walkthrough.
 """
 
 from repro.experiments.common import build_sf_system, warm_up

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.params import SFParams
 from repro.core.variants import SendForgetVariant
 from repro.engine.sequential import SequentialEngine
+from repro.experiments import registry
 from repro.net.loss import UniformLoss
 from repro.util.tables import format_table
 
@@ -90,6 +91,84 @@ VARIANTS: Dict[str, Dict[str, object]] = {
 }
 
 
+def _points(
+    n: int,
+    loss_rate: float,
+    params: SFParams,
+    warmup_rounds: float,
+    measure_rounds: float,
+    seed: int,
+) -> List[dict]:
+    # Every variant uses the same engine seed (the historical convention:
+    # identical populations, identical channel randomness).
+    return [
+        {
+            "variant": name,
+            "n": n,
+            "loss": loss_rate,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "warmup_rounds": warmup_rounds,
+            "measure_rounds": measure_rounds,
+            "seed": seed,
+        }
+        for name in VARIANTS
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    params = SFParams(view_size=16, d_low=6)
+    if fast:
+        return _points(150, 0.05, params, 120.0, 80.0, seed=55)
+    return _points(300, 0.05, params, 200.0, 150.0, seed=55)
+
+
+def _aggregate(points: List[dict], records: List[object]) -> AblationResult:
+    first = points[0]
+    result = AblationResult(
+        n=first["n"],
+        loss_rate=first["loss"],
+        params=SFParams(view_size=first["view_size"], d_low=first["d_low"]),
+    )
+    result.rows.extend(row for row in records if row is not None)
+    return result
+
+
+@registry.experiment(
+    "ablation",
+    anchor="§5 (optimization ablation)",
+    description="per-variant dup/del/dependence/overhead on identical populations",
+    grid=_grid,
+    aggregate=_aggregate,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> VariantRow:
+    """Experiment cell: one variant on the shared configuration."""
+    n = point["n"]
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    measure_rounds = point["measure_rounds"]
+    protocol = SendForgetVariant(params, **VARIANTS[point["variant"]])
+    for u in range(n):
+        protocol.add_node(u, [(u + k) % n for k in range(1, 11)])
+    engine = SequentialEngine(protocol, UniformLoss(point["loss"]), seed=seed)
+    engine.run_rounds(point["warmup_rounds"])
+    protocol.stats.reset()
+    engine.run_rounds(measure_rounds)
+    protocol.check_invariant()
+    mean_out = float(
+        np.mean([protocol.outdegree(u) for u in protocol.node_ids()])
+    )
+    return VariantRow(
+        name=point["variant"],
+        duplication=protocol.stats.duplication_probability(),
+        deletion=protocol.stats.deletion_probability(),
+        undeletions=protocol.undeletion_count(),
+        replacements=protocol.replacement_count(),
+        dependent_fraction=protocol.dependent_fraction(),
+        mean_outdegree=mean_out,
+        messages_per_round=protocol.stats.messages_sent / measure_rounds,
+    )
+
+
 def run(
     n: int = 300,
     loss_rate: float = 0.05,
@@ -101,29 +180,7 @@ def run(
     """Run every variant on an identical population/loss configuration."""
     if params is None:
         params = SFParams(view_size=16, d_low=6)
-    result = AblationResult(n=n, loss_rate=loss_rate, params=params)
-    for name, kwargs in VARIANTS.items():
-        protocol = SendForgetVariant(params, **kwargs)
-        for u in range(n):
-            protocol.add_node(u, [(u + k) % n for k in range(1, 11)])
-        engine = SequentialEngine(protocol, UniformLoss(loss_rate), seed=seed)
-        engine.run_rounds(warmup_rounds)
-        protocol.stats.reset()
-        engine.run_rounds(measure_rounds)
-        protocol.check_invariant()
-        mean_out = float(
-            np.mean([protocol.outdegree(u) for u in protocol.node_ids()])
-        )
-        result.rows.append(
-            VariantRow(
-                name=name,
-                duplication=protocol.stats.duplication_probability(),
-                deletion=protocol.stats.deletion_probability(),
-                undeletions=protocol.undeletion_count(),
-                replacements=protocol.replacement_count(),
-                dependent_fraction=protocol.dependent_fraction(),
-                mean_outdegree=mean_out,
-                messages_per_round=protocol.stats.messages_sent / measure_rounds,
-            )
-        )
-    return result
+    return registry.execute(
+        "ablation",
+        points=_points(n, loss_rate, params, warmup_rounds, measure_rounds, seed),
+    )

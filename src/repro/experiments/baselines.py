@@ -24,6 +24,7 @@ from typing import Dict, List
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
 from repro.engine.sequential import SequentialEngine
+from repro.experiments import registry
 from repro.metrics.independence import mutual_edge_fraction, neighbor_overlap_fraction
 from repro.net.loss import UniformLoss
 from repro.protocols.push import PushProtocol
@@ -83,6 +84,131 @@ def _total_instances(protocol) -> int:
     )
 
 
+#: Compared protocols, in their historical reporting order.
+_PROTOCOLS = ("sandf", "shuffle", "push", "pushpull")
+
+
+def _build_protocol(name: str, view_size: int, d_low: int):
+    if name == "sandf":
+        return SendForget(SFParams(view_size=view_size, d_low=d_low))
+    if name == "shuffle":
+        return ShuffleProtocol(view_size=view_size, shuffle_length=3)
+    if name == "push":
+        return PushProtocol(view_size=view_size, gossip_length=2)
+    if name == "pushpull":
+        return PushPullProtocol(view_size=view_size)
+    raise ValueError(f"unknown baseline protocol {name!r}")
+
+
+def _points(
+    n: int,
+    loss_rate: float,
+    view_size: int,
+    d_low: int,
+    rounds: int,
+    sample_every: int,
+    seed: int,
+) -> List[dict]:
+    # All four protocols use the same engine seed (the historical
+    # convention: identical populations, identical channel randomness).
+    return [
+        {
+            "protocol": protocol,
+            "n": n,
+            "loss": loss_rate,
+            "view_size": view_size,
+            "d_low": d_low,
+            "rounds": rounds,
+            "sample_every": sample_every,
+            "seed": seed,
+        }
+        for protocol in _PROTOCOLS
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    return _points(
+        n=200 if fast else 300,
+        loss_rate=0.05,
+        view_size=16,
+        d_low=6,
+        rounds=120 if fast else 200,
+        sample_every=40,
+        seed=31,
+    )
+
+
+def _aggregate(
+    points: List[dict], records: List[object]
+) -> BaselineComparisonResult:
+    first = points[0]
+    result = BaselineComparisonResult(
+        n=first["n"], loss_rate=first["loss"], rounds=[]
+    )
+    for point, record in zip(points, records):
+        if record is None:  # cell skipped under on_error="skip"
+            continue
+        name = point["protocol"]
+        result.rounds = record["rounds"]
+        result.edge_curves[name] = record["edges"]
+        result.final_overlap[name] = record["overlap"]
+        result.mutual_fraction[name] = record["mutual"]
+        result.isolated_nodes[name] = record["isolated"]
+    return result
+
+
+@registry.experiment(
+    "baselines",
+    anchor="§3.1 (S&F vs shuffle / push / push-pull under loss)",
+    description="id attrition and dependence signals across four protocols",
+    grid=_grid,
+    aggregate=_aggregate,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> dict:
+    """Experiment cell: one protocol's trajectory and final-state summary."""
+    n = point["n"]
+    view_size = point["view_size"]
+    rounds, sample_every = point["rounds"], point["sample_every"]
+    init_outdegree = min(view_size - 6, 8)
+    if init_outdegree % 2 != 0:
+        init_outdegree -= 1
+
+    protocol = _build_protocol(point["protocol"], view_size, point["d_low"])
+    for u in range(n):
+        protocol.add_node(u, [(u + k) % n for k in range(1, init_outdegree + 1)])
+
+    engine = SequentialEngine(protocol, UniformLoss(point["loss"]), seed=seed)
+    xs: List[float] = [0.0]
+    ys: List[int] = [_total_instances(protocol)]
+    elapsed = 0
+    while elapsed < rounds:
+        step = min(sample_every, rounds - elapsed)
+        engine.run_rounds(step)
+        elapsed += step
+        xs.append(float(elapsed))
+        ys.append(_total_instances(protocol))
+    try:
+        overlap = neighbor_overlap_fraction(protocol)
+        mutual = mutual_edge_fraction(protocol)
+    except ValueError:
+        overlap = float("nan")
+        mutual = float("nan")
+    isolated = getattr(protocol, "isolated_count", None)
+    if isolated is not None:
+        isolated_nodes = isolated()
+    else:
+        isolated_nodes = sum(
+            1 for u in protocol.node_ids() if protocol.outdegree(u) == 0
+        )
+    return {
+        "rounds": xs,
+        "edges": ys,
+        "overlap": overlap,
+        "mutual": mutual,
+        "isolated": isolated_nodes,
+    }
+
+
 def run(
     n: int = 300,
     loss_rate: float = 0.05,
@@ -93,48 +219,7 @@ def run(
     seed: int = 31,
 ) -> BaselineComparisonResult:
     """Run the four protocols on identical populations under the same loss."""
-    init_outdegree = min(view_size - 6, 8)
-    if init_outdegree % 2 != 0:
-        init_outdegree -= 1
-
-    def bootstrap(u: int) -> List[int]:
-        return [(u + k) % n for k in range(1, init_outdegree + 1)]
-
-    protocols = {
-        "sandf": SendForget(SFParams(view_size=view_size, d_low=d_low)),
-        "shuffle": ShuffleProtocol(view_size=view_size, shuffle_length=3),
-        "push": PushProtocol(view_size=view_size, gossip_length=2),
-        "pushpull": PushPullProtocol(view_size=view_size),
-    }
-    for protocol in protocols.values():
-        for u in range(n):
-            protocol.add_node(u, bootstrap(u))
-
-    result = BaselineComparisonResult(n=n, loss_rate=loss_rate, rounds=[])
-    for name, protocol in protocols.items():
-        engine = SequentialEngine(protocol, UniformLoss(loss_rate), seed=seed)
-        xs: List[float] = [0.0]
-        ys: List[int] = [_total_instances(protocol)]
-        elapsed = 0
-        while elapsed < rounds:
-            step = min(sample_every, rounds - elapsed)
-            engine.run_rounds(step)
-            elapsed += step
-            xs.append(float(elapsed))
-            ys.append(_total_instances(protocol))
-        result.rounds = xs
-        result.edge_curves[name] = ys
-        try:
-            result.final_overlap[name] = neighbor_overlap_fraction(protocol)
-            result.mutual_fraction[name] = mutual_edge_fraction(protocol)
-        except ValueError:
-            result.final_overlap[name] = float("nan")
-            result.mutual_fraction[name] = float("nan")
-        isolated = getattr(protocol, "isolated_count", None)
-        if isolated is not None:
-            result.isolated_nodes[name] = isolated()
-        else:
-            result.isolated_nodes[name] = sum(
-                1 for u in protocol.node_ids() if protocol.outdegree(u) == 0
-            )
-    return result
+    return registry.execute(
+        "baselines",
+        points=_points(n, loss_rate, view_size, d_low, rounds, sample_every, seed),
+    )

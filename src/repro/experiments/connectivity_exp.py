@@ -17,6 +17,7 @@ from repro.analysis.connectivity import (
     partition_probability_bound,
 )
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.util.tables import format_table
 
 
@@ -49,6 +50,75 @@ class ConnectivityResult:
         return body
 
 
+def _points(
+    losses: Sequence[float],
+    deltas: Sequence[float],
+    epsilons: Sequence[float],
+    simulate: bool,
+    simulate_n: int,
+    simulate_snapshots: int,
+    seed: int,
+) -> List[dict]:
+    points: List[dict] = [
+        {"kind": "row", "loss": loss, "delta": delta, "epsilon": epsilon}
+        for loss in losses
+        for delta in deltas
+        for epsilon in epsilons
+    ]
+    if simulate:
+        points.append(
+            {
+                "kind": "simulate",
+                "n": simulate_n,
+                "snapshots": simulate_snapshots,
+                "seed": seed,
+            }
+        )
+    return points
+
+
+def _grid(fast: bool) -> List[dict]:
+    return _points(
+        losses=(0.0, 0.01, 0.05, 0.1),
+        deltas=(0.01,),
+        epsilons=(1e-10, 1e-30),
+        simulate=not fast,
+        simulate_n=300,
+        simulate_snapshots=20,
+        seed=74,
+    )
+
+
+def _aggregate(points: Sequence[dict], records: Sequence[object]) -> ConnectivityResult:
+    result = ConnectivityResult()
+    for point, record in zip(points, records):
+        if record is None:  # cell skipped under on_error="skip"
+            continue
+        if point["kind"] == "row":
+            result.rows.append(record)
+        else:
+            result.simulated_connected_fraction = record
+    return result
+
+
+@registry.experiment(
+    "connectivity",
+    anchor="§7.4 (connectivity condition / dL sizing)",
+    description="minimal dL per (ℓ, δ, ε) with optional simulation spot-check",
+    grid=_grid,
+    aggregate=_aggregate,
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference"):
+    """Experiment cell: one sizing row, or the simulation spot-check."""
+    if point["kind"] == "row":
+        loss, delta, epsilon = point["loss"], point["delta"], point["epsilon"]
+        d_low = min_d_low_for_connectivity(loss, delta, epsilon)
+        achieved = partition_probability_bound(d_low, loss, delta)
+        return (loss, delta, epsilon, d_low, achieved)
+    return _simulate(point["n"], point["snapshots"], seed, backend)
+
+
 def run(
     losses: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
     deltas: Sequence[float] = (0.01,),
@@ -60,18 +130,13 @@ def run(
     backend: str = "reference",
 ) -> ConnectivityResult:
     """Tabulate minimal ``dL`` per (ℓ, δ, ε); optionally simulate."""
-    result = ConnectivityResult()
-    for loss in losses:
-        for delta in deltas:
-            for epsilon in epsilons:
-                d_low = min_d_low_for_connectivity(loss, delta, epsilon)
-                achieved = partition_probability_bound(d_low, loss, delta)
-                result.rows.append((loss, delta, epsilon, d_low, achieved))
-    if simulate:
-        result.simulated_connected_fraction = _simulate(
-            simulate_n, simulate_snapshots, seed, backend
-        )
-    return result
+    return registry.execute(
+        "connectivity",
+        points=_points(
+            losses, deltas, epsilons, simulate, simulate_n, simulate_snapshots, seed
+        ),
+        backend=backend,
+    )
 
 
 def _simulate(n: int, snapshots: int, seed: int, backend: str = "reference") -> float:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.degree_mc import DegreeMarkovChain
 from repro.util.tables import format_table
 
@@ -62,6 +63,87 @@ class DupDelResult:
         )
 
 
+def _points(
+    losses: Sequence[float],
+    n: int,
+    params: SFParams,
+    delta: float,
+    warmup_rounds: float,
+    measure_rounds: float,
+    tolerance: float,
+    seed: int,
+) -> List[dict]:
+    # Every loss rate carries the same simulation seed (the historical
+    # convention of the serial loop this sweep replaced).
+    return [
+        {
+            "loss": loss,
+            "n": n,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "delta": delta,
+            "warmup_rounds": warmup_rounds,
+            "measure_rounds": measure_rounds,
+            "tolerance": tolerance,
+            "seed": seed,
+        }
+        for loss in losses
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    params = SFParams(view_size=40, d_low=18)
+    if fast:
+        return _points((0.0, 0.05), 200, params, 0.01, 250.0, 100.0, 0.01, seed=66)
+    return _points(
+        (0.0, 0.01, 0.05, 0.1), 300, params, 0.01, 400.0, 250.0, 0.01, seed=66
+    )
+
+
+def _aggregate(points: Sequence[dict], records: Sequence[object]) -> DupDelResult:
+    result = DupDelResult(
+        params=SFParams(view_size=points[0]["view_size"], d_low=points[0]["d_low"]),
+        delta=points[0]["delta"],
+    )
+    result.rows.extend(row for row in records if row is not None)
+    return result
+
+
+@registry.experiment(
+    "lemma-6.6",
+    anchor="Lemmas 6.6/6.7 (§6.4, dup/del/loss balance)",
+    description="steady-state duplication/deletion balance vs the MC prediction",
+    grid=_grid,
+    aggregate=_aggregate,
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> BalanceRow:
+    """Experiment cell: measure the balance at one loss rate."""
+    from repro.experiments.common import build_sf_system, warm_up
+
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    loss = point["loss"]
+    delta = point["delta"]
+    tolerance = point["tolerance"]
+    protocol, engine = build_sf_system(
+        point["n"], params, loss_rate=loss, seed=seed, backend=backend
+    )
+    warm_up(engine, point["warmup_rounds"])
+    engine.run_rounds(point["measure_rounds"])
+    dup = protocol.stats.duplication_probability()
+    dele = protocol.stats.deletion_probability()
+    solved = DegreeMarkovChain(params, loss_rate=loss).solve()
+    return BalanceRow(
+        loss_rate=loss,
+        duplication=dup,
+        deletion=dele,
+        residual=dup - (loss + dele),
+        mc_duplication=solved.duplication_probability,
+        mc_deletion=solved.deletion_probability,
+        within_lemma_6_7=(loss - tolerance <= dup <= loss + delta + tolerance),
+    )
+
+
 def run(
     losses: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
     n: int = 400,
@@ -73,34 +155,17 @@ def run(
     tolerance: float = 0.01,
     backend: str = "reference",
 ) -> DupDelResult:
-    """Measure the balance per loss rate.
+    """Measure the balance per loss rate (thin spec wrapper).
 
     ``tolerance`` loosens the Lemma 6.7 interval check to absorb sampling
     noise: the check is ``ℓ − tol ≤ dup ≤ ℓ + δ + tol``.
     """
-    from repro.experiments.common import build_sf_system, warm_up
-
     if params is None:
         params = SFParams(view_size=40, d_low=18)
-    result = DupDelResult(params=params, delta=delta)
-    for loss in losses:
-        protocol, engine = build_sf_system(
-            n, params, loss_rate=loss, seed=seed, backend=backend
-        )
-        warm_up(engine, warmup_rounds)
-        engine.run_rounds(measure_rounds)
-        dup = protocol.stats.duplication_probability()
-        dele = protocol.stats.deletion_probability()
-        solved = DegreeMarkovChain(params, loss_rate=loss).solve()
-        result.rows.append(
-            BalanceRow(
-                loss_rate=loss,
-                duplication=dup,
-                deletion=dele,
-                residual=dup - (loss + dele),
-                mc_duplication=solved.duplication_probability,
-                mc_deletion=solved.deletion_probability,
-                within_lemma_6_7=(loss - tolerance <= dup <= loss + delta + tolerance),
-            )
-        )
-    return result
+    return registry.execute(
+        "lemma-6.6",
+        points=_points(
+            losses, n, params, delta, warmup_rounds, measure_rounds, tolerance, seed
+        ),
+        backend=backend,
+    )

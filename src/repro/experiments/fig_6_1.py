@@ -26,6 +26,7 @@ from repro.analysis.degree_analytic import (
     analytical_outdegree_distribution,
 )
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.degree_mc import DegreeMarkovChain
 from repro.util.stats import binomial_pmf, distribution_mean_std
 from repro.util.tables import format_histogram, format_series
@@ -72,11 +73,21 @@ class Fig61Result:
         return "\n\n".join(blocks + [histogram, "\n".join(moment_lines)])
 
 
-def run(dm: int = 90, view_size: Optional[int] = None) -> Fig61Result:
-    """Reproduce Figure 6.1 for sum degree ``dm`` (paper: 90).
+def _grid(fast: bool) -> list:
+    return [{"dm": 30 if fast else 90, "view_size": None}]
 
-    ``view_size`` defaults to ``dm`` (the paper's s = 90 with ds = s).
-    """
+
+@registry.experiment(
+    "fig-6.1",
+    anchor="Fig 6.1 / §6.2 (degree distributions)",
+    description="S&F degree distributions vs the binomial reference",
+    grid=_grid,
+    aggregate=registry.single_record,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> Fig61Result:
+    """Experiment cell: the full three-curve figure for one sum degree."""
+    dm = point["dm"]
+    view_size = point["view_size"]
     s = view_size if view_size is not None else dm
     params = SFParams(view_size=s, d_low=0)
     markov = DegreeMarkovChain(params, loss_rate=0.0, conserved_sum_degree=dm).solve()
@@ -103,4 +114,14 @@ def run(dm: int = 90, view_size: Optional[int] = None) -> Fig61Result:
             "analytical": analytic_in,
             "markov": markov.indegree_pmf,
         },
+    )
+
+
+def run(dm: int = 90, view_size: Optional[int] = None) -> Fig61Result:
+    """Reproduce Figure 6.1 for sum degree ``dm`` (paper: 90).
+
+    ``view_size`` defaults to ``dm`` (the paper's s = 90 with ds = s).
+    """
+    return registry.execute(
+        "fig-6.1", points=[{"dm": dm, "view_size": view_size}]
     )

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.degree_mc import DegreeMarkovChain
 from repro.util.tables import format_table
 
@@ -62,8 +63,21 @@ class Fig62Result:
         )
 
 
-def run(params: SFParams = SFParams(view_size=8, d_low=0), loss_rate: float = 0.05) -> Fig62Result:
-    """Classify the degree-MC transition structure for a small view size."""
+def _grid(fast: bool) -> list:
+    return [{"view_size": 8, "d_low": 0, "loss": 0.05}]
+
+
+@registry.experiment(
+    "fig-6.2",
+    anchor="Fig 6.2 / §6.2 (degree-MC structure)",
+    description="transition structure of the degree Markov chain",
+    grid=_grid,
+    aggregate=registry.single_record,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> Fig62Result:
+    """Experiment cell: classify the chain's transitions for one config."""
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    loss_rate = point["loss"]
     chain = DegreeMarkovChain(params, loss_rate=loss_rate)
     classes = chain.transition_classes()
     return Fig62Result(
@@ -73,4 +87,20 @@ def run(params: SFParams = SFParams(view_size=8, d_low=0), loss_rate: float = 0.
         atomic_transitions=classes["atomic"],
         lossy_transitions=classes["lossy"],
         isolated_state_present=(0, 0) in chain.states,
+    )
+
+
+def run(
+    params: SFParams = SFParams(view_size=8, d_low=0), loss_rate: float = 0.05
+) -> Fig62Result:
+    """Classify the degree-MC transition structure for a small view size."""
+    return registry.execute(
+        "fig-6.2",
+        points=[
+            {
+                "view_size": params.view_size,
+                "d_low": params.d_low,
+                "loss": loss_rate,
+            }
+        ],
     )

@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.degree_mc import DegreeMarkovChain
-from repro.runner import GridCell, SweepRunner
+from repro.runner import SweepRunner
 from repro.util.tables import format_table
 
 
@@ -78,10 +79,63 @@ class Fig63Result:
         return format_table(headers, table_rows, title=title)
 
 
-def _solve_row(cell: GridCell, context: tuple) -> LossRow:
-    """Sweep worker: degree-MC row plus optional simulation overlay."""
-    params, simulate, simulate_n, simulate_rounds, backend = context
-    loss = cell.point
+def _points(
+    losses: Sequence[float],
+    params: SFParams,
+    simulate: bool,
+    simulate_n: int,
+    simulate_rounds: Tuple[float, float],
+    seed: int,
+) -> List[dict]:
+    # Every loss rate carries the same simulation seed (the historical
+    # convention, preserved so outputs are independent of ``jobs``).
+    return [
+        {
+            "loss": loss,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "simulate": simulate,
+            "simulate_n": simulate_n,
+            "warmup_rounds": simulate_rounds[0],
+            "measure_rounds": simulate_rounds[1],
+            "seed": seed,
+        }
+        for loss in losses
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    params = SFParams(view_size=40, d_low=18)
+    if fast:
+        return _points(
+            (0.0, 0.01, 0.05, 0.1), params, False, 400, (600.0, 200.0), seed=2009
+        )
+    return _points(
+        (0.0, 0.01, 0.05, 0.1), params, True, 300, (400.0, 150.0), seed=2009
+    )
+
+
+def _aggregate(points: Sequence[dict], records: Sequence[object]) -> Fig63Result:
+    result = Fig63Result(
+        params=SFParams(view_size=points[0]["view_size"], d_low=points[0]["d_low"])
+    )
+    result.rows.extend(row for row in records if row is not None)
+    return result
+
+
+@registry.experiment(
+    "fig-6.3",
+    anchor="Fig 6.3 / §6.4 in-text table",
+    description="degree distributions under loss (MC, optional simulation)",
+    grid=_grid,
+    aggregate=_aggregate,
+    aliases=("table-6.4",),
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> LossRow:
+    """Experiment cell: degree-MC row plus optional simulation overlay."""
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    loss = point["loss"]
     solved = DegreeMarkovChain(params, loss_rate=loss).solve()
     in_mean, in_std = solved.indegree_mean_std()
     out_mean, out_std = solved.outdegree_mean_std()
@@ -96,9 +150,14 @@ def _solve_row(cell: GridCell, context: tuple) -> LossRow:
         outdegree_pmf=solved.outdegree_pmf,
         indegree_pmf=solved.indegree_pmf,
     )
-    if simulate:
+    if point["simulate"]:
         row.simulated_indegree_mean, row.simulated_outdegree_mean = _simulate(
-            params, loss, simulate_n, simulate_rounds, cell.seed, backend
+            params,
+            loss,
+            point["simulate_n"],
+            (point["warmup_rounds"], point["measure_rounds"]),
+            seed,
+            backend,
         )
     return row
 
@@ -118,25 +177,19 @@ def run(
 
     ``simulate_rounds`` is (warm-up rounds, measurement rounds); ``backend``
     selects the simulation kernel (see ``build_sf_system``); ``jobs > 1``
-    distributes the loss points over a process pool.  Every loss rate uses
-    the same simulation seed (the historical convention, preserved so
-    outputs are independent of ``jobs``).  A preconfigured ``runner``
-    (retries, ``on_error="skip"``, checkpoint) overrides ``jobs``; cells
-    skipped under that policy are omitted from the result.
+    distributes the loss points over a process pool.  A preconfigured
+    ``runner`` (retries, ``on_error="skip"``, checkpoint) overrides
+    ``jobs``; cells skipped under that policy are omitted from the result.
     """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
-    if runner is None:
-        runner = SweepRunner(jobs=jobs)
-    result = Fig63Result(params=params)
-    rows = runner.run(
-        _solve_row,
-        list(losses),
-        seed_fn=lambda point, replication: seed,
-        context=(params, simulate, simulate_n, simulate_rounds, backend),
+    return registry.execute(
+        "fig-6.3",
+        points=_points(losses, params, simulate, simulate_n, simulate_rounds, seed),
+        backend=backend,
+        jobs=jobs,
+        runner=runner,
     )
-    result.rows.extend(row for row in rows if row is not None)
-    return result
 
 
 def _simulate(

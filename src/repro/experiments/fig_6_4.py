@@ -20,8 +20,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.decay import half_life_rounds, survival_curve
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.metrics.degrees import id_instance_count
-from repro.runner import GridCell, SweepRunner
+from repro.runner import SweepRunner
 from repro.util.tables import format_series
 
 
@@ -58,14 +59,95 @@ class Fig64Result:
         return f"{body}\n50% bound crossings (rounds): {half}"
 
 
-def _solve_curves(cell: GridCell, context: tuple):
-    """Sweep worker: Lemma 6.10 bound curve plus optional simulated decay."""
-    params, delta, rounds, simulate, n, leavers, warmup, backend = context
-    loss = cell.point
-    bound = survival_curve(rounds, params.d_low, params.view_size, loss, delta)
+def _rounds(point: dict) -> List[int]:
+    return list(range(0, point["max_round"] + 1, point["step"]))
+
+
+def _points(
+    losses: Sequence[float],
+    params: SFParams,
+    delta: float,
+    max_round: int,
+    step: int,
+    simulate: bool,
+    simulate_n: int,
+    simulate_leavers: int,
+    warmup_rounds: float,
+    seed: int,
+) -> List[dict]:
+    # Every loss rate carries the same simulation seed (the historical
+    # convention, preserved so outputs are independent of ``jobs``).
+    return [
+        {
+            "loss": loss,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "delta": delta,
+            "max_round": max_round,
+            "step": step,
+            "simulate": simulate,
+            "simulate_n": simulate_n,
+            "simulate_leavers": simulate_leavers,
+            "warmup_rounds": warmup_rounds,
+            "seed": seed,
+        }
+        for loss in losses
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    params = SFParams(view_size=40, d_low=18)
+    losses = (0.0, 0.01, 0.05, 0.1)
+    if fast:
+        return _points(losses, params, 0.01, 200, 50, False, 400, 20, 300.0, seed=64)
+    return _points(losses, params, 0.01, 500, 25, True, 300, 20, 200.0, seed=64)
+
+
+def _aggregate(points: Sequence[dict], records: Sequence[object]) -> Fig64Result:
+    first = points[0]
+    result = Fig64Result(
+        params=SFParams(view_size=first["view_size"], d_low=first["d_low"]),
+        delta=first["delta"],
+        rounds=_rounds(first),
+    )
+    for point, outcome in zip(points, records):
+        if outcome is None:  # cell skipped under on_error="skip"
+            continue
+        bound, simulated = outcome
+        result.bound_curves[point["loss"]] = bound
+        if simulated is not None:
+            result.simulated_curves[point["loss"]] = simulated
+    return result
+
+
+@registry.experiment(
+    "fig-6.4",
+    anchor="Fig 6.4 / Lemma 6.10 (§6.5.2)",
+    description="decay of departed-id instances: bound curves vs simulation",
+    grid=_grid,
+    aggregate=_aggregate,
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference"):
+    """Experiment cell: Lemma 6.10 bound curve plus optional simulated decay."""
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    loss = point["loss"]
+    rounds = _rounds(point)
+    bound = survival_curve(
+        rounds, params.d_low, params.view_size, loss, point["delta"]
+    )
     simulated = (
-        _simulate_decay(params, loss, rounds, n, leavers, warmup, cell.seed, backend)
-        if simulate
+        _simulate_decay(
+            params,
+            loss,
+            rounds,
+            point["simulate_n"],
+            point["simulate_leavers"],
+            point["warmup_rounds"],
+            seed,
+            backend,
+        )
+        if point["simulate"]
         else None
     )
     return bound, simulated
@@ -88,35 +170,23 @@ def run(
 ) -> Fig64Result:
     """Compute the Lemma 6.10 curves; optionally simulate actual decay.
 
-    ``jobs > 1`` distributes loss points over a process pool; every loss
-    rate uses the same simulation seed (the historical convention), so
-    outputs are independent of ``jobs``.  A preconfigured ``runner``
-    (retries, ``on_error="skip"``, checkpoint) overrides ``jobs``; loss
-    rates whose cell was skipped under that policy get no curves.
+    ``jobs > 1`` distributes loss points over a process pool; outputs are
+    independent of ``jobs``.  A preconfigured ``runner`` (retries,
+    ``on_error="skip"``, checkpoint) overrides ``jobs``; loss rates whose
+    cell was skipped under that policy get no curves.
     """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
-    rounds = list(range(0, max_round + 1, step))
-    result = Fig64Result(params=params, delta=delta, rounds=rounds)
-    if runner is None:
-        runner = SweepRunner(jobs=jobs)
-    curves = runner.run(
-        _solve_curves,
-        list(losses),
-        seed_fn=lambda point, replication: seed,
-        context=(
-            params, delta, rounds, simulate,
-            simulate_n, simulate_leavers, warmup_rounds, backend,
+    return registry.execute(
+        "fig-6.4",
+        points=_points(
+            losses, params, delta, max_round, step,
+            simulate, simulate_n, simulate_leavers, warmup_rounds, seed,
         ),
+        backend=backend,
+        jobs=jobs,
+        runner=runner,
     )
-    for loss, outcome in zip(losses, curves):
-        if outcome is None:  # cell skipped under on_error="skip"
-            continue
-        bound, simulated = outcome
-        result.bound_curves[loss] = bound
-        if simulated is not None:
-            result.simulated_curves[loss] = simulated
-    return result
 
 
 def _simulate_decay(

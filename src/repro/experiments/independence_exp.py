@@ -22,8 +22,9 @@ from repro.analysis.independence import (
     independence_lower_bound,
 )
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.dependence_mc import DependenceMarkovChain
-from repro.runner import GridCell, SweepRunner
+from repro.runner import SweepRunner
 from repro.util.tables import format_table
 
 
@@ -66,18 +67,71 @@ class IndependenceResult:
         )
 
 
-def _measure_row(cell: GridCell, context: tuple) -> IndependenceRow:
-    """Sweep worker: simulate one loss rate and compare with the bound."""
+def _points(
+    losses: Sequence[float],
+    n: int,
+    params: SFParams,
+    delta: float,
+    warmup_rounds: float,
+    measure_rounds: float,
+    seed: int,
+) -> List[dict]:
+    # Every loss rate carries the same simulation seed (the historical
+    # convention, preserved so outputs are independent of ``jobs``).
+    return [
+        {
+            "loss": loss,
+            "n": n,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "delta": delta,
+            "warmup_rounds": warmup_rounds,
+            "measure_rounds": measure_rounds,
+            "seed": seed,
+        }
+        for loss in losses
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    params = SFParams(view_size=40, d_low=18)
+    if fast:
+        return _points((0.0, 0.05), 300, params, 0.01, 200.0, 60.0, seed=79)
+    return _points((0.0, 0.01, 0.05, 0.1), 600, params, 0.01, 300.0, 100.0, seed=79)
+
+
+def _aggregate(points: Sequence[dict], records: Sequence[object]) -> IndependenceResult:
+    result = IndependenceResult(
+        params=SFParams(view_size=points[0]["view_size"], d_low=points[0]["d_low"]),
+        n=points[0]["n"],
+    )
+    result.rows.extend(row for row in records if row is not None)
+    return result
+
+
+@registry.experiment(
+    "lemma-7.9",
+    anchor="Lemma 7.9 / Property M4 (§7.4)",
+    description="spatial independence: dependent-entry fraction vs the α bound",
+    grid=_grid,
+    aggregate=_aggregate,
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> IndependenceRow:
+    """Experiment cell: simulate one loss rate and compare with the bound."""
     import numpy as np
 
     from repro.experiments.common import build_sf_system, warm_up
 
-    n, params, delta, warmup_rounds, measure_rounds, backend = context
-    loss = cell.point
+    n = point["n"]
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    delta = point["delta"]
+    loss = point["loss"]
+    measure_rounds = point["measure_rounds"]
     protocol, engine = build_sf_system(
-        n, params, loss_rate=loss, seed=cell.seed, backend=backend
+        n, params, loss_rate=loss, seed=seed, backend=backend
     )
-    warm_up(engine, warmup_rounds)
+    warm_up(engine, point["warmup_rounds"])
     fractions = []
     snapshots = 5
     for _ in range(snapshots):
@@ -117,25 +171,20 @@ def run(
 
     The acceptance criterion adds the finite-size duplicate floor to the
     asymptotic bound, since the simulation runs at finite ``n``.
-    ``jobs > 1`` distributes loss points over a process pool; every loss
-    rate uses the same simulation seed (the historical convention), so
-    outputs are independent of ``jobs``.  A preconfigured ``runner``
-    (retries, ``on_error="skip"``, checkpoint) overrides ``jobs``; cells
-    skipped under that policy are omitted from the result.
+    ``jobs > 1`` distributes loss points over a process pool; outputs are
+    independent of ``jobs``.  A preconfigured ``runner`` (retries,
+    ``on_error="skip"``, checkpoint) overrides ``jobs``; cells skipped
+    under that policy are omitted from the result.
     """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
-    if runner is None:
-        runner = SweepRunner(jobs=jobs)
-    result = IndependenceResult(params=params, n=n)
-    rows = runner.run(
-        _measure_row,
-        list(losses),
-        seed_fn=lambda point, replication: seed,
-        context=(n, params, delta, warmup_rounds, measure_rounds, backend),
+    return registry.execute(
+        "lemma-7.9",
+        points=_points(losses, n, params, delta, warmup_rounds, measure_rounds, seed),
+        backend=backend,
+        jobs=jobs,
+        runner=runner,
     )
-    result.rows.extend(row for row in rows if row is not None)
-    return result
 
 
 def bound_table(

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.analysis.decay import expected_join_instances, join_integration_rounds
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.metrics.degrees import id_instance_count
 from repro.util.tables import format_table
 
@@ -65,31 +66,46 @@ class JoinIntegrationResult:
         )
 
 
-def run(
-    n: int = 400,
-    params: Optional[SFParams] = None,
-    loss_rate: float = 0.01,
-    joiners: int = 8,
-    warmup_rounds: float = 300.0,
-    horizon_rounds: Optional[float] = None,
-    seed: int = 614,
-    backend: str = "reference",
-) -> JoinIntegrationResult:
-    """Run the join-integration experiment.
+def _grid(fast: bool) -> List[dict]:
+    if fast:
+        point = {"n": 200, "joiners": 4, "warmup_rounds": 150.0}
+    else:
+        point = {"n": 400, "joiners": 10, "warmup_rounds": 300.0}
+    point.update(
+        {
+            "view_size": 40,
+            "d_low": 20,
+            "loss": 0.01,
+            "horizon_rounds": None,
+            "seed": 614,
+        }
+    )
+    return [point]
 
-    Defaults use ``s/dL = 2`` (``s = 40, dL = 20``) as in the corollary.
-    ``horizon_rounds`` defaults to ``2s``.
-    """
+
+@registry.experiment(
+    "cor-6.14",
+    anchor="Corollary 6.14 (§6.5.3, join integration)",
+    description="integration speed of joining nodes vs the Din/4 bound",
+    grid=_grid,
+    aggregate=registry.single_record,
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> JoinIntegrationResult:
+    """Experiment cell: the full join-integration run for one config."""
     from repro.experiments.common import build_sf_system, warm_up
 
-    if params is None:
-        params = SFParams(view_size=40, d_low=20)
+    n = point["n"]
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    loss_rate = point["loss"]
+    joiners = point["joiners"]
+    horizon_rounds = point["horizon_rounds"]
     if horizon_rounds is None:
         horizon_rounds = 2.0 * params.view_size
     protocol, engine = build_sf_system(
         n, params, loss_rate=loss_rate, seed=seed, backend=backend
     )
-    warm_up(engine, warmup_rounds)
+    warm_up(engine, point["warmup_rounds"])
     expected_indegree = float(np.mean(list(protocol.indegrees().values())))
 
     rng = engine.rng
@@ -114,6 +130,41 @@ def run(
         horizon_rounds=horizon_rounds,
         joiner_instances=instances,
         joiner_outdegrees=outdegrees,
+    )
+
+
+def run(
+    n: int = 400,
+    params: Optional[SFParams] = None,
+    loss_rate: float = 0.01,
+    joiners: int = 8,
+    warmup_rounds: float = 300.0,
+    horizon_rounds: Optional[float] = None,
+    seed: int = 614,
+    backend: str = "reference",
+) -> JoinIntegrationResult:
+    """Run the join-integration experiment (thin spec wrapper).
+
+    Defaults use ``s/dL = 2`` (``s = 40, dL = 20``) as in the corollary.
+    ``horizon_rounds`` defaults to ``2s``.
+    """
+    if params is None:
+        params = SFParams(view_size=40, d_low=20)
+    return registry.execute(
+        "cor-6.14",
+        points=[
+            {
+                "n": n,
+                "view_size": params.view_size,
+                "d_low": params.d_low,
+                "loss": loss_rate,
+                "joiners": joiners,
+                "warmup_rounds": warmup_rounds,
+                "horizon_rounds": horizon_rounds,
+                "seed": seed,
+            }
+        ],
+        backend=backend,
     )
 
 

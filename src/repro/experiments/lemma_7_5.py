@@ -17,11 +17,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List
 
 import numpy as np
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.global_mc import GlobalMarkovChain
 from repro.model.membership_graph import MembershipGraph
 
@@ -96,3 +98,49 @@ def run_lossy(loss_rate: float = 0.3) -> GlobalChainChecks:
         SFParams(view_size=8, d_low=2), loss_rate, initial, max_states=50_000
     )
     return _check(f"lossy n=2 (ℓ={loss_rate}, Lemmas 7.1/7.2)", chain)
+
+
+@dataclass
+class Lemma75Bundle:
+    """The three structural checks, reported together."""
+
+    checks: List[GlobalChainChecks] = field(default_factory=list)
+
+    def format(self) -> str:
+        return "\n".join(check.format() for check in self.checks)
+
+
+def _grid(fast: bool) -> List[dict]:
+    return [
+        {"kind": "lossless-simple"},
+        {"kind": "lossless-multiedge"},
+        {"kind": "lossy", "loss": 0.3},
+    ]
+
+
+def _aggregate(points: List[dict], records: List[object]) -> Lemma75Bundle:
+    return Lemma75Bundle(checks=[check for check in records if check is not None])
+
+
+@registry.experiment(
+    "lemma-7.5",
+    anchor="Lemmas 7.1–7.5 (§7.2, exact global-MC checks)",
+    description="structural checks on tiny global MCs (reversibility, uniformity)",
+    grid=_grid,
+    aggregate=_aggregate,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> GlobalChainChecks:
+    """Experiment cell: one of the three structural checks."""
+    kind = point["kind"]
+    if kind == "lossless-simple":
+        return run_lossless_simple()
+    if kind == "lossless-multiedge":
+        return run_lossless_multiedge()
+    if kind == "lossy":
+        return run_lossy(loss_rate=point["loss"])
+    raise ValueError(f"unknown lemma-7.5 cell kind {kind!r}")
+
+
+def run() -> Lemma75Bundle:
+    """All three checks as one bundle (thin spec wrapper)."""
+    return registry.execute("lemma-7.5", fast=False)

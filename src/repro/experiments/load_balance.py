@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
 from repro.engine.sequential import SequentialEngine
+from repro.experiments import registry
 from repro.markov.degree_mc import DegreeMarkovChain
 from repro.metrics.degrees import indegree_variance
 from repro.net.loss import UniformLoss
@@ -81,6 +82,93 @@ def _ring_protocol(n: int, params: SFParams) -> SendForget:
     return protocol
 
 
+#: Adversarial start topologies, in their historical reporting order.
+_TOPOLOGIES = ("hubs", "ring")
+
+
+def _points(
+    n: int,
+    params: SFParams,
+    loss_rate: float,
+    rounds: int,
+    sample_every: int,
+    seed: int,
+) -> List[dict]:
+    # Both topologies use the same engine seed (the historical convention
+    # of the serial loop this sweep replaced).
+    return [
+        {
+            "topology": topology,
+            "n": n,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "loss": loss_rate,
+            "rounds": rounds,
+            "sample_every": sample_every,
+            "seed": seed,
+        }
+        for topology in _TOPOLOGIES
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    params = SFParams(view_size=12, d_low=2)
+    return _points(
+        n=200 if fast else 300,
+        params=params,
+        loss_rate=0.01,
+        rounds=150 if fast else 400,
+        sample_every=50,
+        seed=22,
+    )
+
+
+def _aggregate(points: List[dict], records: List[object]) -> LoadBalanceResult:
+    first = points[0]
+    params = SFParams(view_size=first["view_size"], d_low=first["d_low"])
+    result = LoadBalanceResult(
+        n=first["n"], params=params, loss_rate=first["loss"], rounds=[]
+    )
+    for point, record in zip(points, records):
+        if record is None:  # cell skipped under on_error="skip"
+            continue
+        xs, ys = record
+        result.rounds = xs
+        result.variance_curves[point["topology"]] = ys
+    solved = DegreeMarkovChain(params, loss_rate=first["loss"]).solve()
+    _, in_std = solved.indegree_mean_std()
+    result.mc_variance = in_std**2
+    return result
+
+
+@registry.experiment(
+    "load-balance",
+    anchor="Property M2 / §2 (load balance from adversarial starts)",
+    description="indegree-variance convergence from hubs and ring topologies",
+    grid=_grid,
+    aggregate=_aggregate,
+)
+def _cell(point: dict, seed, *, backend: str = "reference"):
+    """Experiment cell: one topology's indegree-variance curve."""
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    if params.d_low > 2:
+        raise ValueError("the ring start has outdegree 2; need d_low <= 2")
+    builder = {"hubs": _hubs_protocol, "ring": _ring_protocol}[point["topology"]]
+    n, rounds, sample_every = point["n"], point["rounds"], point["sample_every"]
+    protocol = builder(n, params)
+    engine = SequentialEngine(protocol, UniformLoss(point["loss"]), seed=seed)
+    xs: List[float] = [0.0]
+    ys: List[float] = [indegree_variance(protocol)]
+    elapsed = 0
+    while elapsed < rounds:
+        step = min(sample_every, rounds - elapsed)
+        engine.run_rounds(step)
+        elapsed += step
+        xs.append(float(elapsed))
+        ys.append(indegree_variance(protocol))
+    return xs, ys
+
+
 def run(
     n: int = 300,
     params: Optional[SFParams] = None,
@@ -89,7 +177,7 @@ def run(
     sample_every: int = 10,
     seed: int = 22,
 ) -> LoadBalanceResult:
-    """Track indegree variance from hubs and ring starts.
+    """Track indegree variance from hubs and ring starts (thin spec wrapper).
 
     The ring bootstraps every node at outdegree 2, so ``d_low`` must be
     ≤ 2 (default params use ``d_low = 2`` with a small view).
@@ -98,25 +186,7 @@ def run(
         params = SFParams(view_size=12, d_low=2)
     if params.d_low > 2:
         raise ValueError("the ring start has outdegree 2; need d_low <= 2")
-    builders = {"hubs": _hubs_protocol, "ring": _ring_protocol}
-    result = LoadBalanceResult(
-        n=n, params=params, loss_rate=loss_rate, rounds=[]
+    return registry.execute(
+        "load-balance",
+        points=_points(n, params, loss_rate, rounds, sample_every, seed),
     )
-    for name, builder in builders.items():
-        protocol = builder(n, params)
-        engine = SequentialEngine(protocol, UniformLoss(loss_rate), seed=seed)
-        xs: List[float] = [0.0]
-        ys: List[float] = [indegree_variance(protocol)]
-        elapsed = 0
-        while elapsed < rounds:
-            step = min(sample_every, rounds - elapsed)
-            engine.run_rounds(step)
-            elapsed += step
-            xs.append(float(elapsed))
-            ys.append(indegree_variance(protocol))
-        result.rounds = xs
-        result.variance_curves[name] = ys
-    solved = DegreeMarkovChain(params, loss_rate=loss_rate).solve()
-    _, in_std = solved.indegree_mean_std()
-    result.mc_variance = in_std**2
-    return result

@@ -24,8 +24,9 @@ from repro.analysis.independence import (
 )
 from repro.analysis.temporal import expected_conductance_bound
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.degree_mc import DegreeMarkovChain
-from repro.runner import GridCell, SweepRunner
+from repro.runner import SweepRunner
 from repro.util.tables import format_table
 
 
@@ -74,10 +75,52 @@ class LossSweepResult:
         return [row.expected_outdegree for row in self.rows]
 
 
-def _solve_row(cell: GridCell, context: tuple) -> LossSweepRow:
-    """Sweep worker: the full per-ℓ row (module-level: picklable)."""
-    params, delta = context
-    loss = cell.point
+#: Default loss grid (the paper-relevant operating range).
+DEFAULT_LOSSES = (0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.075, 0.1, 0.15, 0.2)
+
+
+def _points(
+    losses: Sequence[float], params: SFParams, delta: float
+) -> List[dict]:
+    return [
+        {
+            "loss": loss,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "delta": delta,
+        }
+        for loss in losses
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    losses = (0.0, 0.01, 0.05, 0.1) if fast else DEFAULT_LOSSES
+    return _points(losses, SFParams(view_size=40, d_low=18), delta=0.01)
+
+
+def _aggregate(points: Sequence[dict], records: Sequence[object]) -> "LossSweepResult":
+    result = LossSweepResult(
+        params=SFParams(
+            view_size=points[0]["view_size"], d_low=points[0]["d_low"]
+        ),
+        delta=points[0]["delta"],
+    )
+    result.rows.extend(row for row in records if row is not None)
+    return result
+
+
+@registry.experiment(
+    "loss-sweep",
+    anchor="Lemma 6.4 / §6.4 (operating envelope)",
+    description="fine-grained loss sweep of the degree MC and §7 bounds",
+    grid=_grid,
+    aggregate=_aggregate,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> LossSweepRow:
+    """Experiment cell: the full per-ℓ row (pure function of its point)."""
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    delta = point["delta"]
+    loss = point["loss"]
     solved = DegreeMarkovChain(params, loss_rate=loss).solve()
     d_e = solved.expected_outdegree()
     alpha = independence_lower_bound(loss, delta)
@@ -99,15 +142,13 @@ def _solve_row(cell: GridCell, context: tuple) -> LossSweepRow:
 
 
 def run(
-    losses: Sequence[float] = (
-        0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.075, 0.1, 0.15, 0.2,
-    ),
+    losses: Sequence[float] = DEFAULT_LOSSES,
     params: Optional[SFParams] = None,
     delta: float = 0.01,
     jobs: Optional[int] = None,
     runner: Optional[SweepRunner] = None,
 ) -> LossSweepResult:
-    """Solve the degree MC across the loss grid.
+    """Solve the degree MC across the loss grid (thin spec wrapper).
 
     ``jobs > 1`` distributes loss points over a process pool; each row is
     a pure function of its point, so results are identical at any ``jobs``.
@@ -117,9 +158,9 @@ def run(
     """
     if params is None:
         params = SFParams(view_size=40, d_low=18)
-    if runner is None:
-        runner = SweepRunner(jobs=jobs)
-    result = LossSweepResult(params=params, delta=delta)
-    rows = runner.run(_solve_row, list(losses), context=(params, delta))
-    result.rows.extend(row for row in rows if row is not None)
-    return result
+    return registry.execute(
+        "loss-sweep",
+        points=_points(losses, params, delta),
+        jobs=jobs,
+        runner=runner,
+    )

@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.util.tables import format_table
 
 
@@ -51,26 +52,48 @@ class MessageLoadResult:
         )
 
 
-def run(
-    n: int = 400,
-    params: Optional[SFParams] = None,
-    loss_rate: float = 0.01,
-    warmup_rounds: float = 200.0,
-    measure_rounds: float = 200.0,
-    snapshots: int = 20,
-    seed: int = 92,
-    backend: str = "reference",
-) -> MessageLoadResult:
-    """Measure per-node receive load against time-averaged indegree."""
+def _grid(fast: bool) -> list:
+    point = {
+        "view_size": 40,
+        "d_low": 18,
+        "loss": 0.01,
+        "seed": 92,
+    }
+    if fast:
+        point.update(
+            {"n": 200, "warmup_rounds": 100.0, "measure_rounds": 100.0,
+             "snapshots": 10}
+        )
+    else:
+        point.update(
+            {"n": 400, "warmup_rounds": 200.0, "measure_rounds": 200.0,
+             "snapshots": 20}
+        )
+    return [point]
+
+
+@registry.experiment(
+    "message-load",
+    anchor="Property M2 / §2 (message load ∝ indegree)",
+    description="per-node receive load regressed on time-averaged indegree",
+    grid=_grid,
+    aggregate=registry.single_record,
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> MessageLoadResult:
+    """Experiment cell: the full load-vs-indegree measurement for one config."""
     from repro.experiments.common import build_sf_system, warm_up
     from repro.markov.degree_mc import DegreeMarkovChain
 
-    if params is None:
-        params = SFParams(view_size=40, d_low=18)
+    n = point["n"]
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    loss_rate = point["loss"]
+    measure_rounds = point["measure_rounds"]
+    snapshots = point["snapshots"]
     protocol, engine = build_sf_system(
         n, params, loss_rate=loss_rate, seed=seed, backend=backend
     )
-    warm_up(engine, warmup_rounds)
+    warm_up(engine, point["warmup_rounds"])
     engine.received_by.clear()
     engine.sent_by.clear()
 
@@ -96,4 +119,35 @@ def run(
         indegree_cv=indegree_cv,
         mc_indegree_cv=mc_std / mc_mean,
         max_load_ratio=float(received.max() / received.mean()),
+    )
+
+
+def run(
+    n: int = 400,
+    params: Optional[SFParams] = None,
+    loss_rate: float = 0.01,
+    warmup_rounds: float = 200.0,
+    measure_rounds: float = 200.0,
+    snapshots: int = 20,
+    seed: int = 92,
+    backend: str = "reference",
+) -> MessageLoadResult:
+    """Measure per-node receive load against time-averaged indegree."""
+    if params is None:
+        params = SFParams(view_size=40, d_low=18)
+    return registry.execute(
+        "message-load",
+        points=[
+            {
+                "n": n,
+                "view_size": params.view_size,
+                "d_low": params.d_low,
+                "loss": loss_rate,
+                "warmup_rounds": warmup_rounds,
+                "measure_rounds": measure_rounds,
+                "snapshots": snapshots,
+                "seed": seed,
+            }
+        ],
+        backend=backend,
     )

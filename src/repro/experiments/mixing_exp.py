@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.conductance import expected_conductance
 from repro.markov.global_mc import GlobalMarkovChain
 from repro.markov.mixing import (
@@ -68,8 +69,21 @@ class MixingValidationResult:
         )
 
 
-def run(loss_rate: float = 0.2, epsilon: float = 0.05) -> MixingValidationResult:
-    """Validate the conductance→τε chain on the 2-node lossy global MC."""
+def _grid(fast: bool) -> list:
+    return [{"loss": 0.2, "epsilon": 0.1 if fast else 0.05}]
+
+
+@registry.experiment(
+    "mixing-exact",
+    anchor="§7.5 (conductance → τε machinery, exact)",
+    description="end-to-end check of the mixing-time bound on a tiny global MC",
+    grid=_grid,
+    aggregate=registry.single_record,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> MixingValidationResult:
+    """Experiment cell: the full exact validation for one (ℓ, ε)."""
+    loss_rate = point["loss"]
+    epsilon = point["epsilon"]
     initial = MembershipGraph.from_edges([(0, 1), (0, 1), (1, 0), (1, 0)])
     global_chain = GlobalMarkovChain(
         SFParams(view_size=8, d_low=2), loss_rate, initial
@@ -94,4 +108,11 @@ def run(loss_rate: float = 0.2, epsilon: float = 0.05) -> MixingValidationResult
         relaxation_time=relaxation_time(chain),
         expected_conductance=phi,
         lemma_7_15_style_bound=bound,
+    )
+
+
+def run(loss_rate: float = 0.2, epsilon: float = 0.05) -> MixingValidationResult:
+    """Validate the conductance→τε chain on the 2-node lossy global MC."""
+    return registry.execute(
+        "mixing-exact", points=[{"loss": loss_rate, "epsilon": epsilon}]
     )

@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.degree_mc import DegreeMarkovChain
-from repro.runner import GridCell, SweepRunner
+from repro.runner import SweepRunner
 from repro.util.tables import format_table
 
 
@@ -64,11 +65,41 @@ class ParameterSweepResult:
         )
 
 
-def _solve_cell(cell: GridCell, loss_rate: float) -> SweepCell:
-    """Sweep worker: solve one (dL, s) point (module-level: picklable)."""
-    view_size, d_low = cell.point
+def _points(
+    d_lows: Sequence[int], view_sizes: Sequence[int], loss_rate: float
+) -> List[dict]:
+    return [
+        {"view_size": view_size, "d_low": d_low, "loss": loss_rate}
+        for view_size in view_sizes
+        for d_low in d_lows
+        if d_low <= view_size - 6  # else infeasible per the parametrization
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    if fast:
+        return _points(d_lows=(10, 18), view_sizes=(40,), loss_rate=0.01)
+    return _points(d_lows=(10, 14, 18, 22, 26), view_sizes=(32, 40, 48), loss_rate=0.01)
+
+
+def _aggregate(points: Sequence[dict], records: Sequence[object]) -> ParameterSweepResult:
+    result = ParameterSweepResult(loss_rate=points[0]["loss"])
+    result.cells.extend(cell for cell in records if cell is not None)
+    return result
+
+
+@registry.experiment(
+    "parameter-sweep",
+    anchor="§6.3 (parametrization rule design space)",
+    description="(dL, s) sensitivity map via the degree MC",
+    grid=_grid,
+    aggregate=_aggregate,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> SweepCell:
+    """Experiment cell: solve one (dL, s) point (pure function of its point)."""
+    view_size, d_low = point["view_size"], point["d_low"]
     params = SFParams(view_size=view_size, d_low=d_low)
-    solved = DegreeMarkovChain(params, loss_rate=loss_rate).solve()
+    solved = DegreeMarkovChain(params, loss_rate=point["loss"]).solve()
     _, in_std = solved.indegree_mean_std()
     return SweepCell(
         d_low=d_low,
@@ -87,7 +118,7 @@ def run(
     jobs: Optional[int] = None,
     runner: Optional[SweepRunner] = None,
 ) -> ParameterSweepResult:
-    """Solve the degree MC for each feasible (dL, s) pair.
+    """Solve the degree MC for each feasible (dL, s) pair (thin spec wrapper).
 
     ``jobs > 1`` fans the grid over a process pool (see
     :class:`repro.runner.SweepRunner`); results are identical at any
@@ -95,18 +126,15 @@ def run(
     (retries, ``on_error="skip"``, checkpoint) overrides ``jobs``; cells
     skipped under that policy are omitted from the result.
     """
-    points = [
-        (view_size, d_low)
-        for view_size in view_sizes
-        for d_low in d_lows
-        if d_low <= view_size - 6  # else infeasible per the parametrization
-    ]
-    if runner is None:
-        runner = SweepRunner(jobs=jobs)
-    result = ParameterSweepResult(loss_rate=loss_rate)
-    cells = runner.run(_solve_cell, points, context=loss_rate)
-    result.cells.extend(cell for cell in cells if cell is not None)
-    return result
+    points = _points(d_lows, view_sizes, loss_rate)
+    if not points:  # every requested pair infeasible: empty result
+        return ParameterSweepResult(loss_rate=loss_rate)
+    return registry.execute(
+        "parameter-sweep",
+        points=points,
+        jobs=jobs,
+        runner=runner,
+    )
 
 
 def duplication_along_d_low(

@@ -26,6 +26,7 @@ from repro.analysis.decay import id_survival_bound
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
 from repro.engine.sequential import SequentialEngine
+from repro.experiments import registry
 from repro.net.loss import PartitionLoss
 from repro.util.tables import format_table
 
@@ -86,6 +87,94 @@ def _cross_edges(protocol: SendForget, half: int) -> int:
     return count
 
 
+def _points(
+    n: int,
+    partition_lengths: Sequence[int],
+    params: SFParams,
+    warmup_rounds: float,
+    recovery_rounds: int,
+    seed: int,
+) -> List[dict]:
+    # Each split length keeps its historical engine seed ``seed + length``.
+    return [
+        {
+            "partition_rounds": rounds_split,
+            "n": n,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "warmup_rounds": warmup_rounds,
+            "recovery_rounds": recovery_rounds,
+            "seed": seed + rounds_split,
+        }
+        for rounds_split in partition_lengths
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    params = SFParams(view_size=16, d_low=6)
+    if fast:
+        return _points(100, (20, 300), params, 80.0, 60, seed=88)
+    return _points(200, (20, 60, 150, 400), params, 150.0, 60, seed=88)
+
+
+def _aggregate(
+    points: Sequence[dict], records: Sequence[object]
+) -> PartitionRecoveryResult:
+    first = points[0]
+    result = PartitionRecoveryResult(
+        n=first["n"],
+        params=SFParams(view_size=first["view_size"], d_low=first["d_low"]),
+        recovery_rounds=first["recovery_rounds"],
+    )
+    result.rows.extend(row for row in records if row is not None)
+    return result
+
+
+@registry.experiment(
+    "partition-recovery",
+    anchor="§6.5.2 applied (partition-tolerance window)",
+    description="cross-partition edge survival and re-merge per split length",
+    grid=_grid,
+    aggregate=_aggregate,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> PartitionRow:
+    """Experiment cell: one split length's full split/heal cycle."""
+    n = point["n"]
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    rounds_split = point["partition_rounds"]
+    half = n // 2
+    protocol = SendForget(params)
+    for u in range(n):
+        protocol.add_node(u, [(u + k) % n for k in range(1, 11)])
+    loss = PartitionLoss({u: int(u >= half) for u in range(n)})
+    loss.heal()  # start healthy for the warm-up
+    engine = SequentialEngine(protocol, loss, seed=seed)
+    engine.run_rounds(point["warmup_rounds"])
+
+    before = _cross_edges(protocol, half)
+    loss.split()
+    engine.run_rounds(rounds_split)
+    at_heal = _cross_edges(protocol, half)
+    loss.heal()
+    engine.run_rounds(point["recovery_rounds"])
+    remerged = protocol.export_graph().is_weakly_connected()
+
+    return PartitionRow(
+        partition_rounds=rounds_split,
+        cross_edges_before=before,
+        cross_edges_at_heal=at_heal,
+        survival_measured=at_heal / max(before, 1),
+        survival_bound=id_survival_bound(
+            rounds_split,
+            params.d_low,
+            params.view_size,
+            0.0,  # intra-half traffic is lossless here
+            0.05,  # generous duplication allowance during the split
+        ),
+        remerged=remerged,
+    )
+
+
 def run(
     n: int = 200,
     partition_lengths: Sequence[int] = (20, 60, 150, 400),
@@ -97,41 +186,9 @@ def run(
     """Split the system in half for each duration, then heal and observe."""
     if params is None:
         params = SFParams(view_size=16, d_low=6)
-    half = n // 2
-    result = PartitionRecoveryResult(
-        n=n, params=params, recovery_rounds=recovery_rounds
+    return registry.execute(
+        "partition-recovery",
+        points=_points(
+            n, partition_lengths, params, warmup_rounds, recovery_rounds, seed
+        ),
     )
-    for rounds_split in partition_lengths:
-        protocol = SendForget(params)
-        for u in range(n):
-            protocol.add_node(u, [(u + k) % n for k in range(1, 11)])
-        loss = PartitionLoss({u: int(u >= half) for u in range(n)})
-        loss.heal()  # start healthy for the warm-up
-        engine = SequentialEngine(protocol, loss, seed=seed + rounds_split)
-        engine.run_rounds(warmup_rounds)
-
-        before = _cross_edges(protocol, half)
-        loss.split()
-        engine.run_rounds(rounds_split)
-        at_heal = _cross_edges(protocol, half)
-        loss.heal()
-        engine.run_rounds(recovery_rounds)
-        remerged = protocol.export_graph().is_weakly_connected()
-
-        result.rows.append(
-            PartitionRow(
-                partition_rounds=rounds_split,
-                cross_edges_before=before,
-                cross_edges_at_heal=at_heal,
-                survival_measured=at_heal / max(before, 1),
-                survival_bound=id_survival_bound(
-                    rounds_split,
-                    params.d_low,
-                    params.view_size,
-                    0.0,  # intra-half traffic is lossless here
-                    0.05,  # generous duplication allowance during the split
-                ),
-                remerged=remerged,
-            )
-        )
-    return result

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.sampling.random_walk import (
     MetropolisHastingsWalk,
     SimpleRandomWalk,
@@ -72,6 +73,148 @@ class RandomWalkResult:
         return f"{success}\n\n{bias}"
 
 
+#: Measurement phases, in their historical execution order.
+_PHASES = ("success", "bias-simple", "bias-mh", "bias-view")
+
+
+def _points(
+    n: int,
+    losses: Sequence[float],
+    walk_length: int,
+    bias_walk_length: int,
+    attempts: int,
+    warmup_rounds: float,
+    seed: int,
+) -> List[dict]:
+    # Each phase derives its historical walker/engine seed (seed+1..+4)
+    # inside the cell, so independent rebuilds stay bit-identical to the
+    # serial run this sweep replaced.
+    return [
+        {
+            "phase": phase,
+            "n": n,
+            "losses": list(losses),
+            "walk_length": walk_length,
+            "bias_walk_length": bias_walk_length,
+            "attempts": attempts,
+            "warmup_rounds": warmup_rounds,
+            "seed": seed,
+        }
+        for phase in _PHASES
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    return _points(
+        n=200,
+        losses=(0.0, 0.01, 0.05, 0.1),
+        walk_length=20,
+        bias_walk_length=200,
+        attempts=800 if fast else 2000,
+        warmup_rounds=150.0,
+        seed=311,
+    )
+
+
+def _aggregate(points: List[dict], records: List[object]) -> RandomWalkResult:
+    first = points[0]
+    result = RandomWalkResult(
+        n=first["n"],
+        walk_length=first["walk_length"],
+        bias_walk_length=first["bias_walk_length"],
+        uniform_hub_mass=HUB_REGION / first["n"],
+    )
+    for point, record in zip(points, records):
+        if record is None:  # cell skipped under on_error="skip"
+            continue
+        phase = point["phase"]
+        if phase == "success":
+            result.success_rows = record
+        elif phase == "bias-simple":
+            result.simple_walk_hub_mass = record
+        elif phase == "bias-mh":
+            result.mh_walk_hub_mass = record
+        elif phase == "bias-view":
+            result.view_hub_mass = record
+    return result
+
+
+@registry.experiment(
+    "random-walks",
+    anchor="§3.1 (random-walk critique, quantified)",
+    description="walk success under loss and sample bias on a skewed overlay",
+    grid=_grid,
+    aggregate=_aggregate,
+)
+def _cell(point: dict, seed, *, backend: str = "reference"):
+    """Experiment cell: one measurement phase (independent rebuilds)."""
+    from repro.engine.sequential import SequentialEngine
+    from repro.experiments.common import build_sf_system, warm_up
+    from repro.net.loss import NoLoss
+
+    params = SFParams(view_size=16, d_low=6)
+    n = point["n"]
+    attempts = point["attempts"]
+    phase = point["phase"]
+
+    if phase == "success":
+        # Loss sensitivity of the plain walk on the healthy overlay.
+        protocol, engine = build_sf_system(
+            n, params, loss_rate=0.01, seed=seed, init_outdegree=10
+        )
+        warm_up(engine, point["warmup_rounds"])
+        walk_length = point["walk_length"]
+        rows: List[Tuple[float, float, float]] = []
+        for loss in point["losses"]:
+            walker = SimpleRandomWalk(protocol, loss_rate=loss, seed=seed + 1)
+            outcomes = walker.sample_many(0, walk_length, attempts)
+            measured = sum(o.succeeded for o in outcomes) / attempts
+            rows.append((loss, measured, walk_success_probability(loss, walk_length)))
+        return rows
+
+    if phase == "bias-simple":
+        # Plain-walk bias on the skewed overlay (lossless, long walks so
+        # the measurement reflects the stationary bias, not slow mixing).
+        skewed = _skewed_overlay(n, params)
+        simple = SimpleRandomWalk(skewed, loss_rate=0.0, seed=seed + 2)
+        ends = [
+            o.end for o in simple.sample_many(0, point["bias_walk_length"], attempts)
+        ]
+        return sum(1 for e in ends if e is not None and e < HUB_REGION) / len(ends)
+
+    if phase == "bias-mh":
+        # Degree-corrected walk on the same skewed overlay.
+        skewed = _skewed_overlay(n, params)
+        mh = MetropolisHastingsWalk(skewed, loss_rate=0.0, seed=seed + 3)
+        mh_ends = [
+            o.end for o in mh.sample_many(0, point["bias_walk_length"], attempts)
+        ]
+        return sum(
+            1 for e in mh_ends if e is not None and e < HUB_REGION
+        ) / len(mh_ends)
+
+    if phase == "bias-view":
+        # Gossip alternative: give S&F the same skewed start, let the
+        # membership layer converge, then sample node 0's evolving view.
+        gossip = _skewed_overlay(n, params)
+        gossip_engine = SequentialEngine(gossip, NoLoss(), seed=seed + 4)
+        gossip_engine.run_rounds(point["warmup_rounds"])
+        rng = gossip_engine.rng
+        hits = 0
+        draws = 0
+        for _ in range(min(attempts, 500)):
+            gossip_engine.run_rounds(1)
+            entries = list(gossip.view_of(0).elements())
+            if entries:
+                sample = entries[int(rng.integers(len(entries)))]
+                draws += 1
+                if sample < HUB_REGION:
+                    hits += 1
+        return hits / max(draws, 1)
+
+    raise ValueError(f"unknown random-walks phase {phase!r}")
+
+
 def run(
     n: int = 200,
     losses: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
@@ -82,67 +225,13 @@ def run(
     seed: int = 311,
 ) -> RandomWalkResult:
     """Measure walk success on a steady-state overlay and sample bias on a
-    skewed one."""
-    from repro.engine.sequential import SequentialEngine
-    from repro.experiments.common import build_sf_system, warm_up
-    from repro.net.loss import NoLoss
-
-    params = SFParams(view_size=16, d_low=6)
-    protocol, engine = build_sf_system(
-        n, params, loss_rate=0.01, seed=seed, init_outdegree=10
+    skewed one (thin spec wrapper)."""
+    return registry.execute(
+        "random-walks",
+        points=_points(
+            n, losses, walk_length, bias_walk_length, attempts, warmup_rounds, seed
+        ),
     )
-    warm_up(engine, warmup_rounds)
-
-    result = RandomWalkResult(
-        n=n,
-        walk_length=walk_length,
-        bias_walk_length=bias_walk_length,
-        uniform_hub_mass=HUB_REGION / n,
-    )
-
-    # 1. Loss sensitivity of the plain walk on the healthy overlay.
-    for loss in losses:
-        walker = SimpleRandomWalk(protocol, loss_rate=loss, seed=seed + 1)
-        outcomes = walker.sample_many(0, walk_length, attempts)
-        measured = sum(o.succeeded for o in outcomes) / attempts
-        result.success_rows.append(
-            (loss, measured, walk_success_probability(loss, walk_length))
-        )
-
-    # 2. Plain-walk bias on the skewed overlay (lossless, long walks so the
-    # measurement reflects the stationary bias rather than slow mixing).
-    skewed = _skewed_overlay(n, params)
-    simple = SimpleRandomWalk(skewed, loss_rate=0.0, seed=seed + 2)
-    ends = [o.end for o in simple.sample_many(0, bias_walk_length, attempts)]
-    result.simple_walk_hub_mass = sum(
-        1 for e in ends if e is not None and e < HUB_REGION
-    ) / len(ends)
-
-    # 3a. Degree-corrected walk on the same skewed overlay.
-    mh = MetropolisHastingsWalk(skewed, loss_rate=0.0, seed=seed + 3)
-    mh_ends = [o.end for o in mh.sample_many(0, bias_walk_length, attempts)]
-    result.mh_walk_hub_mass = sum(
-        1 for e in mh_ends if e is not None and e < HUB_REGION
-    ) / len(mh_ends)
-
-    # 3b. Gossip alternative: give S&F the same skewed start, let the
-    # membership layer converge, then sample node 0's evolving view.
-    gossip = _skewed_overlay(n, params)
-    gossip_engine = SequentialEngine(gossip, NoLoss(), seed=seed + 4)
-    gossip_engine.run_rounds(warmup_rounds)
-    rng = gossip_engine.rng
-    hits = 0
-    draws = 0
-    for _ in range(min(attempts, 500)):
-        gossip_engine.run_rounds(1)
-        entries = list(gossip.view_of(0).elements())
-        if entries:
-            sample = entries[int(rng.integers(len(entries)))]
-            draws += 1
-            if sample < HUB_REGION:
-                hits += 1
-    result.view_hub_mass = hits / max(draws, 1)
-    return result
 
 
 def _skewed_overlay(n: int, params: SFParams):

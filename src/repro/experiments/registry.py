@@ -1,0 +1,391 @@
+"""Declarative experiment registry: every experiment as data, not code.
+
+The paper's evaluation is a catalog of parameterized experiments
+(Figures 6.1–6.4, Tables 6.3/6.4, the section 7 lemmas).  Instead of one
+hand-written CLI shim per experiment, each experiment module declares an
+:class:`ExperimentSpec` — *what* to run, not *how* to run it:
+
+* ``grid(fast)`` — the parameter points of the experiment (the ``fast``
+  flag selects the CI-sized preset).  Points are plain picklable values
+  (dicts of primitives by convention); a point carrying a ``"seed"`` key
+  seeds its cell.
+* ``cell(point, seed, *, backend)`` — one unit of work: a pure function
+  of its point (and seed/backend), returning a picklable record.
+* ``aggregate(points, records)`` — assemble the per-cell records into
+  the experiment's result object.  Records align with points in grid
+  order; a cell skipped under ``on_error="skip"`` leaves ``None``.
+
+Execution always goes through :class:`repro.runner.SweepRunner`, so
+*every* experiment — the analytic one-cell ones included — inherits
+``--jobs``, ``--on-error``, ``--cell-timeout``, and ``--checkpoint-dir``
+for free.  Registration is one decorator::
+
+    @experiment(
+        "fig-9.9",
+        anchor="Figure 9.9",
+        description="one-line summary for `repro list`",
+        grid=_grid,
+        aggregate=_aggregate,
+        backend_sensitive=True,
+    )
+    def _cell(point, seed, *, backend="reference"):
+        ...
+
+Results follow a uniform protocol: every aggregate returns an object
+with ``format() -> str`` (the paper-style text report), and
+:meth:`ExperimentSpec.to_json` wraps any result in a versioned JSON
+envelope (``schema_version`` guards artifact compatibility) for the
+CLI's ``--artifacts-dir`` / ``report`` outputs.
+
+Workers resolve specs *by name* inside the worker process (the registry
+imports the experiment modules lazily), so cells fan out over a process
+pool without any of the spec's callables needing to be pickled.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.runner import GridCell, SweepRunner
+
+#: Every module that registers experiments.  The registry imports these
+#: lazily (first lookup/listing); keeping the list explicit makes the
+#: worker-side resolution deterministic and lets a test assert that no
+#: experiment module is left unregistered.
+EXPERIMENT_MODULES: Tuple[str, ...] = (
+    "repro.experiments.ablation_variants",
+    "repro.experiments.baselines",
+    "repro.experiments.connectivity_exp",
+    "repro.experiments.dup_del_balance",
+    "repro.experiments.fig_6_1",
+    "repro.experiments.fig_6_2",
+    "repro.experiments.fig_6_3",
+    "repro.experiments.fig_6_4",
+    "repro.experiments.independence_exp",
+    "repro.experiments.join_integration",
+    "repro.experiments.lemma_7_5",
+    "repro.experiments.load_balance",
+    "repro.experiments.loss_sweep",
+    "repro.experiments.message_load",
+    "repro.experiments.mixing_exp",
+    "repro.experiments.parameter_sweep",
+    "repro.experiments.partition_recovery",
+    "repro.experiments.random_walk_exp",
+    "repro.experiments.sampler_exp",
+    "repro.experiments.table_6_3",
+    "repro.experiments.temporal_exp",
+    "repro.experiments.uniformity_exp",
+    "repro.experiments.view_regimes",
+)
+
+
+@runtime_checkable
+class Result(Protocol):
+    """What every experiment's aggregate must return."""
+
+    def format(self) -> str:
+        """The human-readable report (the paper-style rows/series)."""
+        ...  # pragma: no cover - protocol
+
+
+#: ``grid(fast) -> points``.
+GridFn = Callable[[bool], Sequence[Any]]
+#: ``cell(point, seed, *, backend) -> record``.
+CellFn = Callable[..., Any]
+#: ``aggregate(points, records) -> Result``; ``records[i]`` is ``None``
+#: when point ``i``'s cell was skipped under ``on_error="skip"``.
+AggregateFn = Callable[[Sequence[Any], Sequence[Any]], Any]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment of the paper's catalog, as data.
+
+    Attributes:
+        name: canonical CLI id (e.g. ``"fig-6.3"``).
+        anchor: where in the paper this experiment lives (e.g.
+            ``"Figure 6.3 / §6.4 in-text table"``).
+        description: one-line summary shown by ``repro list``.
+        grid: ``grid(fast)`` returning the parameter points.
+        cell: ``cell(point, seed, *, backend)`` — the per-point worker.
+        aggregate: ``aggregate(points, records)`` building the result.
+        schema_version: version stamped into the JSON artifact envelope;
+            bump when the result's serialized shape changes.
+        aliases: alternative CLI names resolving to this spec (e.g. the
+            §6.4 in-text table is Figure 6.3's moment summary).
+        backend_sensitive: whether ``cell`` actually uses the simulation
+            ``backend``.  A non-default ``--backend`` on an insensitive
+            experiment warns instead of silently no-oping.
+    """
+
+    name: str
+    anchor: str
+    description: str
+    grid: GridFn
+    cell: CellFn
+    aggregate: AggregateFn
+    schema_version: int = 1
+    aliases: Tuple[str, ...] = ()
+    backend_sensitive: bool = False
+
+    @property
+    def module(self) -> str:
+        """The module defining this experiment's cell."""
+        return self.cell.__module__
+
+    def to_json(self, result: Any) -> Dict[str, Any]:
+        """Wrap ``result`` in the versioned JSON artifact envelope."""
+        from repro.util.serialization import to_jsonable
+
+        return {
+            "experiment": self.name,
+            "anchor": self.anchor,
+            "schema_version": self.schema_version,
+            "result": to_jsonable(result),
+        }
+
+    def describe(self) -> Dict[str, Any]:
+        """Registry metadata as a JSON-safe dict (``repro list --json``)."""
+        return {
+            "name": self.name,
+            "anchor": self.anchor,
+            "description": self.description,
+            "aliases": list(self.aliases),
+            "schema_version": self.schema_version,
+            "backend_sensitive": self.backend_sensitive,
+            "module": self.module,
+        }
+
+
+class UnknownExperimentError(KeyError):
+    """No registered experiment (or alias) has the requested name."""
+
+
+_SPECS: Dict[str, ExperimentSpec] = {}
+_ALIASES: Dict[str, str] = {}
+_LOADED = False
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add ``spec`` to the registry; name and alias collisions raise."""
+    for name in (spec.name, *spec.aliases):
+        owner = _SPECS.get(name) or (
+            _SPECS.get(_ALIASES[name]) if name in _ALIASES else None
+        )
+        if owner is not None and owner.name != spec.name:
+            raise ValueError(
+                f"experiment name {name!r} already registered by "
+                f"{owner.module}:{owner.name}"
+            )
+    _SPECS[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def experiment(
+    name: str,
+    *,
+    anchor: str,
+    grid: GridFn,
+    aggregate: AggregateFn,
+    description: str = "",
+    schema_version: int = 1,
+    aliases: Sequence[str] = (),
+    backend_sensitive: bool = False,
+) -> Callable[[CellFn], CellFn]:
+    """Register the decorated cell function as experiment ``name``.
+
+    Returns the cell unchanged, so modules can keep calling it directly.
+    """
+
+    def decorate(cell: CellFn) -> CellFn:
+        register(
+            ExperimentSpec(
+                name=name,
+                anchor=anchor,
+                description=description
+                or (cell.__doc__ or "").strip().splitlines()[0].rstrip("."),
+                grid=grid,
+                cell=cell,
+                aggregate=aggregate,
+                schema_version=schema_version,
+                aliases=tuple(aliases),
+                backend_sensitive=backend_sensitive,
+            )
+        )
+        return cell
+
+    return decorate
+
+
+def _load_all() -> None:
+    """Import every experiment module so their decorators have run."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    for module in EXPERIMENT_MODULES:
+        importlib.import_module(module)
+
+
+def get(name: str) -> ExperimentSpec:
+    """The spec registered under ``name`` (aliases resolve)."""
+    _load_all()
+    spec = _SPECS.get(name)
+    if spec is None and name in _ALIASES:
+        spec = _SPECS[_ALIASES[name]]
+    if spec is None:
+        raise UnknownExperimentError(name)
+    return spec
+
+
+def names(include_aliases: bool = False) -> List[str]:
+    """Sorted canonical experiment names (optionally plus aliases)."""
+    _load_all()
+    all_names = list(_SPECS)
+    if include_aliases:
+        all_names.extend(_ALIASES)
+    return sorted(all_names)
+
+
+def aliases() -> Dict[str, str]:
+    """``alias -> canonical name`` for every registered alias."""
+    _load_all()
+    return dict(_ALIASES)
+
+
+def list_specs() -> List[ExperimentSpec]:
+    """Every registered spec, sorted by canonical name."""
+    _load_all()
+    return [_SPECS[name] for name in sorted(_SPECS)]
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CellContext:
+    """Shared per-sweep configuration handed to every worker call."""
+
+    experiment: str
+    backend: str = "reference"
+
+
+def _spec_worker(cell: GridCell, context: _CellContext) -> Any:
+    """Sweep worker: resolve the spec by name and run one cell.
+
+    Module-level (picklable); resolution happens *inside* the worker
+    process, so spec callables never cross the process boundary.
+    """
+    spec = get(context.experiment)
+    return spec.cell(cell.point, cell.seed, backend=context.backend)
+
+
+def _point_seed(point: Any, replication: int) -> Optional[int]:
+    """Default seed derivation: a dict point's ``"seed"`` key, else none.
+
+    Experiments embed per-cell seeds in their points (including any
+    historical derivations such as ``seed + replication``), which keeps
+    every point self-contained — the property checkpoint keys and
+    process-pool workers rely on.
+    """
+    if isinstance(point, dict):
+        seed = point.get("seed")
+        return None if seed is None else int(seed)
+    return None
+
+
+def run_cells(
+    name_or_spec: Any,
+    points: Sequence[Any],
+    *,
+    backend: Optional[str] = None,
+    runner: Optional[SweepRunner] = None,
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Run ``points`` through the spec's cell via a :class:`SweepRunner`.
+
+    The building block behind :func:`execute`; legacy ``module.run()``
+    wrappers with partial entry points call it directly with custom
+    points.  Returns records in grid order (``None`` for skipped cells).
+    """
+    spec = name_or_spec if isinstance(name_or_spec, ExperimentSpec) else get(
+        name_or_spec
+    )
+    backend = backend or "reference"
+    if backend != "reference" and not spec.backend_sensitive:
+        warnings.warn(
+            f"experiment {spec.name!r} is analytic: backend={backend!r} "
+            "does not affect it",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
+    return runner.run(
+        _spec_worker,
+        list(points),
+        seed_fn=_point_seed,
+        context=_CellContext(experiment=spec.name, backend=backend),
+    )
+
+
+def execute(
+    name_or_spec: Any,
+    *,
+    fast: bool = False,
+    backend: Optional[str] = None,
+    runner: Optional[SweepRunner] = None,
+    jobs: Optional[int] = None,
+    points: Optional[Sequence[Any]] = None,
+) -> Any:
+    """Run one experiment end to end: grid → cells → aggregate.
+
+    ``points`` overrides the spec's ``grid(fast)`` (how the legacy
+    ``module.run()`` wrappers express their keyword arguments).  A
+    preconfigured ``runner`` (jobs, retries, ``on_error``, timeout,
+    checkpoint) overrides ``jobs``.
+    """
+    spec = name_or_spec if isinstance(name_or_spec, ExperimentSpec) else get(
+        name_or_spec
+    )
+    if points is None:
+        points = spec.grid(fast)
+    points = list(points)
+    if not points:
+        raise ValueError(f"experiment {spec.name!r} produced an empty grid")
+    records = run_cells(
+        spec, points, backend=backend, runner=runner, jobs=jobs
+    )
+    return spec.aggregate(points, records)
+
+
+def single_record(points: Sequence[Any], records: Sequence[Any]) -> Any:
+    """Aggregate for one-cell experiments: the lone record, verbatim.
+
+    Raises when the only cell was skipped under ``on_error="skip"`` —
+    there is nothing to report.
+    """
+    survivors = [record for record in records if record is not None]
+    if not survivors:
+        raise RuntimeError(
+            "every cell of a single-record experiment was skipped; "
+            "nothing to report"
+        )
+    return survivors[0]

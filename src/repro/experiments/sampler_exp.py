@@ -21,6 +21,7 @@ from typing import List
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
 from repro.engine.sequential import SequentialEngine
+from repro.experiments import registry
 from repro.net.loss import UniformLoss
 from repro.sampling.minwise import SamplerLayer
 from repro.util.stats import total_variation_distance
@@ -72,26 +73,37 @@ class SamplerResult:
         return self.epochs[-1].view_turnover_per_round
 
 
-def run(
-    n: int = 150,
-    slots: int = 8,
-    loss_rate: float = 0.02,
-    epochs: int = 8,
-    rounds_per_epoch: float = 25.0,
-    seed: int = 37,
-) -> SamplerResult:
-    """Drive S&F + samplers and record the uniformity/freshness series."""
+def _grid(fast: bool) -> List[dict]:
+    point = {"slots": 8, "loss": 0.02, "seed": 37}
+    if fast:
+        point.update({"n": 100, "epochs": 5, "rounds_per_epoch": 20.0})
+    else:
+        point.update({"n": 150, "epochs": 8, "rounds_per_epoch": 25.0})
+    return [point]
+
+
+@registry.experiment(
+    "samplers",
+    anchor="§3.1 (Brahms-style samplers vs evolving views)",
+    description="sampler uniformity/freshness against view turnover over time",
+    grid=_grid,
+    aggregate=registry.single_record,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> SamplerResult:
+    """Experiment cell: the full sampler time series for one config."""
+    n, slots = point["n"], point["slots"]
+    rounds_per_epoch = point["rounds_per_epoch"]
     params = SFParams(view_size=16, d_low=6)
     inner = SendForget(params)
     for u in range(n):
         inner.add_node(u, [(u + k) % n for k in range(1, 11)])
     layered = SamplerLayer(inner, slots=slots, seed=seed)
-    engine = SequentialEngine(layered, UniformLoss(loss_rate), seed=seed + 1)
+    engine = SequentialEngine(layered, UniformLoss(point["loss"]), seed=seed + 1)
 
     result = SamplerResult(n=n, slots=slots)
     previous_changes = 0
     uniform = {u: 1.0 / n for u in range(n)}
-    for _ in range(epochs):
+    for _ in range(point["epochs"]):
         view_before = {u: Counter(inner.view_of(u)) for u in inner.node_ids()}
         engine.run_rounds(rounds_per_epoch)
 
@@ -133,3 +145,27 @@ def run(
             )
         )
     return result
+
+
+def run(
+    n: int = 150,
+    slots: int = 8,
+    loss_rate: float = 0.02,
+    epochs: int = 8,
+    rounds_per_epoch: float = 25.0,
+    seed: int = 37,
+) -> SamplerResult:
+    """Drive S&F + samplers and record the uniformity/freshness series."""
+    return registry.execute(
+        "samplers",
+        points=[
+            {
+                "n": n,
+                "slots": slots,
+                "loss": loss_rate,
+                "epochs": epochs,
+                "rounds_per_epoch": rounds_per_epoch,
+                "seed": seed,
+            }
+        ],
+    )

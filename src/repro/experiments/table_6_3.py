@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence
 
 from repro.core.thresholds import ThresholdSelection, select_thresholds
+from repro.experiments import registry
 from repro.util.tables import format_table
 
 
@@ -44,16 +45,42 @@ class ThresholdTableResult:
         )
 
 
+def _points(d_hats: Sequence[int], deltas: Sequence[float]) -> List[dict]:
+    return [
+        {"d_hat": d_hat, "delta": delta} for d_hat in d_hats for delta in deltas
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    d_hats = (30,) if fast else (10, 20, 30, 40, 50)
+    return _points(d_hats, deltas=(0.05, 0.01, 0.001))
+
+
+def _aggregate(points: Sequence[dict], records: Sequence[object]) -> ThresholdTableResult:
+    result = ThresholdTableResult()
+    # ``None`` covers both skipped cells and unsatisfiable corners.
+    result.selections.extend(sel for sel in records if sel is not None)
+    return result
+
+
+@registry.experiment(
+    "table-6.3",
+    anchor="Table 6.3 / §6.3 (threshold-selection rule)",
+    description="threshold selection across target degrees and tail caps",
+    grid=_grid,
+    aggregate=_aggregate,
+)
+def _cell(point: dict, seed, *, backend: str = "reference"):
+    """Experiment cell: one (d̂, δ) selection, ``None`` if unsatisfiable."""
+    try:
+        return select_thresholds(point["d_hat"], point["delta"])
+    except ValueError:
+        return None  # unsatisfiable corner (tiny d̂ with tight δ)
+
+
 def run(
     d_hats: Sequence[int] = (10, 20, 30, 40, 50),
     deltas: Sequence[float] = (0.05, 0.01, 0.001),
 ) -> ThresholdTableResult:
-    """Sweep the rule over target degrees and tail caps."""
-    result = ThresholdTableResult()
-    for d_hat in d_hats:
-        for delta in deltas:
-            try:
-                result.selections.append(select_thresholds(d_hat, delta))
-            except ValueError:
-                continue  # unsatisfiable corner (tiny d̂ with tight δ)
-    return result
+    """Sweep the rule over target degrees and tail caps (thin spec wrapper)."""
+    return registry.execute("table-6.3", points=_points(d_hats, deltas))

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.independence import independence_lower_bound
 from repro.analysis.temporal import actions_per_node_bound
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.util.tables import format_series, format_table
 
 
@@ -91,6 +92,145 @@ class TemporalDecayResult:
         return f"{body}\n5%-excess crossings (rounds): {crossings}"
 
 
+@dataclass
+class TemporalBundle:
+    """Bounds table plus empirical decay curves, reported together."""
+
+    bounds: TemporalBoundsResult
+    decay: TemporalDecayResult
+
+    def format(self) -> str:
+        return f"{self.bounds.format()}\n\n{self.decay.format()}"
+
+
+def _decay_points(
+    n: int,
+    params: SFParams,
+    losses: Sequence[float],
+    max_rounds: int,
+    sample_every: int,
+    warmup_rounds: float,
+    seed: int,
+) -> List[dict]:
+    # Every loss rate carries the same simulation seed (the historical
+    # convention of the serial loop this sweep replaced).
+    return [
+        {
+            "kind": "decay",
+            "loss": loss,
+            "n": n,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "max_rounds": max_rounds,
+            "sample_every": sample_every,
+            "warmup_rounds": warmup_rounds,
+            "seed": seed,
+        }
+        for loss in losses
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    points: List[dict] = [
+        {
+            "kind": "bounds",
+            "sizes": [10**3, 10**4, 10**5, 10**6],
+            "epsilon": 0.01,
+            "losses": [0.0, 0.01],
+            "delta": 0.01,
+        }
+    ]
+    points.extend(
+        _decay_points(
+            n=150 if fast else 300,
+            params=SFParams(view_size=16, d_low=6),
+            losses=(0.0, 0.05),
+            max_rounds=120 if fast else 200,
+            sample_every=20 if fast else 10,
+            warmup_rounds=150.0,
+            seed=715,
+        )
+    )
+    return points
+
+
+def _assemble_decay(
+    points: List[dict], records: List[object]
+) -> TemporalDecayResult:
+    """Rebuild the decay result from per-loss cells (shared by spec and wrapper)."""
+    first = points[0]
+    result = TemporalDecayResult(
+        n=first["n"],
+        params=SFParams(view_size=first["view_size"], d_low=first["d_low"]),
+        rounds=[],
+        reference_rounds=first["view_size"] * math.log(first["n"]),
+    )
+    for point, record in zip(points, records):
+        if record is None:  # cell skipped under on_error="skip"
+            continue
+        xs, ys, iid = record
+        result.rounds = xs
+        result.curves[point["loss"]] = ys
+        # Last-wins, matching the serial loop this sweep replaced.
+        result.iid_baseline = iid
+    return result
+
+
+def _aggregate(points: List[dict], records: List[object]) -> TemporalBundle:
+    bounds: Optional[TemporalBoundsResult] = None
+    decay_points: List[dict] = []
+    decay_records: List[object] = []
+    for point, record in zip(points, records):
+        if point["kind"] == "bounds":
+            if record is None:
+                raise RuntimeError("the bounds cell was skipped")
+            bounds = record
+        else:
+            decay_points.append(point)
+            decay_records.append(record)
+    if bounds is None:
+        raise RuntimeError("grid contained no bounds point")
+    return TemporalBundle(
+        bounds=bounds, decay=_assemble_decay(decay_points, decay_records)
+    )
+
+
+@registry.experiment(
+    "lemma-7.15",
+    anchor="Lemma 7.15 / Property M5 (§7.5, temporal independence)",
+    description="τε bounds per system size plus empirical overlap decay",
+    grid=_grid,
+    aggregate=_aggregate,
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference"):
+    """Experiment cell: the bounds table, or one loss rate's decay curve."""
+    if point["kind"] == "bounds":
+        return run_bounds(
+            sizes=tuple(point["sizes"]),
+            epsilon=point["epsilon"],
+            losses=tuple(point["losses"]),
+            delta=point["delta"],
+        )
+    from repro.experiments.common import build_sf_system, warm_up
+    from repro.metrics.convergence import temporal_decorrelation_series
+
+    n = point["n"]
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    protocol, engine = build_sf_system(
+        n, params, loss_rate=point["loss"], seed=seed, init_outdegree=10,
+        backend=backend,
+    )
+    warm_up(engine, point["warmup_rounds"])
+    xs, ys = temporal_decorrelation_series(
+        engine, point["max_rounds"], point["sample_every"]
+    )
+    mean_out = sum(
+        protocol.outdegree(u) for u in protocol.node_ids()
+    ) / len(protocol.node_ids())
+    return xs, ys, mean_out / n
+
+
 def run_decay(
     n: int = 300,
     params: Optional[SFParams] = None,
@@ -101,28 +241,11 @@ def run_decay(
     seed: int = 715,
     backend: str = "reference",
 ) -> TemporalDecayResult:
-    """Empirical overlap-decay curves per loss rate."""
-    from repro.experiments.common import build_sf_system, warm_up
-    from repro.metrics.convergence import temporal_decorrelation_series
-
+    """Empirical overlap-decay curves per loss rate (thin spec wrapper)."""
     if params is None:
         params = SFParams(view_size=16, d_low=6)
-    result = TemporalDecayResult(
-        n=n,
-        params=params,
-        rounds=[],
-        reference_rounds=params.view_size * math.log(n),
+    points = _decay_points(
+        n, params, losses, max_rounds, sample_every, warmup_rounds, seed
     )
-    for loss in losses:
-        protocol, engine = build_sf_system(
-            n, params, loss_rate=loss, seed=seed, init_outdegree=10, backend=backend
-        )
-        warm_up(engine, warmup_rounds)
-        xs, ys = temporal_decorrelation_series(engine, max_rounds, sample_every)
-        result.rounds = xs
-        result.curves[loss] = ys
-        mean_out = sum(
-            protocol.outdegree(u) for u in protocol.node_ids()
-        ) / len(protocol.node_ids())
-        result.iid_baseline = mean_out / n
-    return result
+    records = registry.run_cells("lemma-7.15", points, backend=backend)
+    return _assemble_decay(points, records)

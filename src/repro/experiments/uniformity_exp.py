@@ -17,8 +17,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.metrics.uniformity import OccupancyTracker
-from repro.runner import GridCell, SweepRunner
+from repro.runner import SweepRunner
 from repro.util.tables import format_table
 
 
@@ -86,23 +87,129 @@ class EmpiricalUniformityResult:
         )
 
 
-def _occupancy_counts(cell: GridCell, context: tuple) -> List[int]:
-    """Sweep worker: one replication's per-id occupancy counts."""
+@dataclass
+class UniformityBundle:
+    """Bundle of the exact and empirical Lemma 7.6 validations."""
+
+    exact: ExactUniformityResult
+    empirical: EmpiricalUniformityResult
+
+    def format(self) -> str:
+        return f"{self.exact.format()}\n{self.empirical.format()}"
+
+
+def _empirical_points(
+    n: int,
+    params: SFParams,
+    loss_rate: float,
+    warmup_rounds: float,
+    samples: int,
+    sample_gap_rounds: float,
+    replications: int,
+    seed: int,
+) -> List[dict]:
+    # Replication ``i`` keeps its historical seed ``seed + i``.
+    return [
+        {
+            "kind": "empirical",
+            "n": n,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "loss": loss_rate,
+            "warmup_rounds": warmup_rounds,
+            "samples": samples,
+            "sample_gap_rounds": sample_gap_rounds,
+            "seed": seed + replication,
+        }
+        for replication in range(replications)
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    points = [{"kind": "exact", "loss": 0.2}]
+    points.extend(
+        _empirical_points(
+            n=30,
+            params=SFParams(view_size=8, d_low=2),
+            loss_rate=0.02,
+            warmup_rounds=100.0,
+            samples=40,
+            sample_gap_rounds=12.0,
+            replications=3 if fast else 6,
+            seed=76,
+        )
+    )
+    return points
+
+
+def _pool_empirical(
+    points: List[dict], records: List[object]
+) -> EmpiricalUniformityResult:
+    """Pool per-replication occupancy counts (shared by spec and wrapper)."""
+    successful = [counts for counts in records if counts is not None]
+    if not successful:
+        raise RuntimeError("every replication failed; nothing to pool")
+    n = points[0]["n"]
+    pooled = [0] * n
+    for counts in successful:
+        pooled = [a + b for a, b in zip(pooled, counts)]
+    mean = sum(pooled) / n
+    return EmpiricalUniformityResult(
+        n=n,
+        samples=points[0]["samples"],
+        replications=len(successful),
+        relative_spread=(max(pooled) - min(pooled)) / mean,
+        pooled_counts=pooled,
+    )
+
+
+def _aggregate(points: List[dict], records: List[object]) -> UniformityBundle:
+    exact: Optional[ExactUniformityResult] = None
+    empirical_points: List[dict] = []
+    empirical_records: List[object] = []
+    for point, record in zip(points, records):
+        if point["kind"] == "exact":
+            if record is None:
+                raise RuntimeError("the exact-uniformity cell was skipped")
+            exact = record
+        else:
+            empirical_points.append(point)
+            empirical_records.append(record)
+    if exact is None:
+        raise RuntimeError("grid contained no exact-uniformity point")
+    return UniformityBundle(
+        exact=exact, empirical=_pool_empirical(empirical_points, empirical_records)
+    )
+
+
+@registry.experiment(
+    "lemma-7.6",
+    anchor="Lemma 7.6 / Property M3 (§7.3)",
+    description="uniformity of view membership: exact tiny-MC + empirical occupancy",
+    grid=_grid,
+    aggregate=_aggregate,
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference"):
+    """Experiment cell: exact solve, or one empirical replication's counts."""
+    if point["kind"] == "exact":
+        return run_exact(loss_rate=point["loss"])
     from repro.experiments.common import build_sf_system, warm_up
 
-    n, params, loss_rate, warmup_rounds, samples, sample_gap_rounds, backend = context
+    n = point["n"]
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
     protocol, engine = build_sf_system(
         n,
         params,
-        loss_rate=loss_rate,
-        seed=cell.seed,
+        loss_rate=point["loss"],
+        seed=seed,
         init_outdegree=min(4, params.view_size - 2),
         backend=backend,
     )
-    warm_up(engine, warmup_rounds)
+    warm_up(engine, point["warmup_rounds"])
     tracker = OccupancyTracker(protocol)
-    for _ in range(samples):
-        engine.run_rounds(sample_gap_rounds)
+    for _ in range(point["samples"]):
+        engine.run_rounds(point["sample_gap_rounds"])
         tracker.sample()
     return tracker.pooled_counts(list(range(n)))
 
@@ -137,26 +244,11 @@ def run_empirical(
     """
     if replications <= 0:
         raise ValueError(f"replications must be positive, got {replications}")
-    if runner is None:
-        runner = SweepRunner(jobs=jobs)
-    per_replication = runner.run(
-        _occupancy_counts,
-        [loss_rate],
-        replications=replications,
-        seed_fn=lambda point, replication: seed + replication,
-        context=(n, params, loss_rate, warmup_rounds, samples, sample_gap_rounds, backend),
+    points = _empirical_points(
+        n, params, loss_rate, warmup_rounds, samples, sample_gap_rounds,
+        replications, seed,
     )
-    successful = [counts for counts in per_replication if counts is not None]
-    if not successful:
-        raise RuntimeError("every replication failed; nothing to pool")
-    pooled = [0] * n
-    for counts in successful:
-        pooled = [a + b for a, b in zip(pooled, counts)]
-    mean = sum(pooled) / n
-    return EmpiricalUniformityResult(
-        n=n,
-        samples=samples,
-        replications=len(successful),
-        relative_spread=(max(pooled) - min(pooled)) / mean,
-        pooled_counts=pooled,
+    records = registry.run_cells(
+        "lemma-7.6", points, backend=backend, runner=runner, jobs=jobs
     )
+    return _pool_empirical(points, records)

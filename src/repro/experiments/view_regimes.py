@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.params import SFParams
+from repro.experiments import registry
 from repro.markov.degree_mc import DegreeMarkovChain
 from repro.util.tables import format_table
 
@@ -79,6 +80,90 @@ def _log_params(n: int) -> SFParams:
     return SFParams(view_size=s, d_low=d_low)
 
 
+def _points(
+    sizes: Sequence[int],
+    constant_params: SFParams,
+    loss_rate: float,
+    warmup_rounds: float,
+    measure_rounds: float,
+    seed: int,
+) -> List[dict]:
+    # Every (regime, n) plan uses the same simulation seed (the historical
+    # convention of the serial loop this sweep replaced).
+    plans: List[Tuple[str, int, SFParams]] = []
+    for n in sizes:
+        plans.append(("constant", n, constant_params))
+        plans.append(("logarithmic", n, _log_params(n)))
+    return [
+        {
+            "regime": regime,
+            "n": n,
+            "view_size": params.view_size,
+            "d_low": params.d_low,
+            "loss": loss_rate,
+            "warmup_rounds": warmup_rounds,
+            "measure_rounds": measure_rounds,
+            "seed": seed,
+        }
+        for regime, n, params in plans
+    ]
+
+
+def _grid(fast: bool) -> List[dict]:
+    constant_params = SFParams(view_size=16, d_low=6)
+    if fast:
+        return _points((100, 400), constant_params, 0.01, 100.0, 60.0, seed=93)
+    return _points((100, 400, 1600), constant_params, 0.01, 150.0, 100.0, seed=93)
+
+
+def _aggregate(points: Sequence[dict], records: Sequence[object]) -> ViewRegimesResult:
+    result = ViewRegimesResult(loss_rate=points[0]["loss"])
+    result.rows.extend(row for row in records if row is not None)
+    return result
+
+
+@registry.experiment(
+    "view-regimes",
+    anchor="Property M1 / §6.3 (constant vs logarithmic views)",
+    description="S&F health across system sizes under both view-size regimes",
+    grid=_grid,
+    aggregate=_aggregate,
+    backend_sensitive=True,
+)
+def _cell(point: dict, seed, *, backend: str = "reference") -> RegimeRow:
+    """Experiment cell: one (regime, n) plan against the degree MC."""
+    from repro.experiments.common import build_sf_system, warm_up
+    from repro.metrics.graph_stats import graph_statistics
+
+    n = point["n"]
+    params = SFParams(view_size=point["view_size"], d_low=point["d_low"])
+    loss_rate = point["loss"]
+    solved = DegreeMarkovChain(params, loss_rate=loss_rate).solve()
+
+    protocol, engine = build_sf_system(
+        n, params, loss_rate=loss_rate, seed=seed, backend=backend
+    )
+    warm_up(engine, point["warmup_rounds"])
+    engine.run_rounds(point["measure_rounds"])
+    outdegree_mean = float(
+        np.mean([protocol.outdegree(u) for u in protocol.node_ids()])
+    )
+    dup = protocol.stats.duplication_probability()
+    dele = protocol.stats.deletion_probability()
+    stats = graph_statistics(protocol.export_graph(), compute_diameter=n <= 2000)
+    return RegimeRow(
+        regime=point["regime"],
+        n=n,
+        view_size=params.view_size,
+        d_low=params.d_low,
+        outdegree_mean=outdegree_mean,
+        mc_outdegree_mean=solved.expected_outdegree(),
+        connected=stats.weakly_connected,
+        diameter=stats.undirected_diameter,
+        dup_minus_loss_del=dup - (loss_rate + dele),
+    )
+
+
 def run(
     sizes: Sequence[int] = (100, 400, 1600),
     constant_params: Optional[SFParams] = None,
@@ -88,44 +173,11 @@ def run(
     seed: int = 93,
 ) -> ViewRegimesResult:
     """Run both regimes at every size and compare against the degree MC."""
-    from repro.experiments.common import build_sf_system, warm_up
-    from repro.metrics.graph_stats import graph_statistics
-
     if constant_params is None:
         constant_params = SFParams(view_size=16, d_low=6)
-    result = ViewRegimesResult(loss_rate=loss_rate)
-    plans: List[Tuple[str, int, SFParams]] = []
-    for n in sizes:
-        plans.append(("constant", n, constant_params))
-        plans.append(("logarithmic", n, _log_params(n)))
-
-    mc_cache = {}
-    for regime, n, params in plans:
-        key = (params.view_size, params.d_low)
-        if key not in mc_cache:
-            mc_cache[key] = DegreeMarkovChain(params, loss_rate=loss_rate).solve()
-        solved = mc_cache[key]
-
-        protocol, engine = build_sf_system(n, params, loss_rate=loss_rate, seed=seed)
-        warm_up(engine, warmup_rounds)
-        engine.run_rounds(measure_rounds)
-        outdegree_mean = float(
-            np.mean([protocol.outdegree(u) for u in protocol.node_ids()])
-        )
-        dup = protocol.stats.duplication_probability()
-        dele = protocol.stats.deletion_probability()
-        stats = graph_statistics(protocol.export_graph(), compute_diameter=n <= 2000)
-        result.rows.append(
-            RegimeRow(
-                regime=regime,
-                n=n,
-                view_size=params.view_size,
-                d_low=params.d_low,
-                outdegree_mean=outdegree_mean,
-                mc_outdegree_mean=solved.expected_outdegree(),
-                connected=stats.weakly_connected,
-                diameter=stats.undirected_diameter,
-                dup_minus_loss_del=dup - (loss_rate + dele),
-            )
-        )
-    return result
+    return registry.execute(
+        "view-regimes",
+        points=_points(
+            sizes, constant_params, loss_rate, warmup_rounds, measure_rounds, seed
+        ),
+    )

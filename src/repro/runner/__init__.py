@@ -13,11 +13,11 @@
   deterministic injection of exceptions, hangs, and process kills for
   exercising every recovery path without flakiness.
 
-The sweep experiments (``parameter_sweep``, ``loss_sweep``, ``fig_6_3``,
-``fig_6_4``, ``uniformity_exp``, ``independence_exp``) all accept a
-``jobs`` argument (CLI ``--jobs``) and a preconfigured ``runner=`` that
-routes their grid through this layer; the CLI exposes the failure knobs
-as ``--on-error``, ``--cell-timeout``, and ``--checkpoint-dir``.
+Every registered experiment (see :mod:`repro.experiments.registry`)
+executes its point grid through this layer — ``registry.execute`` is
+grid → :meth:`SweepRunner.run` → aggregate — so all of them accept a
+``jobs``/``runner=`` argument and inherit the CLI's failure knobs
+(``--jobs``, ``--on-error``, ``--cell-timeout``, ``--checkpoint-dir``).
 """
 
 from repro.runner.checkpoint import (

@@ -1,14 +1,21 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import build_parser, main
+from repro.experiments import registry
 
 
 class TestParser:
     def test_list_parses(self):
         args = build_parser().parse_args(["list"])
         assert args.command == "list"
+        assert not args.json
+
+    def test_list_json_parses(self):
+        assert build_parser().parse_args(["list", "--json"]).json
 
     def test_run_parses(self):
         args = build_parser().parse_args(["run", "fig-6.1", "--fast"])
@@ -44,13 +51,35 @@ class TestParser:
         assert parser.parse_args(["report", "--jobs", "0"]).jobs == 0
         assert parser.parse_args(["run", "fig-6.3"]).jobs == 1  # serial default
 
+    def test_artifacts_dir_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig-6.1", "--artifacts-dir", "out"])
+        assert args.artifacts_dir == "out"
+        assert parser.parse_args(["run", "fig-6.1"]).artifacts_dir is None
+
 
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in EXPERIMENTS:
+        for name in registry.names(include_aliases=True):
             assert name in out
+
+    def test_list_shows_aliases_distinctly(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table-6.4" in out
+        assert "alias for fig-6.3" in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert set(by_name) == set(registry.names())
+        assert by_name["fig-6.3"]["aliases"] == ["table-6.4"]
+        for entry in payload:
+            assert entry["anchor"]
+            assert entry["schema_version"] >= 1
 
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "nope"]) == 2
@@ -63,6 +92,51 @@ class TestCommands:
     def test_run_fast_fig_6_2(self, capsys):
         assert main(["run", "fig-6.2"]) == 0
         assert "Figure 6.2" in capsys.readouterr().out
+
+    def test_run_alias_matches_canonical(self, capsys):
+        assert main(["run", "table-6.4", "--fast"]) == 0
+        via_alias = capsys.readouterr().out
+        assert main(["run", "fig-6.3", "--fast"]) == 0
+        assert capsys.readouterr().out == via_alias
+
+    def test_run_backend_warning_on_analytic_experiment(self, capsys):
+        assert main(["run", "fig-6.1", "--fast", "--backend", "array"]) == 0
+        err = capsys.readouterr().err
+        assert "analytic" in err and "array" in err
+
+    def test_run_no_backend_warning_on_default(self, capsys):
+        assert main(["run", "fig-6.1", "--fast"]) == 0
+        assert "analytic" not in capsys.readouterr().err
+
+    def test_run_writes_artifacts(self, tmp_path, capsys):
+        assert main(
+            ["run", "fig-6.1", "--fast", "--artifacts-dir", str(tmp_path)]
+        ) == 0
+        text = (tmp_path / "fig-6_1.txt").read_text()
+        assert text.rstrip("\n") == capsys.readouterr().out.rstrip("\n")
+        envelope = json.loads((tmp_path / "fig-6_1.json").read_text())
+        assert envelope["experiment"] == "fig-6.1"
+        assert envelope["schema_version"] == registry.get("fig-6.1").schema_version
+        assert envelope["result"]
+
+    def test_run_jobs_parallel_bit_identical(self, capsys):
+        assert main(["run", "table-6.3", "--fast"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "table-6.3", "--fast", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_report_single_experiment(self, tmp_path, capsys):
+        code = main(
+            ["report", "table-6.3", "--fast", "--output", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "table-6_3.txt").exists()
+        envelope = json.loads((tmp_path / "table-6_3.json").read_text())
+        assert envelope["experiment"] == "table-6.3"
+
+    def test_report_unknown_experiment(self, capsys):
+        assert main(["report", "nope"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
 
     def test_size_command(self, capsys):
         assert main(["size", "--target-degree", "30", "--delta", "0.01"]) == 0
@@ -107,11 +181,11 @@ class TestCommands:
         assert "connected=True" in out
 
     def test_registry_covers_design_index(self):
-        """Every experiment family from DESIGN.md has a CLI entry."""
+        """Every experiment family from DESIGN.md has a registry entry."""
         expected = {
             "fig-6.1", "fig-6.2", "fig-6.3", "fig-6.4",
             "table-6.3", "table-6.4", "cor-6.14", "lemma-6.6",
             "lemma-7.5", "lemma-7.6", "lemma-7.9", "lemma-7.15",
             "connectivity", "load-balance", "baselines",
         }
-        assert expected <= set(EXPERIMENTS)
+        assert expected <= set(registry.names(include_aliases=True))

@@ -1,0 +1,231 @@
+"""Registry completeness: every experiment is a well-formed, runnable spec.
+
+The contract tested here is what the CLI and CI rely on:
+
+* every experiment module registers a spec (none left behind);
+* every spec names its paper anchor and carries a CI-runnable fast grid
+  of picklable points;
+* execution always routes through :class:`repro.runner.SweepRunner`
+  (so --jobs/--on-error/--cell-timeout/--checkpoint-dir apply to all);
+* the JSON artifact envelope round-trips under the declared schema
+  version;
+* the thin legacy ``module.run()`` wrappers are bit-identical to the
+  registry's fast grids at the historical seeds.
+"""
+
+import importlib
+import inspect
+import json
+import pickle
+
+import pytest
+
+from repro.experiments import registry
+from repro.runner import SweepRunner
+
+ALL_SPECS = registry.list_specs()
+
+#: Specs cheap enough to execute end-to-end in the test suite (analytic
+#: or tiny: no steady-state simulation in their fast grid).
+CHEAP_FAST = [
+    "fig-6.1",
+    "fig-6.2",
+    "table-6.3",
+    "fig-6.3",
+    "fig-6.4",
+    "mixing-exact",
+    "loss-sweep",
+    "parameter-sweep",
+    "connectivity",
+]
+
+
+class RecordingRunner(SweepRunner):
+    """A serial runner that counts how often the registry invokes it."""
+
+    def __init__(self):
+        super().__init__(jobs=1)
+        self.calls = 0
+
+    def run(self, worker, points, **kwargs):
+        self.calls += 1
+        return super().run(worker, points, **kwargs)
+
+
+class TestRegistryShape:
+    def test_every_experiment_module_registers(self):
+        registered = {spec.module for spec in ALL_SPECS}
+        assert registered == set(registry.EXPERIMENT_MODULES)
+
+    def test_every_spec_has_anchor_description_and_schema(self):
+        for spec in ALL_SPECS:
+            assert spec.anchor.strip(), spec.name
+            assert spec.description.strip(), spec.name
+            assert spec.schema_version >= 1
+
+    def test_names_are_unique_canonical_ids(self):
+        names = registry.names()
+        assert len(names) == len(set(names)) == len(ALL_SPECS)
+
+    def test_grids_nonempty_and_picklable(self):
+        for spec in ALL_SPECS:
+            for fast in (True, False):
+                points = list(spec.grid(fast))
+                assert points, f"{spec.name} grid(fast={fast}) is empty"
+                pickle.dumps(points)  # process-pool workers require this
+
+    def test_fast_grid_never_larger_than_full(self):
+        for spec in ALL_SPECS:
+            assert len(list(spec.grid(True))) <= len(list(spec.grid(False)))
+
+    def test_alias_resolves_to_canonical_spec(self):
+        assert registry.get("table-6.4") is registry.get("fig-6.3")
+        assert registry.aliases() == {"table-6.4": "fig-6.3"}
+        assert "table-6.4" not in registry.names()
+        assert "table-6.4" in registry.names(include_aliases=True)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(registry.UnknownExperimentError):
+            registry.get("fig-0.0")
+
+    def test_duplicate_registration_rejected(self):
+        spec = registry.get("fig-6.1")
+        clash = registry.ExperimentSpec(
+            name="brand-new",
+            anchor="nowhere",
+            description="clashes via alias",
+            grid=spec.grid,
+            cell=spec.cell,
+            aggregate=spec.aggregate,
+            aliases=("fig-6.1",),
+        )
+        with pytest.raises(ValueError):
+            registry.register(clash)
+
+    def test_point_seed_convention(self):
+        assert registry._point_seed({"seed": 7}, 0) == 7
+        assert registry._point_seed({"loss": 0.1}, 0) is None
+        assert registry._point_seed((1, 2), 0) is None
+
+    def test_legacy_wrappers_delegate_to_registry(self):
+        """No module keeps a private execution loop beside the registry."""
+        for module_name in registry.EXPERIMENT_MODULES:
+            module = importlib.import_module(module_name)
+            source = inspect.getsource(module)
+            assert (
+                "registry.execute(" in source or "registry.run_cells(" in source
+            ), f"{module_name} does not route through the registry"
+
+
+class TestExecution:
+    def test_execute_routes_through_given_runner(self):
+        recorder = RecordingRunner()
+        result = registry.execute("table-6.3", fast=True, runner=recorder)
+        assert recorder.calls == 1
+        assert result.format()
+
+    @pytest.mark.parametrize("name", CHEAP_FAST)
+    def test_fast_grid_executes_and_formats(self, name):
+        result = registry.execute(name, fast=True)
+        text = result.format()
+        assert isinstance(text, str) and text
+
+    def test_jobs_bit_identical(self):
+        serial = registry.execute("table-6.3", fast=True).format()
+        pooled = registry.execute("table-6.3", fast=True, jobs=2).format()
+        assert serial == pooled
+
+    def test_backend_warning_on_analytic_spec(self):
+        with pytest.warns(RuntimeWarning, match="analytic"):
+            registry.execute("fig-6.2", fast=True, backend="array")
+
+    def test_simulation_spec_with_tiny_points(self):
+        result = registry.execute(
+            "samplers",
+            points=[
+                {
+                    "n": 40,
+                    "slots": 4,
+                    "loss": 0.02,
+                    "epochs": 2,
+                    "rounds_per_epoch": 5.0,
+                    "seed": 37,
+                }
+            ],
+        )
+        assert result.n == 40
+        assert len(result.epochs) == 2
+
+    def test_simulation_sweep_with_tiny_points(self):
+        result = registry.execute(
+            "ablation",
+            points=[
+                {
+                    "variant": "base",
+                    "n": 60,
+                    "loss": 0.05,
+                    "view_size": 12,
+                    "d_low": 4,
+                    "warmup_rounds": 20.0,
+                    "measure_rounds": 20.0,
+                    "seed": 55,
+                }
+            ],
+        )
+        assert [row.name for row in result.rows] == ["base"]
+
+
+class TestJsonEnvelope:
+    @pytest.mark.parametrize("name", ["fig-6.1", "table-6.3", "mixing-exact"])
+    def test_round_trip_under_schema_version(self, name):
+        spec = registry.get(name)
+        result = registry.execute(spec, fast=True)
+        decoded = json.loads(json.dumps(spec.to_json(result)))
+        assert decoded["experiment"] == spec.name
+        assert decoded["anchor"] == spec.anchor
+        assert decoded["schema_version"] == spec.schema_version
+        assert decoded["result"]
+
+
+class TestLegacyBitIdentity:
+    """Legacy ``module.run()`` at the historical presets == fast grid."""
+
+    def test_fig_6_1(self):
+        from repro.experiments import fig_6_1
+
+        assert (
+            fig_6_1.run(dm=30).format()
+            == registry.execute("fig-6.1", fast=True).format()
+        )
+
+    def test_table_6_3(self):
+        from repro.experiments import table_6_3
+
+        assert (
+            table_6_3.run(d_hats=(30,)).format()
+            == registry.execute("table-6.3", fast=True).format()
+        )
+
+    def test_mixing_exact(self):
+        from repro.experiments import mixing_exp
+
+        assert (
+            mixing_exp.run(epsilon=0.1).format()
+            == registry.execute("mixing-exact", fast=True).format()
+        )
+
+    def test_loss_sweep(self):
+        from repro.experiments import loss_sweep
+
+        assert (
+            loss_sweep.run(losses=(0.0, 0.01, 0.05, 0.1)).format()
+            == registry.execute("loss-sweep", fast=True).format()
+        )
+
+    def test_connectivity(self):
+        from repro.experiments import connectivity_exp
+
+        assert (
+            connectivity_exp.run(simulate=False).format()
+            == registry.execute("connectivity", fast=True).format()
+        )

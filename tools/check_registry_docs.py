@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Diff the experiment registry against docs/paper_map.md.
+
+CI runs ``python -m repro list --json | python tools/check_registry_docs.py``
+to keep the "Experiment registry" table in docs/paper_map.md in lockstep
+with the live registry: every canonical name and alias must appear with
+the anchor the spec declares, and the table must not list experiments
+that no longer exist.
+
+Exit status 0 when in sync; 1 with a per-entry diff otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+ROW = re.compile(r"^\|\s*`(?P<name>[^`]+)`\s*\|\s*(?P<anchor>.+?)\s*\|\s*$")
+ALIAS_ANCHOR = re.compile(r"^alias for `(?P<target>[^`]+)`$")
+
+
+def parse_docs_table(markdown: str) -> dict:
+    """``name -> anchor`` rows of the "Experiment registry" section."""
+    rows = {}
+    in_section = False
+    for line in markdown.splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == "## Experiment registry"
+            continue
+        if not in_section:
+            continue
+        match = ROW.match(line)
+        if not match or match.group("name") == "Experiment":
+            continue
+        rows[match.group("name")] = match.group("anchor")
+    return rows
+
+
+def registry_entries(specs: list) -> dict:
+    """``name -> anchor`` expected from ``repro list --json`` output."""
+    expected = {}
+    for spec in specs:
+        expected[spec["name"]] = spec["anchor"]
+        for alias in spec.get("aliases", ()):
+            expected[alias] = f"alias for `{spec['name']}`"
+    return expected
+
+
+def diff(expected: dict, documented: dict) -> list:
+    problems = []
+    for name in sorted(set(expected) | set(documented)):
+        if name not in documented:
+            problems.append(f"missing from docs: `{name}` ({expected[name]})")
+        elif name not in expected:
+            problems.append(f"stale in docs (no such experiment): `{name}`")
+        elif documented[name] != expected[name]:
+            problems.append(
+                f"anchor mismatch for `{name}`: docs say "
+                f"{documented[name]!r}, registry says {expected[name]!r}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--registry-json",
+        default="-",
+        help="`repro list --json` output (default: stdin)",
+    )
+    parser.add_argument(
+        "--docs",
+        default=Path(__file__).resolve().parent.parent / "docs" / "paper_map.md",
+        type=Path,
+        help="path to docs/paper_map.md",
+    )
+    args = parser.parse_args(argv)
+
+    if args.registry_json == "-":
+        specs = json.load(sys.stdin)
+    else:
+        specs = json.loads(Path(args.registry_json).read_text())
+
+    documented = parse_docs_table(args.docs.read_text())
+    if not documented:
+        print(f"no 'Experiment registry' table found in {args.docs}")
+        return 1
+    problems = diff(registry_entries(specs), documented)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} registry/docs mismatch(es)")
+        return 1
+    print(f"registry and {args.docs} agree on {len(documented)} entries")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
