@@ -80,6 +80,68 @@ def _make_runner(args: argparse.Namespace):
     )
 
 
+def _configure_telemetry(args: argparse.Namespace):
+    """Install process telemetry from ``--trace``/``--metrics-out``.
+
+    Either flag turns the metrics registry on (the trace alone would not
+    be able to feed the one-line summary or the ``<slug>.metrics.json``
+    artifact).  Returns the installed telemetry, or ``None`` when both
+    flags are absent — the zero-cost default.
+    """
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace and not metrics_out:
+        return None
+    from repro import obs
+
+    return obs.configure(metrics=True, trace_path=trace)
+
+
+def _telemetry_summary(registry) -> str:
+    """The one-line summary ``run``/``simulate``/``report`` print."""
+    snap = registry.snapshot()
+    counters = snap["counters"]
+    cell_run = snap["timers"].get("phase.cell_run", {})
+    wall = cell_run.get("total") or 0.0
+    cpu = cell_run.get("cpu_total") or 0.0
+    return (
+        "telemetry:"
+        f" cells={counters.get('sweep.cells', 0)}"
+        f" completed={counters.get('sweep.completed', 0)}"
+        f" resumed={counters.get('sweep.resumed', 0)}"
+        f" retries={counters.get('sweep.retries', 0)}"
+        f" skipped={counters.get('sweep.skipped', 0)}"
+        f" actions={counters.get('engine.actions', 0)}"
+        f" cell_run={wall:.2f}s"
+        f" cpu={cpu:.2f}s"
+    )
+
+
+def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Flush the trace, write ``--metrics-out``, print the summary."""
+    if telemetry is None:
+        return
+    if telemetry.tracer is not None:
+        telemetry.tracer.flush()
+    if telemetry.registry is not None:
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out:
+            path = Path(metrics_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(telemetry.registry.snapshot(), indent=2, sort_keys=True)
+            )
+        print(_telemetry_summary(telemetry.registry))
+
+
+def _reset_telemetry(telemetry) -> None:
+    if telemetry is None:
+        return
+    from repro import obs
+
+    obs.reset()
+
+
 def _print_failures(sweep_runner) -> None:
     """Summarize cells skipped under ``--on-error skip`` (to stderr)."""
     for failure in sweep_runner.last_failures:
@@ -92,7 +154,7 @@ def _print_failures(sweep_runner) -> None:
 
 
 def _execute(spec, args: argparse.Namespace):
-    """Run ``spec`` with the CLI's runner flags; returns ``(result, text)``.
+    """Run ``spec`` with the CLI's runner flags; returns ``(result, runner)``.
 
     Backend warnings from the registry (a non-default ``--backend`` on an
     analytic experiment) are re-routed to stderr so they are visible even
@@ -109,18 +171,26 @@ def _execute(spec, args: argparse.Namespace):
     for warning in caught:
         print(f"WARNING: {warning.message}", file=sys.stderr)
     _print_failures(sweep_runner)
-    return result
+    return result, sweep_runner
 
 
-def _write_artifacts(spec, result, text: str, directory) -> None:
-    """Archive ``<slug>.txt`` and the versioned ``<slug>.json`` envelope."""
+def _write_artifacts(
+    spec, result, text: str, directory, runner=None, registry=None
+) -> None:
+    """Archive ``<slug>.txt``, the versioned ``<slug>.json`` envelope
+    (with the sweep's stats/failures when ``runner`` is given), and —
+    when a metrics ``registry`` is active — ``<slug>.metrics.json``."""
     output_dir = Path(directory)
     output_dir.mkdir(parents=True, exist_ok=True)
     slug = spec.name.replace(".", "_")
     (output_dir / f"{slug}.txt").write_text(text + "\n")
     (output_dir / f"{slug}.json").write_text(
-        json.dumps(spec.to_json(result), indent=2, sort_keys=True)
+        json.dumps(spec.to_json(result, runner=runner), indent=2, sort_keys=True)
     )
+    if registry is not None:
+        (output_dir / f"{slug}.metrics.json").write_text(
+            json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+        )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -134,11 +204,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = _execute(spec, args)
-    text = result.format()
-    print(text)
-    if args.artifacts_dir:
-        _write_artifacts(spec, result, text, args.artifacts_dir)
+    telemetry = _configure_telemetry(args)
+    try:
+        result, sweep_runner = _execute(spec, args)
+        text = result.format()
+        print(text)
+        if args.artifacts_dir:
+            _write_artifacts(
+                spec,
+                result,
+                text,
+                args.artifacts_dir,
+                runner=sweep_runner,
+                registry=telemetry.registry if telemetry else None,
+            )
+        _finish_telemetry(args, telemetry)
+    finally:
+        _reset_telemetry(telemetry)
     return 0
 
 
@@ -152,30 +234,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if boot >= args.nodes:
         print("need more nodes than the bootstrap outdegree", file=sys.stderr)
         return 2
-    protocol, engine = build_sf_system(
-        args.nodes,
-        params,
-        loss_rate=args.loss,
-        seed=args.seed,
-        backend=args.backend,
-    )
-    engine.run_rounds(args.rounds)
-    protocol.check_invariant()
+    telemetry = _configure_telemetry(args)
+    try:
+        protocol, engine = build_sf_system(
+            args.nodes,
+            params,
+            loss_rate=args.loss,
+            seed=args.seed,
+            backend=args.backend,
+        )
+        engine.run_rounds(args.rounds)
+        protocol.check_invariant()
 
-    summary = degree_summary(protocol)
-    stats = graph_statistics(
-        protocol.export_graph(), compute_diameter=args.nodes <= 2000
-    )
-    print(f"n={args.nodes} s={args.view_size} dL={args.d_low} "
-          f"loss={args.loss} rounds={args.rounds}")
-    print(f"outdegree {summary.outdegree_mean:.1f} ± {summary.outdegree_std:.1f}, "
-          f"indegree {summary.indegree_mean:.1f} ± {summary.indegree_std:.1f}")
-    print(f"dup {protocol.stats.duplication_probability():.4f}, "
-          f"del {protocol.stats.deletion_probability():.4f}, "
-          f"dependent {protocol.dependent_fraction():.4f}")
-    print(f"connected={stats.weakly_connected} "
-          f"diameter={stats.undirected_diameter} "
-          f"self-edges={stats.self_edges}")
+        summary = degree_summary(protocol)
+        stats = graph_statistics(
+            protocol.export_graph(), compute_diameter=args.nodes <= 2000
+        )
+        print(f"n={args.nodes} s={args.view_size} dL={args.d_low} "
+              f"loss={args.loss} rounds={args.rounds}")
+        print(f"outdegree {summary.outdegree_mean:.1f} ± {summary.outdegree_std:.1f}, "
+              f"indegree {summary.indegree_mean:.1f} ± {summary.indegree_std:.1f}")
+        print(f"dup {protocol.stats.duplication_probability():.4f}, "
+              f"del {protocol.stats.deletion_probability():.4f}, "
+              f"dependent {protocol.dependent_fraction():.4f}")
+        print(f"connected={stats.weakly_connected} "
+              f"diameter={stats.undirected_diameter} "
+              f"self-edges={stats.self_edges}")
+        _finish_telemetry(args, telemetry)
+    finally:
+        _reset_telemetry(telemetry)
     return 0
 
 
@@ -194,13 +281,37 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for spec in specs:
-        print(f"== {spec.name} ==")
-        result = _execute(spec, args)
-        text = result.format()
-        print(text)
-        print()
-        _write_artifacts(spec, result, text, args.output)
+    telemetry = _configure_telemetry(args)
+    try:
+        for spec in specs:
+            print(f"== {spec.name} ==")
+            per_registry = None
+            if telemetry is not None:
+                # Fresh registry per experiment (so <slug>.metrics.json is
+                # that experiment's alone), shared tracer across the run;
+                # the master registry gets the per-experiment snapshots
+                # merged back for --metrics-out and the summary line.
+                from repro import obs
+
+                per_registry = obs.Registry()
+                obs.configure(registry=per_registry, tracer=telemetry.tracer)
+            try:
+                result, sweep_runner = _execute(spec, args)
+            finally:
+                if telemetry is not None:
+                    obs.set_telemetry(telemetry)
+            if per_registry is not None:
+                telemetry.registry.merge_snapshot(per_registry.snapshot())
+            text = result.format()
+            print(text)
+            print()
+            _write_artifacts(
+                spec, result, text, args.output,
+                runner=sweep_runner, registry=per_registry,
+            )
+        _finish_telemetry(args, telemetry)
+    finally:
+        _reset_telemetry(telemetry)
     print(f"report written to {args.output}/")
     return 0
 
@@ -273,6 +384,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal each completed cell to DIR; re-running the same "
         "experiment resumes from the journal with bit-identical output",
     )
+    trace_kwargs = dict(
+        default=None,
+        metavar="PATH",
+        help="write schema-versioned JSONL trace records (spans/events for "
+        "engine rounds, kernel batches, sweep cells, caches) to PATH; "
+        "draws no randomness, so seeded output is unchanged",
+    )
+    metrics_out_kwargs = dict(
+        default=None,
+        metavar="PATH",
+        help="write the aggregated metrics registry (counters, gauges, "
+        "histograms, timers — worker processes included) to PATH as JSON",
+    )
 
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id (see 'list')")
@@ -288,8 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifacts-dir",
         default=None,
         metavar="DIR",
-        help="also archive <name>.txt and the versioned <name>.json to DIR",
+        help="also archive <name>.txt and the versioned <name>.json to DIR "
+        "(plus <name>.metrics.json when telemetry is on)",
     )
+    run_parser.add_argument("--trace", **trace_kwargs)
+    run_parser.add_argument("--metrics-out", **metrics_out_kwargs)
     run_parser.set_defaults(func=_cmd_run)
 
     simulate_parser = sub.add_parser("simulate", help="run a custom S&F deployment")
@@ -300,6 +427,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--rounds", type=float, default=300.0)
     simulate_parser.add_argument("--seed", type=int, default=0)
     simulate_parser.add_argument("--backend", **backend_kwargs)
+    simulate_parser.add_argument("--trace", **trace_kwargs)
+    simulate_parser.add_argument("--metrics-out", **metrics_out_kwargs)
     simulate_parser.set_defaults(func=_cmd_simulate)
 
     report_parser = sub.add_parser(
@@ -317,6 +446,8 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--on-error", **on_error_kwargs)
     report_parser.add_argument("--cell-timeout", **cell_timeout_kwargs)
     report_parser.add_argument("--checkpoint-dir", **checkpoint_kwargs)
+    report_parser.add_argument("--trace", **trace_kwargs)
+    report_parser.add_argument("--metrics-out", **metrics_out_kwargs)
     report_parser.set_defaults(func=_cmd_report)
 
     size_parser = sub.add_parser("size", help="apply the paper's sizing rules")

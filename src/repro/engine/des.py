@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.net.delay import ConstantDelay, DelayModel
+from repro.obs import get_telemetry
 from repro.net.loss import LossModel, NoLoss
 from repro.protocols.base import GossipProtocol, Message
 from repro.util.rng import SeedLike, make_rng
@@ -117,6 +119,10 @@ class DiscreteEventEngine:
         With per-node rate 1, ``end_time`` is comparable to a number of
         rounds of the sequential engine.
         """
+        tel = get_telemetry()
+        wall0 = time.perf_counter() if tel.active else 0.0
+        cpu0 = time.process_time() if tel.active else 0.0
+        processed = 0
         while self._queue and self._queue[0].time <= end_time:
             event = heapq.heappop(self._queue)
             self.now = event.time
@@ -124,19 +130,43 @@ class DiscreteEventEngine:
                 self._handle_initiate(event.node)
             else:
                 self._handle_delivery(event.message)
+            processed += 1
         self.now = max(self.now, end_time)
+        if tel.active:
+            self._record_run(tel, wall0, cpu0, processed)
 
     def run_events(self, count: int) -> None:
         """Process exactly ``count`` events (or until the queue drains)."""
+        tel = get_telemetry()
+        wall0 = time.perf_counter() if tel.active else 0.0
+        cpu0 = time.process_time() if tel.active else 0.0
+        processed = 0
         for _ in range(count):
             if not self._queue:
-                return
+                break
             event = heapq.heappop(self._queue)
             self.now = event.time
             if event.kind == _INITIATE:
                 self._handle_initiate(event.node)
             else:
                 self._handle_delivery(event.message)
+            processed += 1
+        if tel.active:
+            self._record_run(tel, wall0, cpu0, processed)
+
+    def _record_run(self, tel, wall0: float, cpu0: float, processed: int) -> None:
+        """Telemetry for one event-processing stretch."""
+        wall = time.perf_counter() - wall0
+        tel.observe_timer("phase.des_run", wall, time.process_time() - cpu0)
+        tel.inc("des.events", processed)
+        tel.set_gauge("des.max_in_flight", self.max_in_flight)
+        tel.event(
+            "des.run",
+            events=processed,
+            now=round(self.now, 6),
+            in_flight=self.messages_in_flight,
+            duration_s=round(wall, 6),
+        )
 
     def _handle_initiate(self, node: NodeId) -> None:
         if not self.protocol.has_node(node):

@@ -20,10 +20,12 @@ same either way.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.kernel.base import LoadCounts, SimulationKernel
+from repro.obs import get_telemetry
 from repro.net.loss import LossModel, NoLoss
 from repro.protocols.base import GossipProtocol, Message
 from repro.util.rng import SeedLike, make_rng
@@ -55,6 +57,24 @@ class EngineStats:
     replies_sent: int = 0
     replies_lost: int = 0
     replies_to_departed: int = 0
+    replies_delivered: int = 0
+
+    def check_conservation(self) -> None:
+        """Assert that every send is accounted for, kind by kind.
+
+        ``sent == delivered + lost + to_departed`` must hold exactly for
+        messages and for replies — the transport loses nothing silently.
+        Property-tested across all backends and loss models in
+        ``tests/test_engine_stats_invariant.py``.
+        """
+        if self.messages_sent != (
+            self.messages_delivered + self.messages_lost + self.messages_to_departed
+        ):
+            raise AssertionError(f"message counters do not balance: {self}")
+        if self.replies_sent != (
+            self.replies_delivered + self.replies_lost + self.replies_to_departed
+        ):
+            raise AssertionError(f"reply counters do not balance: {self}")
 
     def loss_fraction(self) -> float:
         """Fraction of sends lost *in the network* (excludes departures)."""
@@ -97,6 +117,9 @@ class SequentialEngine:
         self.stats = EngineStats()
         self.rounds_completed = 0.0
         self._hooks: List[_Hook] = []
+        # Last integer round for which an ``engine.round`` trace record was
+        # emitted (telemetry only; never consulted when tracing is off).
+        self._trace_round = 0
         # Per-node transport load: §2 motivates load balance (Property M2)
         # by "the number of messages received by a node is proportional to
         # the number of its in-neighbors" — these counters let experiments
@@ -156,7 +179,10 @@ class SequentialEngine:
             else:
                 self.stats.messages_to_departed += 1
             return
-        self.stats.messages_delivered += 1
+        if is_reply:
+            self.stats.replies_delivered += 1
+        else:
+            self.stats.messages_delivered += 1
         self.received_by[message.target] = self.received_by.get(message.target, 0) + 1
         reply = self.protocol.deliver(message, self.rng)
         if reply is not None:
@@ -177,13 +203,57 @@ class SequentialEngine:
         return limit
 
     def _run_kernel_actions(self, count: int) -> None:
+        tel = get_telemetry()
         remaining = count
         while remaining > 0:
             batch = self._next_batch_size(remaining)
-            self.kernel.run_batch(batch, self.rng, self.loss, self.stats)
+            if tel.active:
+                wall0 = time.perf_counter()
+                cpu0 = time.process_time()
+                self.kernel.run_batch(batch, self.rng, self.loss, self.stats)
+                wall = time.perf_counter() - wall0
+                tel.observe_timer(
+                    "phase.kernel_batch", wall, time.process_time() - cpu0
+                )
+                tel.inc("engine.actions", batch)
+                tel.inc("engine.batches")
+                tel.event(
+                    "engine.batch", actions=batch, duration_s=round(wall, 6)
+                )
+            else:
+                self.kernel.run_batch(batch, self.rng, self.loss, self.stats)
             self.rounds_completed += batch / max(self.kernel.population, 1)
+            if tel.tracing_on:
+                self._emit_round_records(tel)
             self._fire_hooks()
             remaining -= batch
+
+    def _emit_round_records(self, tel) -> None:
+        """One ``engine.round`` trace record per newly completed round."""
+        current = int(self.rounds_completed + 1e-9)
+        while self._trace_round < current:
+            self._trace_round += 1
+            tel.event(
+                "engine.round",
+                round=self._trace_round,
+                actions=self.stats.actions,
+                messages_sent=self.stats.messages_sent,
+                messages_delivered=self.stats.messages_delivered,
+                messages_lost=self.stats.messages_lost,
+            )
+
+    def _record_engine_run(
+        self, tel, wall0: float, cpu0: float, actions_before: int
+    ) -> None:
+        """Telemetry for one per-action (non-kernel) execution stretch."""
+        tel.observe_timer(
+            "phase.engine_run",
+            time.perf_counter() - wall0,
+            time.process_time() - cpu0,
+        )
+        tel.inc("engine.actions", self.stats.actions - actions_before)
+        if tel.tracing_on:
+            self._emit_round_records(tel)
 
     def run_actions(self, count: int) -> None:
         """Run ``count`` scheduler picks, firing any registered hooks."""
@@ -192,11 +262,17 @@ class SequentialEngine:
         if self.kernel is not None:
             self._run_kernel_actions(count)
             return
+        tel = get_telemetry()
+        wall0 = time.perf_counter() if tel.active else 0.0
+        cpu0 = time.process_time() if tel.active else 0.0
+        actions_before = self.stats.actions
         for _ in range(count):
             self.step()
             population = max(len(self.protocol.node_ids()), 1)
             self.rounds_completed += 1.0 / population
             self._fire_hooks()
+        if tel.active:
+            self._record_engine_run(tel, wall0, cpu0, actions_before)
 
     def run_rounds(self, rounds: float) -> None:
         """Run until ``rounds`` more rounds have elapsed.
@@ -213,11 +289,17 @@ class SequentialEngine:
                 needed = math.ceil((target - 1e-12 - self.rounds_completed) * population)
                 self._run_kernel_actions(max(1, needed))
             return
+        tel = get_telemetry()
+        wall0 = time.perf_counter() if tel.active else 0.0
+        cpu0 = time.process_time() if tel.active else 0.0
+        actions_before = self.stats.actions
         while self.rounds_completed < target - 1e-12:
             self.step()
             population = max(len(self.protocol.node_ids()), 1)
             self.rounds_completed += 1.0 / population
             self._fire_hooks()
+        if tel.active:
+            self._record_engine_run(tel, wall0, cpu0, actions_before)
 
     # ------------------------------------------------------------------
     # Hooks

@@ -59,6 +59,8 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.obs import get_telemetry
+from repro.obs.profile import phase
 from repro.runner import GridCell, SweepRunner
 
 #: Every module that registers experiments.  The registry imports these
@@ -146,16 +148,33 @@ class ExperimentSpec:
         """The module defining this experiment's cell."""
         return self.cell.__module__
 
-    def to_json(self, result: Any) -> Dict[str, Any]:
-        """Wrap ``result`` in the versioned JSON artifact envelope."""
+    def to_json(
+        self, result: Any, runner: Optional[SweepRunner] = None
+    ) -> Dict[str, Any]:
+        """Wrap ``result`` in the versioned JSON artifact envelope.
+
+        With ``runner``, the envelope also carries a ``sweep`` section —
+        the runner's :attr:`~repro.runner.SweepRunner.last_stats` and
+        :attr:`~repro.runner.SweepRunner.last_failures` — so an artifact
+        records not just the result but how its sweep went (retries,
+        skips, timeouts).
+        """
         from repro.util.serialization import to_jsonable
 
-        return {
+        envelope = {
             "experiment": self.name,
             "anchor": self.anchor,
             "schema_version": self.schema_version,
             "result": to_jsonable(result),
         }
+        if runner is not None:
+            envelope["sweep"] = {
+                "last_stats": to_jsonable(runner.last_stats),
+                "last_failures": [
+                    to_jsonable(failure) for failure in runner.last_failures
+                ],
+            }
+        return envelope
 
     def describe(self) -> Dict[str, Any]:
         """Registry metadata as a JSON-safe dict (``repro list --json``)."""
@@ -365,15 +384,21 @@ def execute(
     spec = name_or_spec if isinstance(name_or_spec, ExperimentSpec) else get(
         name_or_spec
     )
+    tel = get_telemetry()
+    tel.event("experiment.start", experiment=spec.name, fast=fast)
     if points is None:
-        points = spec.grid(fast)
+        with phase("grid_build"):
+            points = spec.grid(fast)
     points = list(points)
     if not points:
         raise ValueError(f"experiment {spec.name!r} produced an empty grid")
     records = run_cells(
         spec, points, backend=backend, runner=runner, jobs=jobs
     )
-    return spec.aggregate(points, records)
+    with phase("aggregate"):
+        result = spec.aggregate(points, records)
+    tel.event("experiment.end", experiment=spec.name, cells=len(points))
+    return result
 
 
 def single_record(points: Sequence[Any], records: Sequence[Any]) -> Any:

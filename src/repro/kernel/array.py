@@ -43,6 +43,7 @@ from repro.kernel.base import (
     draw_action_block,
 )
 from repro.net.loss import LossModel, UniformLoss
+from repro.obs import get_telemetry
 
 EMPTY = -1
 
@@ -166,6 +167,10 @@ class ArrayKernel(SimulationKernel):
             raise RuntimeError("no live nodes to schedule")
         if count <= 0:
             return
+        tel = get_telemetry()
+        if tel.metrics_on:
+            tel.inc("kernel.array.batches")
+            tel.inc("kernel.array.actions", count)
         draws = draw_action_block(rng, count, self._n, self.params.view_size)
         engine_stats.actions += count
         self.stats.actions += count

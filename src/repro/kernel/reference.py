@@ -24,6 +24,7 @@ from repro.kernel.base import (
     draw_action_block,
 )
 from repro.net.loss import LossModel
+from repro.obs import get_telemetry
 
 
 class ReferenceKernel(SimulationKernel):
@@ -75,6 +76,10 @@ class ReferenceKernel(SimulationKernel):
             raise RuntimeError("no live nodes to schedule")
         if count <= 0:
             return
+        tel = get_telemetry()
+        if tel.metrics_on:
+            tel.inc("kernel.reference.batches")
+            tel.inc("kernel.reference.actions", count)
         draws = draw_action_block(rng, count, population, self.params.view_size)
         protocol = self.protocol
         order = self._order

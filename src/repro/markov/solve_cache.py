@@ -47,6 +47,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.obs import get_telemetry
+
 LOGGER = logging.getLogger("repro.markov.solve_cache")
 
 #: Bump whenever the solver's numerical behavior changes: every key
@@ -127,8 +129,12 @@ class SolveCache:
         it costs one re-solve instead of silently re-failing on every
         future read; missing or unreadable files are plain misses.
         """
+        tel = get_telemetry()
         if key in self._memory:
             self.stats.memory_hits += 1
+            if tel.active:
+                tel.inc("solve_cache.memory_hits")
+                tel.event("solve_cache.hit", layer="memory")
             return self._memory[key]
         if self.use_disk:
             path = self._path(key)
@@ -142,8 +148,14 @@ class SolveCache:
             else:
                 self.stats.disk_hits += 1
                 self._memory[key] = result
+                if tel.active:
+                    tel.inc("solve_cache.disk_hits")
+                    tel.event("solve_cache.hit", layer="disk")
                 return result
         self.stats.misses += 1
+        if tel.active:
+            tel.inc("solve_cache.misses")
+            tel.event("solve_cache.miss")
         return None
 
     def _quarantine(self, path: Path, exc: BaseException) -> None:
@@ -168,6 +180,10 @@ class SolveCache:
         """Store ``result`` under ``key`` in memory and (atomically) on disk."""
         self._memory[key] = result
         self.stats.writes += 1
+        tel = get_telemetry()
+        if tel.active:
+            tel.inc("solve_cache.writes")
+            tel.event("solve_cache.store")
         if not self.use_disk:
             return
         directory = self.resolve_directory()

@@ -1,0 +1,187 @@
+"""Structured telemetry: metrics, tracing, and profiling hooks.
+
+The ``obs`` package gives every layer of the stack — engines, kernels,
+the sweep runner, the solve cache, the experiment registry, and the CLI
+— one shared, zero-cost-when-disabled instrumentation surface:
+
+* :class:`repro.obs.metrics.Registry` — counters, gauges, histograms,
+  and wall/CPU timers with deterministic cross-process aggregation;
+* :class:`repro.obs.trace.Tracer` — schema-versioned JSONL span/event
+  records (``--trace``);
+* :func:`repro.obs.profile.phase` — per-phase wall/CPU profiling hooks;
+* :class:`repro.obs.worker.MeteredWorker` — captures worker-process
+  metrics in :class:`repro.runner.SweepRunner` pools and ships them back
+  for a deterministic merge.
+
+Instrumented code never holds a tracer or registry directly; it asks for
+the process-current :class:`Telemetry` via :func:`get_telemetry` and
+guards with ``tel.active``.  The default telemetry is **disabled**: every
+recording method is a no-op, the guard is a single attribute check, and
+— crucially for this repository — nothing here ever draws randomness, so
+enabling telemetry cannot perturb a seeded simulation.  Bit-identical
+output with telemetry on or off is an acceptance criterion, not an
+accident.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    HistogramStat,
+    Registry,
+    TimerStat,
+)
+from repro.obs.trace import TRACE_SCHEMA_VERSION, Tracer
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
+    "HistogramStat",
+    "Registry",
+    "Telemetry",
+    "TimerStat",
+    "Tracer",
+    "activated",
+    "configure",
+    "get_telemetry",
+    "reset",
+    "set_telemetry",
+]
+
+
+class Telemetry:
+    """The bundle instrumented code talks to: a registry and/or a tracer.
+
+    Either half may be ``None`` (off).  All recording methods are no-ops
+    for a missing half, so call sites need at most one ``tel.active``
+    guard around any block that does real measurement work (clock reads,
+    field formatting); bare counter bumps can just call :meth:`inc`.
+    """
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(
+        self,
+        registry: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.registry = registry
+        self.tracer = tracer
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether any instrument is attached (the hot-path guard)."""
+        return self.registry is not None or self.tracer is not None
+
+    @property
+    def metrics_on(self) -> bool:
+        return self.registry is not None
+
+    @property
+    def tracing_on(self) -> bool:
+        return self.tracer is not None
+
+    # -- metrics passthroughs ------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.inc(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.registry is not None:
+            self.registry.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.registry is not None:
+            self.registry.observe(name, value)
+
+    def observe_timer(self, name: str, wall: float, cpu: float = 0.0) -> None:
+        if self.registry is not None:
+            self.registry.observe_timer(name, wall, cpu)
+
+    # -- trace passthroughs --------------------------------------------
+
+    def event(self, type_: str, **fields: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(type_, **fields)
+
+    @contextmanager
+    def span(self, type_: str, **fields: Any) -> Iterator[None]:
+        """Timed block → one trace record with ``duration_s`` (and the
+        wall time recorded as timer ``type_`` when metrics are on)."""
+        if not self.active:
+            yield
+            return
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - wall0
+            self.observe_timer(type_, wall, time.process_time() - cpu0)
+            self.event(type_, duration_s=round(wall, 6), **fields)
+
+
+#: The do-nothing default every process starts with.
+_DISABLED = Telemetry()
+_CURRENT: Telemetry = _DISABLED
+
+
+def get_telemetry() -> Telemetry:
+    """The process-current telemetry (disabled unless configured)."""
+    return _CURRENT
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as process-current; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = telemetry
+    return previous
+
+
+def configure(
+    metrics: bool = False,
+    trace_path: Optional[Union[str, Path]] = None,
+    registry: Optional[Registry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Telemetry:
+    """Build and install a telemetry from flags (the CLI entry point).
+
+    ``registry``/``tracer`` override the flag-driven construction when a
+    caller wants to share instruments across several configure calls
+    (e.g. ``repro report`` keeps one tracer but a fresh registry per
+    experiment).
+    """
+    if registry is None and metrics:
+        registry = Registry()
+    if tracer is None and trace_path is not None:
+        tracer = Tracer(trace_path)
+    telemetry = Telemetry(registry=registry, tracer=tracer)
+    set_telemetry(telemetry)
+    return telemetry
+
+
+def reset(close_tracer: bool = True) -> None:
+    """Restore the disabled default (closing the tracer by default)."""
+    global _CURRENT
+    if close_tracer and _CURRENT.tracer is not None:
+        _CURRENT.tracer.close()
+    _CURRENT = _DISABLED
+
+
+@contextmanager
+def activated(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Temporarily install ``telemetry`` (tests and worker capture)."""
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)

@@ -1,0 +1,50 @@
+"""Lightweight per-phase profiling hooks.
+
+:func:`phase` brackets a named stage of work with wall-clock and CPU
+timers, recording into the process-current telemetry:
+
+* a ``phase.<name>`` timer in the metrics registry (count, wall
+  total/min/max, CPU total);
+* a ``phase`` trace record (``name``, ``duration_s``, ``cpu_s``).
+
+The instrumented stages across the stack are:
+
+==============  ======================================================
+``grid_build``  an experiment's ``grid(fast)`` call (registry)
+``cell_run``    one sweep cell's worker execution (inline and pooled)
+``aggregate``   an experiment's ``aggregate(points, records)`` call
+``kernel_batch``  one ``SimulationKernel.run_batch`` (engine-side)
+==============  ======================================================
+
+``phase`` records always carry exactly the same field set, so the golden
+trace-schema test can pin them; stage identity lives in the ``name``
+field, never in extra fields.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs import get_telemetry
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Profile the enclosed block as phase ``name`` (no-op when disabled)."""
+    tel = get_telemetry()
+    if not tel.active:
+        yield
+        return
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - wall0
+        cpu = time.process_time() - cpu0
+        tel.observe_timer(f"phase.{name}", wall, cpu)
+        tel.event(
+            "phase", name=name, duration_s=round(wall, 6), cpu_s=round(cpu, 6)
+        )

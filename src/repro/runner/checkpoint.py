@@ -48,6 +48,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Tuple, Union
 
+from repro.obs import get_telemetry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
     from repro.runner.sweep import GridCell
 
@@ -139,12 +141,15 @@ class CheckpointStore:
             result = payload["result"]
         except (FileNotFoundError, OSError):
             self.stats.misses += 1
+            get_telemetry().inc("checkpoint.misses")
             return False, None
         except Exception as exc:
             self._quarantine(path, exc)
             self.stats.misses += 1
+            get_telemetry().inc("checkpoint.misses")
             return False, None
         self.stats.hits += 1
+        get_telemetry().inc("checkpoint.hits")
         return True, result
 
     def store(self, key: str, cell: "GridCell", result: Any) -> None:
@@ -173,12 +178,14 @@ class CheckpointStore:
             LOGGER.debug("checkpoint write failed for %s; continuing", key)
             return
         self.stats.writes += 1
+        get_telemetry().inc("checkpoint.writes")
 
     def _quarantine(self, path: Path, exc: BaseException) -> None:
         try:
             path.unlink()
         except OSError:
             return
+        get_telemetry().inc("checkpoint.quarantined")
         if not self._quarantine_logged:
             self._quarantine_logged = True
             LOGGER.warning(

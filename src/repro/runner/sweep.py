@@ -71,6 +71,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_telemetry
+from repro.obs.profile import phase
+from repro.obs.worker import MeteredResult, MeteredWorker
 from repro.runner.checkpoint import CheckpointStore
 
 LOGGER = logging.getLogger("repro.runner")
@@ -277,6 +280,10 @@ class SweepRunner:
         self.crash_retries = max_retries if crash_retries is None else crash_retries
         self.last_failures: List[FailureReport] = []
         self.last_stats = SweepStats()
+        # Worker-process metric snapshots, keyed by cell index; merged into
+        # the parent registry in index order at the end of run() so the
+        # aggregate is deterministic at any jobs count.
+        self._worker_metrics: Dict[int, Dict[str, Any]] = {}
 
     def run(
         self,
@@ -307,9 +314,19 @@ class SweepRunner:
         cells = self._build_cells(points, replications, seed, seed_fn)
         self.last_failures = []
         self.last_stats = SweepStats(total=len(cells))
+        self._worker_metrics = {}
         if not cells:
             return []
+        tel = get_telemetry()
         start = time.perf_counter()
+        tel.event(
+            "sweep.start",
+            cells=len(cells),
+            points=len(points),
+            replications=replications,
+            jobs=self.jobs,
+            on_error=self.on_error,
+        )
         LOGGER.debug(
             "sweep start: %d points x %d replications, jobs=%d, on_error=%s",
             len(points), replications, self.jobs, self.on_error,
@@ -328,12 +345,51 @@ class SweepRunner:
                 self._run_inline(worker, to_run, context, results, done, len(cells), keys)
             else:
                 self._run_pool(worker, to_run, context, results, done, len(cells), keys)
+        elapsed = time.perf_counter() - start
+        self._finish_telemetry(tel, elapsed)
         LOGGER.debug(
             "sweep done: %d cells (%d resumed, %d skipped) in %.3fs",
             len(cells), self.last_stats.resumed, self.last_stats.skipped,
-            time.perf_counter() - start,
+            elapsed,
         )
         return results
+
+    def _finish_telemetry(self, tel, elapsed: float) -> None:
+        """Merge worker snapshots and mirror the run's stats (end of run)."""
+        if tel.metrics_on:
+            # Index order, not completion order: merge_snapshot arithmetic
+            # is commutative for counters/histograms but gauges are
+            # last-writer-wins, so a fixed order keeps them deterministic.
+            for index in sorted(self._worker_metrics):
+                tel.registry.merge_snapshot(self._worker_metrics[index])
+            stats = self.last_stats
+            tel.inc("sweep.cells", stats.total)
+            tel.inc("sweep.completed", stats.completed)
+            tel.inc("sweep.resumed", stats.resumed)
+            tel.inc("sweep.retries", stats.retries)
+            tel.inc("sweep.skipped", stats.skipped)
+            tel.inc("sweep.timeouts", stats.timeouts)
+            tel.inc("sweep.pool_rebuilds", stats.pool_rebuilds)
+        tel.event(
+            "sweep.end",
+            cells=self.last_stats.total,
+            completed=self.last_stats.completed,
+            resumed=self.last_stats.resumed,
+            retries=self.last_stats.retries,
+            skipped=self.last_stats.skipped,
+            timeouts=self.last_stats.timeouts,
+            pool_rebuilds=self.last_stats.pool_rebuilds,
+            duration_s=round(elapsed, 6),
+        )
+
+    @staticmethod
+    def _emit_cell_end(cell: GridCell, status: str, elapsed: float) -> None:
+        get_telemetry().event(
+            "cell.end",
+            index=cell.index,
+            status=status,
+            duration_s=round(elapsed, 6),
+        )
 
     # ------------------------------------------------------------------
 
@@ -375,6 +431,7 @@ class SweepRunner:
         """Load journaled cells; return the cells that still need running."""
         if self.checkpoint is None:
             return list(cells)
+        tel = get_telemetry()
         to_run: List[GridCell] = []
         resumed: List[GridCell] = []
         for cell in cells:
@@ -384,6 +441,9 @@ class SweepRunner:
             if hit:
                 results[cell.index] = value
                 resumed.append(cell)
+                if tel.tracing_on:
+                    tel.event("checkpoint.hit", index=cell.index)
+                    self._emit_cell_end(cell, "resumed", 0.0)
             else:
                 to_run.append(cell)
         self.last_stats.resumed = len(resumed)
@@ -430,6 +490,7 @@ class SweepRunner:
         self.last_failures.append(report)
         self.last_stats.skipped += 1
         results[cell.index] = None
+        self._emit_cell_end(cell, "skipped", state.elapsed)
         LOGGER.warning(
             "skipping cell %d (point=%r, replication=%d) after %d attempt(s): %s",
             cell.index, cell.point, cell.replication, report.attempts,
@@ -454,6 +515,13 @@ class SweepRunner:
         if state.attempts <= self.max_retries:
             delay = self._backoff_delay(state.attempts)
             self.last_stats.retries += 1
+            get_telemetry().event(
+                "cell.retry",
+                index=cell.index,
+                attempt=state.attempts,
+                delay_s=round(delay, 6),
+                error=repr(exc),
+            )
             LOGGER.warning(
                 "cell %d failed (attempt %d/%d): %r; retrying in %.2fs",
                 cell.index, state.attempts, self.max_retries + 1, exc, delay,
@@ -495,13 +563,16 @@ class SweepRunner:
                     retry_delay[0] = 0.0
                 started = time.monotonic()
                 try:
-                    result = worker(cell, context)
+                    with phase("cell_run"):
+                        result = worker(cell, context)
                 except Exception as exc:
                     state.elapsed += time.monotonic() - started
                     if self._handle_failure(cell, exc, state, results, _requeue):
                         break  # skipped
                 else:
+                    state.elapsed += time.monotonic() - started
                     self._record_success(cell, result, results, keys)
+                    self._emit_cell_end(cell, "ok", state.elapsed)
                     break
             done += 1
             self._notify(cell, results[cell.index], done, total)
@@ -519,6 +590,12 @@ class SweepRunner:
         keys: Dict[int, str],
     ) -> None:
         max_workers = min(self.jobs, len(cells))
+        # Capture worker-process metrics when the parent collects metrics.
+        # The wrapper advertises the bare worker's checkpoint token, so
+        # journal keys (already computed in keys) stay valid either way.
+        submit_worker: SweepWorker = worker
+        if get_telemetry().metrics_on:
+            submit_worker = MeteredWorker(worker)
         pending: deque = deque(cells)
         waiting: List[Tuple[float, int, GridCell]] = []  # (ready_at, idx, cell)
         states = {cell.index: _CellState(cell) for cell in cells}
@@ -540,7 +617,7 @@ class SweepRunner:
                 # blame set small when the pool crashes.
                 while pending and len(inflight) < max_workers:
                     cell = pending.popleft()
-                    future = pool.submit(worker, cell, context)
+                    future = pool.submit(submit_worker, cell, context)
                     inflight[future] = cell
                     states[cell.index].submitted = time.monotonic()
                 if not inflight:
@@ -573,13 +650,20 @@ class SweepRunner:
                             self._notify(cell, None, done, total)
                     else:
                         del inflight[future]
+                        if isinstance(result, MeteredResult):
+                            self._worker_metrics[cell.index] = result.metrics
+                            result = result.value
+                        state = states[cell.index]
+                        state.elapsed += time.monotonic() - state.submitted
                         self._record_success(cell, result, results, keys)
+                        self._emit_cell_end(cell, "ok", state.elapsed)
                         done += 1
                         self._notify(cell, result, done, total)
 
                 if crash is not None:
                     rebuilds += 1
                     self.last_stats.pool_rebuilds += 1
+                    get_telemetry().event("pool.rebuild", reason="crash")
                     LOGGER.warning(
                         "worker process died (%r); rebuilding pool (%d/%d), "
                         "requeueing %d in-flight cell(s); %d completed result(s) kept",
@@ -668,6 +752,15 @@ class SweepRunner:
         if not overdue:
             return done, pool
         self.last_stats.timeouts += len(overdue)
+        tel = get_telemetry()
+        if tel.tracing_on:
+            tel.event("pool.rebuild", reason="timeout")
+            for index in sorted(overdue):
+                tel.event(
+                    "cell.timeout",
+                    index=index,
+                    elapsed_s=round(now - states[index].submitted, 6),
+                )
         LOGGER.warning(
             "%d cell(s) exceeded cell_timeout=%.3gs; killing the pool "
             "and requeueing %d innocent in-flight cell(s)",

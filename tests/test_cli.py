@@ -189,3 +189,110 @@ class TestCommands:
             "connectivity", "load-balance", "baselines",
         }
         assert expected <= set(registry.names(include_aliases=True))
+
+
+class TestTelemetryFlags:
+    def test_trace_and_metrics_flags_parse(self):
+        for command in (["run", "fig-6.1"], ["report"], ["simulate"]):
+            args = build_parser().parse_args(
+                [*command, "--trace", "t.jsonl", "--metrics-out", "m.json"]
+            )
+            assert args.trace == "t.jsonl"
+            assert args.metrics_out == "m.json"
+
+    def test_run_emits_trace_metrics_and_summary(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "run", "fig-6.1", "--fast",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+            "--artifacts-dir", str(tmp_path / "arts"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: cells=1 completed=1" in out
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        types = [record["type"] for record in records]
+        assert types[0] == "trace.meta"
+        assert "experiment.start" in types and "experiment.end" in types
+        assert "sweep.start" in types and "sweep.end" in types
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["sweep.completed"] == 1
+        assert "phase.cell_run" in snapshot["timers"]
+        # the artifacts dir gains the per-experiment metrics file
+        artifact = json.loads(
+            (tmp_path / "arts" / "fig-6_1.metrics.json").read_text()
+        )
+        assert artifact["counters"]["sweep.completed"] == 1
+
+    def test_run_envelope_carries_sweep_stats(self, tmp_path):
+        assert main([
+            "run", "fig-6.1", "--fast", "--artifacts-dir", str(tmp_path),
+        ]) == 0
+        envelope = json.loads((tmp_path / "fig-6_1.json").read_text())
+        assert envelope["sweep"]["last_stats"]["completed"] == 1
+        assert envelope["sweep"]["last_failures"] == []
+
+    def test_output_bit_identical_with_telemetry(self, tmp_path, capsys):
+        assert main([
+            "run", "table-6.3", "--fast",
+            "--artifacts-dir", str(tmp_path / "plain"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "run", "table-6.3", "--fast",
+            "--artifacts-dir", str(tmp_path / "instrumented"),
+            "--trace", str(tmp_path / "t.jsonl"),
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 0
+        assert (
+            (tmp_path / "plain" / "table-6_3.txt").read_text()
+            == (tmp_path / "instrumented" / "table-6_3.txt").read_text()
+        )
+        assert (
+            (tmp_path / "plain" / "table-6_3.json").read_text()
+            == (tmp_path / "instrumented" / "table-6_3.json").read_text()
+        )
+
+    def test_metrics_merged_across_jobs(self, tmp_path, capsys):
+        assert main([
+            "run", "table-6.3", "--fast", "--jobs", "2",
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 0
+        capsys.readouterr()
+        snapshot = json.loads((tmp_path / "m.json").read_text())
+        completed = snapshot["counters"]["sweep.completed"]
+        assert completed >= 1
+        # one worker-side cell_run phase per completed cell made it back
+        assert snapshot["timers"]["phase.cell_run"]["count"] == completed
+
+    def test_simulate_with_telemetry(self, tmp_path, capsys):
+        assert main([
+            "simulate", "--nodes", "60", "--view-size", "12", "--d-low", "2",
+            "--rounds", "10", "--backend", "array",
+            "--trace", str(tmp_path / "t.jsonl"),
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 0
+        assert "telemetry:" in capsys.readouterr().out
+        snapshot = json.loads((tmp_path / "m.json").read_text())
+        assert snapshot["counters"]["engine.actions"] == 600
+        assert snapshot["counters"]["kernel.array.actions"] == 600
+
+    def test_report_writes_per_experiment_metrics(self, tmp_path, capsys):
+        assert main([
+            "report", "fig-6.1", "table-6.3", "--fast",
+            "--output", str(tmp_path),
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 0
+        for slug in ("fig-6_1", "table-6_3"):
+            per = json.loads((tmp_path / f"{slug}.metrics.json").read_text())
+            assert per["counters"]["sweep.completed"] >= 1
+        combined = json.loads((tmp_path / "m.json").read_text())
+        total = sum(
+            json.loads((tmp_path / f"{slug}.metrics.json").read_text())[
+                "counters"
+            ]["sweep.completed"]
+            for slug in ("fig-6_1", "table-6_3")
+        )
+        assert combined["counters"]["sweep.completed"] == total

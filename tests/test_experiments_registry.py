@@ -186,6 +186,39 @@ class TestJsonEnvelope:
         assert decoded["schema_version"] == spec.schema_version
         assert decoded["result"]
 
+    def test_no_runner_keeps_legacy_shape(self):
+        spec = registry.get("fig-6.1")
+        envelope = spec.to_json(registry.execute(spec, fast=True))
+        assert "sweep" not in envelope
+
+    def test_runner_adds_sweep_stats_section(self):
+        from repro.runner import SweepRunner
+
+        spec = registry.get("table-6.3")
+        runner = SweepRunner(jobs=1)
+        result = registry.execute(spec, fast=True, runner=runner)
+        decoded = json.loads(json.dumps(spec.to_json(result, runner=runner)))
+        stats = decoded["sweep"]["last_stats"]
+        assert stats["completed"] == stats["total"] >= 1
+        assert stats["skipped"] == 0
+        assert decoded["sweep"]["last_failures"] == []
+
+    def test_runner_section_records_failures(self):
+        from repro.runner import SweepRunner
+
+        spec = registry.get("table-6.3")
+        runner = SweepRunner(jobs=1, on_error="skip", max_retries=0)
+        result = registry.execute(
+            spec, points=[{"d_hat": 30, "delta": 0.01}, {"bogus": True}],
+            runner=runner,
+        )
+        decoded = json.loads(json.dumps(spec.to_json(result, runner=runner)))
+        assert decoded["sweep"]["last_stats"]["skipped"] == 1
+        failures = decoded["sweep"]["last_failures"]
+        assert len(failures) == 1
+        assert failures[0]["cell"]["index"] == 1
+        assert failures[0]["errors"]
+
 
 class TestLegacyBitIdentity:
     """Legacy ``module.run()`` at the historical presets == fast grid."""

@@ -1,0 +1,164 @@
+"""Statistical validation against the paper's quantitative claims.
+
+This is the ``paper`` tier (``pytest -m paper``): seeded, tolerance-based
+checks that the *numbers* the stack produces match the paper — not just
+that the code runs.  Excluded from tier-1 (see ``addopts`` in
+pyproject.toml) because each test simulates hundreds of rounds.
+
+Covered claims:
+
+* **Equation 6.1** — the steady-state outdegree/indegree distribution of
+  a lossless S&F system on the conserved sum-degree line matches the
+  analytical pmf within a total-variation tolerance.
+* **Lemma 7.9** — the empirical independence fraction α satisfies
+  α ≥ 1 − 2(ℓ+δ) − margin, where the margin is the finite-``n`` i.i.d.
+  duplicate floor (the paper's ``n ≫ s`` asymptotic regime) plus a
+  small statistical allowance.
+* **Table 6.3 / §6.3 rule** — threshold selection reproduces the paper's
+  worked example (d̂=30, δ=0.01 → dL=18, s=40) and neighboring rows, and
+  the achieved tails actually honor the δ cap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.degree_analytic import (
+    analytical_indegree_distribution,
+    analytical_outdegree_distribution,
+)
+from repro.analysis.independence import independence_lower_bound
+from repro.core.params import SFParams
+from repro.core.thresholds import select_thresholds
+from repro.experiments.common import build_sf_system
+from repro.experiments.independence_exp import _cell as independence_cell
+from repro.util.stats import total_variation_distance
+
+pytestmark = pytest.mark.paper
+
+#: Measured TV distance at these sizes is ~0.067 (the analytical curve is
+#: itself an approximation — the paper notes the Markov curve fits the
+#: simulation *better*); 0.12 leaves seed-to-seed headroom without
+#: accepting a wrong distribution (a binomial of equal mean is ~0.2 away).
+TV_TOLERANCE = 0.12
+
+#: Statistical allowance on the Lemma 7.9 bound beyond the i.i.d. floor.
+ALPHA_MARGIN = 0.02
+
+
+class TestEquation61DegreeDistribution:
+    """Steady-state degrees vs the eq 6.1 analytical pmf (dm = 12)."""
+
+    @pytest.fixture(scope="class")
+    def empirical(self):
+        # Ring bootstrap with out0 = 4 gives every node conserved sum
+        # degree ds = out0 + 2·in0 = 12 = dm; d_low = 0 keeps the chain on
+        # the unconstrained line eq 6.1 describes.
+        n = 400
+        protocol, engine = build_sf_system(
+            n,
+            SFParams(view_size=12, d_low=0),
+            loss_rate=0.0,
+            seed=2024,
+            init_outdegree=4,
+            backend="array",
+        )
+        engine.run_rounds(300)  # warm-up to steady state
+        out_counts: Counter = Counter()
+        in_counts: Counter = Counter()
+        samples = 0
+        for _ in range(8):  # decorrelated snapshots
+            engine.run_rounds(25)
+            indegrees = protocol.indegrees()
+            for u in protocol.node_ids():
+                out_counts[protocol.outdegree(u)] += 1
+                in_counts[indegrees.get(u, 0)] += 1
+            samples += n
+        return (
+            {d: c / samples for d, c in out_counts.items()},
+            {d: c / samples for d, c in in_counts.items()},
+        )
+
+    def test_outdegree_matches_eq61(self, empirical):
+        emp_out, _ = empirical
+        tv = total_variation_distance(
+            emp_out, analytical_outdegree_distribution(12)
+        )
+        assert tv < TV_TOLERANCE, f"outdegree TV {tv:.4f} >= {TV_TOLERANCE}"
+
+    def test_indegree_matches_eq61(self, empirical):
+        _, emp_in = empirical
+        tv = total_variation_distance(
+            emp_in, analytical_indegree_distribution(12)
+        )
+        assert tv < TV_TOLERANCE, f"indegree TV {tv:.4f} >= {TV_TOLERANCE}"
+
+    def test_mean_outdegree_is_dm_over_three(self, empirical):
+        emp_out, _ = empirical
+        mean = sum(d * p for d, p in emp_out.items())
+        assert mean == pytest.approx(4.0, abs=0.3)  # dm/3 = 4
+
+
+class TestLemma79IndependenceBound:
+    """Empirical α ≥ 1 − 2(ℓ+δ) − margin at two (ℓ, δ) points."""
+
+    @pytest.mark.parametrize("loss,delta", [(0.01, 0.01), (0.05, 0.01)])
+    def test_alpha_meets_lower_bound(self, loss, delta):
+        row = independence_cell(
+            {
+                "loss": loss,
+                "n": 250,
+                "view_size": 40,
+                "d_low": 18,
+                "delta": delta,
+                "warmup_rounds": 200.0,
+                "measure_rounds": 60.0,
+                "seed": 79,
+            },
+            79,
+            backend="array",
+        )
+        alpha = 1.0 - row.dependent_fraction
+        lower = independence_lower_bound(loss, delta)
+        # iid_duplicate_floor is the finite-n collision rate the paper's
+        # n >> s setting suppresses; at n=250 it is ~0.05 and must be
+        # granted before the asymptotic bound applies.
+        margin = row.iid_duplicate_floor + ALPHA_MARGIN
+        assert alpha >= lower - margin, (
+            f"alpha={alpha:.4f} < bound {lower:.4f} - margin {margin:.4f} "
+            f"at loss={loss}, delta={delta}"
+        )
+        assert row.within_bound
+
+    def test_bound_formula(self):
+        assert independence_lower_bound(0.01, 0.01) == pytest.approx(0.96)
+        assert independence_lower_bound(0.3, 0.3) == 0.0  # clamped at zero
+
+
+class TestTable63ThresholdRule:
+    """§6.3 selection rule spot checks against the paper's table."""
+
+    def test_worked_example_d30(self):
+        selection = select_thresholds(30, 0.01)
+        assert (selection.d_low, selection.view_size) == (18, 40)
+
+    @pytest.mark.parametrize(
+        "d_hat,expected_d_low,expected_s",
+        [(10, 2, 16), (20, 10, 28), (40, 26, 52)],
+    )
+    def test_neighboring_rows(self, d_hat, expected_d_low, expected_s):
+        selection = select_thresholds(d_hat, 0.01)
+        assert (selection.d_low, selection.view_size) == (
+            expected_d_low, expected_s,
+        )
+
+    @pytest.mark.parametrize("d_hat", [10, 20, 30, 40])
+    def test_achieved_tails_honor_delta(self, d_hat):
+        selection = select_thresholds(d_hat, 0.01)
+        assert selection.low_tail <= 0.01
+        assert selection.high_tail <= 0.01
+        # Observation 5.1: both thresholds stay even.
+        assert selection.d_low % 2 == 0
+        assert selection.view_size % 2 == 0
