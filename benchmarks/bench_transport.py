@@ -1,0 +1,186 @@
+"""Transport benchmark: loopback seam vs asyncio UDP, actions/sec and latency.
+
+Drives the same :class:`~repro.core.sandf.SendForget` protocol through the
+two transports behind the event/effect seam:
+
+* **loopback** — the in-process FIFO channel the engines use
+  (:class:`~repro.net.transport.LoopbackTransport`): the protocol-step
+  cost floor, with per-hop latency measured around the seam itself;
+* **udp** — a live localhost cluster
+  (:class:`~repro.runtime.cluster.LocalCluster`): every hop crosses the
+  wire codec, a real socket, and the asyncio event loop.
+
+Both run at the cluster harness's parameters (``s = 8, dL = 2``, 5%
+drop/loss) so the gap is the transport, not the protocol.  Writes
+``BENCH_transport.json`` at the repo root.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py [--quick]
+
+Not a pytest file on purpose: one timed run is an artifact, not a test.
+``tests/test_net_transport.py`` and ``tests/test_runtime_cluster.py``
+guard correctness; this file only measures speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.net.loss import UniformLoss
+from repro.net.transport import LoopbackTransport
+from repro.protocols.base import DeliverEvent, InitiateEvent
+from repro.runtime.cluster import ClusterConfig, run_cluster
+from repro.util.rng import make_rng
+
+VIEW_SIZE = 8
+D_LOW = 2
+LOSS_RATE = 0.05
+SEED = 2009
+
+
+def percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def build_protocol(n: int) -> SendForget:
+    protocol = SendForget(SFParams(view_size=VIEW_SIZE, d_low=D_LOW))
+    for u in range(n):
+        protocol.add_node(u, [(u + k) % n for k in range(1, 7)])
+    return protocol
+
+
+def time_loopback(n: int, actions: int, repeats: int = 3) -> dict:
+    """Initiate/deliver cycles through the in-process FIFO transport.
+
+    The pending-timestamp deque rides alongside the transport's own FIFO
+    queue (same order, one entry per *surviving* send), giving a per-hop
+    send→deliver latency without touching the message objects.
+    """
+    protocol = build_protocol(n)
+    transport = LoopbackTransport(UniformLoss(LOSS_RATE))
+    rng = make_rng(SEED)
+    nodes = protocol.node_ids()
+    latencies: list = []
+    pending: deque = deque()
+
+    def crank(count: int, sample: bool) -> None:
+        for _ in range(count):
+            initiator = nodes[int(rng.integers(len(nodes)))]
+            for effect in protocol.handle(InitiateEvent(initiator), rng):
+                if transport.send(effect, rng):
+                    pending.append(time.perf_counter())
+            while (delivered := transport.poll()) is not None:
+                sent_at = pending.popleft()
+                if sample:
+                    latencies.append(time.perf_counter() - sent_at)
+                for produced in protocol.handle(DeliverEvent(delivered.message), rng):
+                    if transport.send(produced, rng):
+                        pending.append(time.perf_counter())
+
+    crank(min(actions // 4, 5 * n), sample=False)  # warm up to steady state
+    elapsed = float("inf")
+    for _ in range(repeats):
+        latencies.clear()
+        start = time.perf_counter()
+        crank(actions, sample=True)
+        elapsed = min(elapsed, time.perf_counter() - start)
+    protocol.check_invariant()
+    return {
+        "transport": "loopback",
+        "n": n,
+        "actions": actions,
+        "seconds": round(elapsed, 4),
+        "actions_per_sec": round(actions / elapsed, 1),
+        "latency_p50_ms": round(percentile(latencies, 0.50) * 1e3, 6),
+        "latency_p99_ms": round(percentile(latencies, 0.99) * 1e3, 6),
+    }
+
+
+def time_udp(n: int, duration_s: float, rate: float) -> dict:
+    """A live localhost cluster; throughput is actions over wall duration."""
+    report = run_cluster(
+        ClusterConfig(
+            n=n,
+            view_size=VIEW_SIZE,
+            d_low=D_LOW,
+            drop_rate=LOSS_RATE,
+            rate=rate,
+            duration_s=duration_s,
+            seed=SEED,
+        )
+    )
+    if not report.ok():
+        raise RuntimeError(
+            f"cluster run unhealthy: {report.degree_violations} violations, "
+            f"{len(report.errors)} errors"
+        )
+    return {
+        "transport": "udp",
+        "n": n,
+        "actions": report.actions,
+        "seconds": round(report.duration_s, 4),
+        "actions_per_sec": round(report.actions / report.duration_s, 1),
+        "latency_p50_ms": round(report.latency_p50_ms, 6),
+        "latency_p99_ms": round(report.latency_p99_ms, 6),
+        "datagrams_sent": report.datagrams_sent,
+        "datagrams_dropped": report.datagrams_dropped,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink sizes for a smoke run"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_transport.json"),
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        plans = [(30, 20_000, 1.0, 60.0)]
+    else:
+        plans = [
+            # (n, loopback actions, udp duration_s, udp per-node rate)
+            (50, 200_000, 4.0, 60.0),
+            (200, 200_000, 4.0, 40.0),
+        ]
+
+    rows = []
+    for n, actions, duration_s, rate in plans:
+        loop = time_loopback(n, actions)
+        print(
+            f"loopback n={n:>4}: {loop['actions_per_sec']:>12,.0f} actions/s  "
+            f"p50 {loop['latency_p50_ms']:.4f} ms  p99 {loop['latency_p99_ms']:.4f} ms"
+        )
+        udp = time_udp(n, duration_s, rate)
+        print(
+            f"udp      n={n:>4}: {udp['actions_per_sec']:>12,.0f} actions/s  "
+            f"p50 {udp['latency_p50_ms']:.4f} ms  p99 {udp['latency_p99_ms']:.4f} ms"
+        )
+        rows.append({"n": n, "loopback": loop, "udp": udp})
+
+    payload = {
+        "params": {"view_size": VIEW_SIZE, "d_low": D_LOW},
+        "loss_rate": LOSS_RATE,
+        "seed": SEED,
+        "quick": args.quick,
+        "results": rows,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -316,6 +316,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Boot a localhost UDP cluster and print (and check) its report.
+
+    Exit status 1 means the run was not clean — a view broke the
+    Observation 5.1 degree bounds or a node task raised — which is what
+    the CI ``cluster-smoke`` job keys on.
+    """
+    from repro.runtime import ClusterConfig, run_cluster
+
+    config = ClusterConfig(
+        n=args.n,
+        view_size=args.view_size,
+        d_low=args.d_low,
+        drop_rate=args.drop,
+        rate=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+        kill_restart=args.kill_restart,
+        partition_groups=args.partition_groups,
+    )
+    telemetry = _configure_telemetry(args)
+    try:
+        report = run_cluster(config)
+        print(report.format())
+        if args.json:
+            from dataclasses import asdict
+
+            path = Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(asdict(report), indent=2, sort_keys=True))
+        _finish_telemetry(args, telemetry)
+    finally:
+        _reset_telemetry(telemetry)
+    if not report.ok():
+        for violation in report.degree_violations:
+            print(f"DEGREE VIOLATION: {violation}", file=sys.stderr)
+        for error in report.errors:
+            print(f"NODE ERROR: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_size(args: argparse.Namespace) -> int:
     from repro.analysis.connectivity import min_d_low_for_connectivity
     from repro.core.thresholds import select_thresholds
@@ -449,6 +491,39 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--trace", **trace_kwargs)
     report_parser.add_argument("--metrics-out", **metrics_out_kwargs)
     report_parser.set_defaults(func=_cmd_report)
+
+    cluster_parser = sub.add_parser(
+        "cluster", help="boot a localhost UDP cluster (real sockets, real loss)"
+    )
+    cluster_parser.add_argument("--n", type=int, default=50, help="number of nodes")
+    cluster_parser.add_argument("--view-size", type=int, default=8)
+    cluster_parser.add_argument("--d-low", type=int, default=2)
+    cluster_parser.add_argument(
+        "--drop", type=float, default=0.05,
+        help="receiver-side drop probability per datagram",
+    )
+    cluster_parser.add_argument(
+        "--rate", type=float, default=40.0,
+        help="per-node initiate actions per second",
+    )
+    cluster_parser.add_argument("--duration", type=float, default=3.0)
+    cluster_parser.add_argument("--seed", type=int, default=None)
+    cluster_parser.add_argument(
+        "--kill-restart", type=int, default=0, metavar="K",
+        help="kill K random nodes mid-run and rejoin them via the introducer",
+    )
+    cluster_parser.add_argument(
+        "--partition-groups", type=int, default=1, metavar="G",
+        help="with G > 1, partition the cluster into G groups for the "
+        "middle third of the run, then heal",
+    )
+    cluster_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full report as JSON to PATH",
+    )
+    cluster_parser.add_argument("--trace", **trace_kwargs)
+    cluster_parser.add_argument("--metrics-out", **metrics_out_kwargs)
+    cluster_parser.set_defaults(func=_cmd_cluster)
 
     size_parser = sub.add_parser("size", help="apply the paper's sizing rules")
     size_parser.add_argument("--target-degree", type=int, default=30)

@@ -35,6 +35,10 @@ from repro.core.view import NodeId, View, ViewEntry
 from repro.model.membership_graph import MembershipGraph
 from repro.protocols.base import GossipProtocol, Message
 
+#: Wire kind of an S&F ``[u, w]`` message.  S&F is fire-and-forget — there
+#: is no reply kind; the receive step never produces an effect.
+KIND_SANDF = "sandf"
+
 
 class SendForget(GossipProtocol):
     """Population of nodes running S&F with shared parameters.
@@ -147,7 +151,7 @@ class SendForget(GossipProtocol):
             sender=node_id,
             target=target_entry.node_id,
             payload=[(node_id, sender_flag), (payload_entry.node_id, payload_flag)],
-            kind="sandf",
+            kind=KIND_SANDF,
         )
 
     def deliver(self, message: Message, rng) -> Optional[Message]:

@@ -20,10 +20,17 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.engine.sequential import EngineStats
 from repro.net.delay import ConstantDelay, DelayModel
 from repro.obs import get_telemetry
 from repro.net.loss import LossModel, NoLoss
-from repro.protocols.base import GossipProtocol, Message
+from repro.protocols.base import (
+    DeliverEvent,
+    GossipProtocol,
+    InitiateEvent,
+    Message,
+    SendEffect,
+)
 from repro.util.rng import SeedLike, make_rng
 
 NodeId = int
@@ -39,6 +46,7 @@ class _Event:
     kind: int = field(compare=False)
     node: NodeId = field(compare=False, default=-1)
     message: Optional[Message] = field(compare=False, default=None)
+    reply: bool = field(compare=False, default=False)
 
 
 class DiscreteEventEngine:
@@ -70,10 +78,9 @@ class DiscreteEventEngine:
         self.rate = rate
         self.rng = make_rng(seed)
         self.now = 0.0
-        self.actions = 0
+        self.stats = EngineStats()
         self.messages_in_flight = 0
         self.max_in_flight = 0
-        self.messages_lost = 0
         self._queue: List[_Event] = []
         self._sequence = itertools.count()
         for node in protocol.node_ids():
@@ -90,7 +97,8 @@ class DiscreteEventEngine:
             _Event(self.now + gap, next(self._sequence), _INITIATE, node=node),
         )
 
-    def _schedule_delivery(self, message: Message) -> None:
+    def _schedule_delivery(self, effect: SendEffect) -> None:
+        message = effect.message
         latency = self.delay.sample(message.sender, message.target, self.rng)
         heapq.heappush(
             self._queue,
@@ -99,6 +107,7 @@ class DiscreteEventEngine:
                 next(self._sequence),
                 _DELIVER,
                 message=message,
+                reply=effect.reply,
             ),
         )
         self.messages_in_flight += 1
@@ -129,7 +138,7 @@ class DiscreteEventEngine:
             if event.kind == _INITIATE:
                 self._handle_initiate(event.node)
             else:
-                self._handle_delivery(event.message)
+                self._handle_delivery(event.message, event.reply)
             processed += 1
         self.now = max(self.now, end_time)
         if tel.active:
@@ -149,7 +158,7 @@ class DiscreteEventEngine:
             if event.kind == _INITIATE:
                 self._handle_initiate(event.node)
             else:
-                self._handle_delivery(event.message)
+                self._handle_delivery(event.message, event.reply)
             processed += 1
         if tel.active:
             self._record_run(tel, wall0, cpu0, processed)
@@ -171,30 +180,68 @@ class DiscreteEventEngine:
     def _handle_initiate(self, node: NodeId) -> None:
         if not self.protocol.has_node(node):
             return  # departed node: its clock dies with it
-        self.actions += 1
-        message = self.protocol.initiate(node, self.rng)
-        if message is not None:
-            self._route(message)
+        self.stats.actions += 1
+        for effect in self.protocol.handle(InitiateEvent(node), self.rng):
+            self._route(effect)
         self._schedule_initiate(node)
 
-    def _route(self, message: Message) -> None:
+    def _route(self, effect: SendEffect) -> None:
+        message = effect.message
+        if effect.reply:
+            self.stats.replies_sent += 1
+        else:
+            self.stats.messages_sent += 1
         if self.loss.is_lost(message.sender, message.target, self.rng):
-            self.messages_lost += 1
+            if effect.reply:
+                self.stats.replies_lost += 1
+            else:
+                self.stats.messages_lost += 1
             return
-        self._schedule_delivery(message)
+        self._schedule_delivery(effect)
 
-    def _handle_delivery(self, message: Message) -> None:
+    def _handle_delivery(self, message: Message, reply: bool) -> None:
         self.messages_in_flight -= 1
         if not self.protocol.has_node(message.target):
-            self.messages_lost += 1  # target departed while in flight
+            # Target departed while the message was in flight.  This is the
+            # churn channel, not network loss: account it per kind (a reply
+            # whose requester has since left must land in
+            # ``replies_to_departed``, or conservation double-counts it as
+            # loss and loss_fraction() overstates ℓ under churn).
+            if reply:
+                self.stats.replies_to_departed += 1
+            else:
+                self.stats.messages_to_departed += 1
             return
-        reply = self.protocol.deliver(message, self.rng)
-        if reply is not None:
-            self._route(reply)
+        if reply:
+            self.stats.replies_delivered += 1
+        else:
+            self.stats.messages_delivered += 1
+        for effect in self.protocol.handle(DeliverEvent(message), self.rng):
+            self._route(effect)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def actions(self) -> int:
+        """Initiate actions executed (alias of ``stats.actions``)."""
+        return self.stats.actions
+
+    @property
+    def messages_lost(self) -> int:
+        """Every send that never reached a receive step.
+
+        Historical aggregate (network loss plus departed targets, both
+        kinds); the split lives in :attr:`stats`, whose
+        ``check_conservation`` distinguishes loss from churn.
+        """
+        return (
+            self.stats.messages_lost
+            + self.stats.replies_lost
+            + self.stats.messages_to_departed
+            + self.stats.replies_to_departed
+        )
 
     def rounds_elapsed(self) -> float:
         """Simulated time × rate ≈ expected actions initiated per node."""

@@ -27,7 +27,13 @@ from typing import Callable, Dict, List, Optional
 from repro.kernel.base import LoadCounts, SimulationKernel
 from repro.obs import get_telemetry
 from repro.net.loss import LossModel, NoLoss
-from repro.protocols.base import GossipProtocol, Message
+from repro.net.transport import LoopbackTransport
+from repro.protocols.base import (
+    DeliverEvent,
+    GossipProtocol,
+    InitiateEvent,
+    SendEffect,
+)
 from repro.util.rng import SeedLike, make_rng
 
 NodeId = int
@@ -113,6 +119,10 @@ class SequentialEngine:
             protocol if isinstance(protocol, SimulationKernel) else None
         )
         self.loss = loss if loss is not None else NoLoss()
+        # The engine's channel: loss is applied at the send seam, surviving
+        # effects are drained FIFO by _pump (kernel backends bypass the
+        # transport and consume self.loss directly inside run_batch).
+        self.transport = LoopbackTransport(self.loss)
         self.rng = make_rng(seed)
         self.stats = EngineStats()
         self.rounds_completed = 0.0
@@ -148,45 +158,66 @@ class SequentialEngine:
         self.step_node(initiator)
 
     def step_node(self, initiator: NodeId) -> None:
-        """Run one complete action initiated by ``initiator``."""
+        """Run one complete action initiated by ``initiator``.
+
+        The protocol is driven purely through the event seam: the initiate
+        event's effects enter the transport, and :meth:`_pump` runs every
+        resulting receive step (and routes any reply effects) until the
+        channel is empty — the serial model's "wait for completion".
+        """
         if self.kernel is not None:
             raise NotImplementedError(
                 "kernel backends schedule initiators internally; use step()"
             )
         self.stats.actions += 1
-        message = self.protocol.initiate(initiator, self.rng)
-        if message is not None:
-            self._transmit(message)
+        for effect in self.protocol.handle(InitiateEvent(initiator), self.rng):
+            self._dispatch(effect)
+        self._pump()
 
-    def _transmit(self, message: Message, is_reply: bool = False) -> None:
-        if is_reply:
+    def _dispatch(self, effect: SendEffect) -> None:
+        """Account one outbound effect and offer it to the transport."""
+        message = effect.message
+        if effect.reply:
             self.stats.replies_sent += 1
         else:
             self.stats.messages_sent += 1
         self.sent_by[message.sender] = self.sent_by.get(message.sender, 0) + 1
-        if self.loss.is_lost(message.sender, message.target, self.rng):
-            if is_reply:
+        if not self.transport.send(effect, self.rng):
+            if effect.reply:
                 self.stats.replies_lost += 1
             else:
                 self.stats.messages_lost += 1
-            return
-        if not self.protocol.has_node(message.target):
-            # Departed target: message evaporates (the sender cannot tell).
-            # Not network loss — tracked separately so loss_fraction()
-            # reflects ℓ alone even under churn.
-            if is_reply:
-                self.stats.replies_to_departed += 1
+
+    def _pump(self) -> None:
+        """Deliver queued effects in FIFO order until the channel drains.
+
+        FIFO matches the pre-seam recursion's RNG draw order exactly
+        (request receive draws, then reply loss draw, then reply receive
+        draws), which is what keeps seeded runs bit-identical.
+        """
+        while True:
+            effect = self.transport.poll()
+            if effect is None:
+                return
+            message = effect.message
+            if not self.protocol.has_node(message.target):
+                # Departed target: message evaporates (the sender cannot
+                # tell).  Not network loss — tracked separately so
+                # loss_fraction() reflects ℓ alone even under churn.
+                if effect.reply:
+                    self.stats.replies_to_departed += 1
+                else:
+                    self.stats.messages_to_departed += 1
+                continue
+            if effect.reply:
+                self.stats.replies_delivered += 1
             else:
-                self.stats.messages_to_departed += 1
-            return
-        if is_reply:
-            self.stats.replies_delivered += 1
-        else:
-            self.stats.messages_delivered += 1
-        self.received_by[message.target] = self.received_by.get(message.target, 0) + 1
-        reply = self.protocol.deliver(message, self.rng)
-        if reply is not None:
-            self._transmit(reply, is_reply=True)
+                self.stats.messages_delivered += 1
+            self.received_by[message.target] = (
+                self.received_by.get(message.target, 0) + 1
+            )
+            for produced in self.protocol.handle(DeliverEvent(message), self.rng):
+                self._dispatch(produced)
 
     def _population(self) -> int:
         if self.kernel is not None:

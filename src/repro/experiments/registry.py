@@ -79,6 +79,7 @@ EXPERIMENT_MODULES: Tuple[str, ...] = (
     "repro.experiments.independence_exp",
     "repro.experiments.join_integration",
     "repro.experiments.lemma_7_5",
+    "repro.experiments.live_degree",
     "repro.experiments.load_balance",
     "repro.experiments.loss_sweep",
     "repro.experiments.message_load",

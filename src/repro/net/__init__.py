@@ -1,10 +1,15 @@
-"""Network substrate: message loss and delay models.
+"""Network substrate: loss and delay models, wire codec, transports.
 
 The paper analyzes uniform i.i.d. loss (each message independently lost
 with probability ℓ, section 4.1).  :class:`UniformLoss` implements exactly
 that.  Real networks also exhibit bursty and link-dependent loss; the
 Gilbert–Elliott and per-link models are provided so experiments can probe
 robustness beyond the paper's model (its section 8 future work).
+
+:mod:`repro.net.transport` carries the messages themselves: the engines'
+in-memory :class:`LoopbackTransport` (loss model applied at the seam) and
+the runtime's :class:`AsyncioUdpTransport` speaking the schema-versioned
+datagram format of :mod:`repro.net.wire`.
 """
 
 from repro.net.delay import ConstantDelay, DelayModel, ExponentialDelay, UniformDelay
@@ -14,6 +19,16 @@ from repro.net.loss import (
     NoLoss,
     PerLinkLoss,
     UniformLoss,
+)
+from repro.net.transport import AsyncioUdpTransport, LoopbackTransport, Transport
+from repro.net.wire import (
+    WIRE_SCHEMA_VERSION,
+    JoinRequest,
+    Welcome,
+    WireError,
+    decode,
+    decode_with_timestamp,
+    encode,
 )
 
 __all__ = [
@@ -26,4 +41,14 @@ __all__ = [
     "ConstantDelay",
     "ExponentialDelay",
     "UniformDelay",
+    "Transport",
+    "LoopbackTransport",
+    "AsyncioUdpTransport",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "JoinRequest",
+    "Welcome",
+    "encode",
+    "decode",
+    "decode_with_timestamp",
 ]

@@ -1,0 +1,209 @@
+"""Schema-versioned wire codec for protocol and runtime control records.
+
+Every datagram the UDP runtime puts on the wire is a compact JSON object
+with two envelope fields:
+
+* ``v`` — :data:`WIRE_SCHEMA_VERSION`, checked on decode so incompatible
+  peers fail loudly instead of corrupting views;
+* ``t`` — a short tag selecting the record type.
+
+The protocol payload is the paper's ``[u, w]`` message (section 5): the
+sender's own id and the forwarded id, each with its dependence flag.  The
+runtime adds two control records for introducer-based join (the shape used
+by the UDP gossip-membership daemons in the related work): a
+:class:`JoinRequest` announcing a node's listening port, answered by a
+:class:`Welcome` carrying bootstrap ids and the address book.
+
+An optional ``ts`` envelope field carries the sender's wall-clock send
+time so receivers can sample one-way delivery latency (the transport
+benchmark's p50/p99).  ``ts`` is transport metadata, not record state:
+:func:`decode` ignores it, :func:`decode_with_timestamp` surfaces it.
+
+The codec also covers the typed event/effect records of the execution
+seam (:class:`~repro.protocols.base.InitiateEvent` and friends) so any
+record crossing a process boundary — pickled into a sweep checkpoint or
+serialized onto a socket — round-trips through one versioned format.
+Round-tripping is property-tested with Hypothesis in
+``tests/test_net_wire.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.protocols.base import (
+    DATACLASS_SLOTS,
+    DeliverEvent,
+    InitiateEvent,
+    Message,
+    SendEffect,
+)
+
+NodeId = int
+
+#: Bump on any incompatible change to the datagram layout.  Decoders
+#: reject other versions outright — a half-understood membership message
+#: could silently corrupt a view, which is worse than dropping it (drops
+#: are the one failure S&F is designed for).
+WIRE_SCHEMA_VERSION = 1
+
+#: Practical payload ceiling for a localhost UDP datagram (IPv4 65535
+#: minus IP/UDP headers).  An S&F message is ~100 bytes; a Welcome for a
+#: 1000-node cluster is ~20 KiB — both comfortably under it.
+MAX_DATAGRAM = 65507
+
+
+class WireError(ValueError):
+    """A datagram that cannot be decoded: bad JSON, version, tag, or shape."""
+
+
+@dataclass(**DATACLASS_SLOTS)
+class JoinRequest:
+    """A joiner announces itself to the introducer.
+
+    ``port`` is where the joiner listens; the introducer records it in the
+    address book so existing nodes can route messages to the new id.
+    """
+
+    node: NodeId
+    port: int
+
+
+@dataclass(**DATACLASS_SLOTS)
+class Welcome:
+    """The introducer's answer to a :class:`JoinRequest`.
+
+    ``bootstrap`` is the joiner's initial view contents (at least ``dL``
+    live ids, even count — Observation 5.1's join precondition) and
+    ``address_book`` maps node ids to UDP ports on the cluster host.
+    """
+
+    node: NodeId
+    bootstrap: List[NodeId] = field(default_factory=list)
+    address_book: Dict[NodeId, int] = field(default_factory=dict)
+
+
+#: Everything the codec can carry.
+WireRecord = Union[Message, InitiateEvent, DeliverEvent, SendEffect, JoinRequest, Welcome]
+
+_TAG_MESSAGE = "msg"
+_TAG_INITIATE = "init"
+_TAG_DELIVER = "dlvr"
+_TAG_SEND = "send"
+_TAG_JOIN = "join"
+_TAG_WELCOME = "wlcm"
+
+
+def _message_body(message: Message) -> Dict[str, Any]:
+    return {
+        "s": int(message.sender),
+        "d": int(message.target),
+        "k": message.kind,
+        "p": [[int(node_id), 1 if dep else 0] for node_id, dep in message.payload],
+    }
+
+
+def _message_from_body(body: Any) -> Message:
+    try:
+        return Message(
+            sender=int(body["s"]),
+            target=int(body["d"]),
+            payload=[(int(v), bool(f)) for v, f in body["p"]],
+            kind=str(body["k"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed message body: {body!r}") from exc
+
+
+def encode(record: WireRecord, timestamp: Optional[float] = None) -> bytes:
+    """Serialize ``record`` into one versioned datagram.
+
+    ``timestamp`` (sender wall-clock seconds) rides in the envelope for
+    latency sampling; it is not part of the record and does not affect
+    round-trip equality.
+    """
+    obj: Dict[str, Any]
+    if isinstance(record, Message):
+        obj = {"t": _TAG_MESSAGE, "m": _message_body(record)}
+    elif isinstance(record, InitiateEvent):
+        obj = {"t": _TAG_INITIATE, "n": int(record.node)}
+    elif isinstance(record, DeliverEvent):
+        obj = {"t": _TAG_DELIVER, "m": _message_body(record.message)}
+    elif isinstance(record, SendEffect):
+        obj = {
+            "t": _TAG_SEND,
+            "m": _message_body(record.message),
+            "r": 1 if record.reply else 0,
+        }
+    elif isinstance(record, JoinRequest):
+        obj = {"t": _TAG_JOIN, "n": int(record.node), "port": int(record.port)}
+    elif isinstance(record, Welcome):
+        obj = {
+            "t": _TAG_WELCOME,
+            "n": int(record.node),
+            "b": [int(v) for v in record.bootstrap],
+            "a": {str(int(k)): int(p) for k, p in record.address_book.items()},
+        }
+    else:
+        raise WireError(f"cannot encode record of type {type(record).__name__}")
+    obj["v"] = WIRE_SCHEMA_VERSION
+    if timestamp is not None:
+        obj["ts"] = timestamp
+    data = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_DATAGRAM:
+        raise WireError(f"record encodes to {len(data)} bytes > {MAX_DATAGRAM}")
+    return data
+
+
+def decode_with_timestamp(data: bytes) -> Tuple[WireRecord, Optional[float]]:
+    """Decode one datagram; return ``(record, sender_timestamp_or_None)``."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable datagram ({len(data)} bytes)") from exc
+    if not isinstance(obj, dict):
+        raise WireError(f"datagram is not an object: {obj!r}")
+    version = obj.get("v")
+    if version != WIRE_SCHEMA_VERSION:
+        raise WireError(
+            f"wire schema version mismatch: got {version!r}, "
+            f"speak {WIRE_SCHEMA_VERSION}"
+        )
+    tag = obj.get("t")
+    timestamp = obj.get("ts")
+    if timestamp is not None and not isinstance(timestamp, (int, float)):
+        raise WireError(f"non-numeric ts field: {timestamp!r}")
+    try:
+        if tag == _TAG_MESSAGE:
+            return _message_from_body(obj["m"]), timestamp
+        if tag == _TAG_INITIATE:
+            return InitiateEvent(node=int(obj["n"])), timestamp
+        if tag == _TAG_DELIVER:
+            return DeliverEvent(message=_message_from_body(obj["m"])), timestamp
+        if tag == _TAG_SEND:
+            return (
+                SendEffect(message=_message_from_body(obj["m"]), reply=bool(obj["r"])),
+                timestamp,
+            )
+        if tag == _TAG_JOIN:
+            return JoinRequest(node=int(obj["n"]), port=int(obj["port"])), timestamp
+        if tag == _TAG_WELCOME:
+            return (
+                Welcome(
+                    node=int(obj["n"]),
+                    bootstrap=[int(v) for v in obj["b"]],
+                    address_book={int(k): int(p) for k, p in obj["a"].items()},
+                ),
+                timestamp,
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed {tag!r} datagram") from exc
+    raise WireError(f"unknown wire tag: {tag!r}")
+
+
+def decode(data: bytes) -> WireRecord:
+    """Decode one datagram, discarding the latency timestamp if present."""
+    record, _ = decode_with_timestamp(data)
+    return record

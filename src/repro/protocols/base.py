@@ -10,21 +10,41 @@ receive step never runs, exactly the paper's loss model.
 Pull-style protocols return a *reply* from ``deliver``; the engine subjects
 replies to the same loss model, so a push-pull action degrades gracefully
 into its constituent steps under loss instead of assuming atomicity.
+
+**Execution-agnostic event/effect seam.**  A protocol step is driven by a
+typed *event* (:class:`InitiateEvent` or :class:`DeliverEvent`) and
+answers with zero or more typed *effects* (:class:`SendEffect` records).
+:meth:`GossipProtocol.handle` is the single entry point every runtime
+uses — the serial engine, the discrete-event engine, and the asyncio UDP
+runtime (:mod:`repro.runtime`) all call ``handle`` and route the
+resulting effects through their own transport
+(:mod:`repro.net.transport`).  Nothing in a protocol assumes *how* a
+produced message travels: synchronously in-process, through a delayed
+event queue, or as a datagram on a real lossy network.  All records are
+slotted, picklable dataclasses with a schema-versioned wire codec in
+:mod:`repro.net.wire`.
 """
 
 from __future__ import annotations
 
 import abc
+import sys
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.model.membership_graph import MembershipGraph
 
 NodeId = int
 
+#: ``@dataclass(**DATACLASS_SLOTS)`` — slotted records on 3.10+, plain
+#: dataclasses on 3.9 (where ``slots=True`` does not exist).  Slots keep
+#: the per-message footprint small (the DES queue and the UDP runtime
+#: hold many in flight) without giving up pickling or dataclass ergonomics.
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass
+
+@dataclass(**DATACLASS_SLOTS)
 class Message:
     """A protocol message: ids in flight from ``sender`` to ``target``.
 
@@ -32,12 +52,56 @@ class Message:
     ``[(u, dep_u), (w, dep_w)]`` — the sender's own id and the forwarded id.
     ``kind`` distinguishes message roles for multi-step protocols
     (e.g. ``"pull-request"`` vs ``"pull-reply"``).
+
+    The record is slotted and picklable, and round-trips through the
+    versioned wire codec (:func:`repro.net.wire.encode` /
+    :func:`repro.net.wire.decode`) so it can cross process and network
+    boundaries unchanged.
     """
 
     sender: NodeId
     target: NodeId
     payload: List[Tuple[NodeId, bool]]
     kind: str = "push"
+
+
+# ----------------------------------------------------------------------
+# Typed events and effects (the execution seam)
+# ----------------------------------------------------------------------
+
+
+@dataclass(**DATACLASS_SLOTS)
+class InitiateEvent:
+    """Scheduler input: ``node`` runs one initiate action."""
+
+    node: NodeId
+
+
+@dataclass(**DATACLASS_SLOTS)
+class DeliverEvent:
+    """Network input: ``message`` arrived at its target."""
+
+    message: Message
+
+
+@dataclass(**DATACLASS_SLOTS)
+class SendEffect:
+    """Protocol output: ``message`` should be handed to the transport.
+
+    ``reply`` marks effects produced by a *receive* step (push-pull and
+    shuffle replies); engines account for them separately
+    (``EngineStats.replies_*``) because under loss a reply can fail after
+    the request half succeeded — the nonatomic degradation the paper's
+    section 3.1 highlights.
+    """
+
+    message: Message
+    reply: bool = False
+
+
+#: Events a protocol consumes, and effects it produces.
+ProtocolEvent = Union[InitiateEvent, DeliverEvent]
+Effect = SendEffect
 
 
 @dataclass
@@ -120,6 +184,38 @@ class GossipProtocol(abc.ABC):
     @abc.abstractmethod
     def deliver(self, message: Message, rng) -> Optional[Message]:
         """Run the receive step for ``message``; maybe produce a reply."""
+
+    # -- event/effect seam -----------------------------------------------------
+
+    def initiate_effects(self, node_id: NodeId, rng) -> Tuple[SendEffect, ...]:
+        """The initiate step as typed effects (default: wrap ``initiate``)."""
+        message = self.initiate(node_id, rng)
+        return () if message is None else (SendEffect(message),)
+
+    def deliver_effects(self, message: Message, rng) -> Tuple[SendEffect, ...]:
+        """The receive step as typed effects.
+
+        The default wraps :meth:`deliver` and labels any produced message
+        a reply; protocols with multi-step exchanges (push-pull, shuffle)
+        override this with their native effect-producing receive step.
+        """
+        reply = self.deliver(message, rng)
+        return () if reply is None else (SendEffect(reply, reply=True),)
+
+    def handle(self, event: ProtocolEvent, rng) -> Tuple[SendEffect, ...]:
+        """Execute one protocol step for ``event``; return its effects.
+
+        This is the execution-agnostic entry point: every runtime — the
+        serial engine, the discrete-event engine, the UDP node runtime —
+        drives the protocol exclusively through it and owns the decision
+        of what to *do* with the returned :class:`SendEffect` records
+        (synchronous loopback, delayed queue, or real datagrams).
+        """
+        if isinstance(event, InitiateEvent):
+            return self.initiate_effects(event.node, rng)
+        if isinstance(event, DeliverEvent):
+            return self.deliver_effects(event.message, rng)
+        raise TypeError(f"unknown protocol event: {event!r}")
 
     # -- observation -----------------------------------------------------------
 

@@ -22,6 +22,10 @@ from repro.protocols.base import GossipProtocol, Message
 
 NodeId = int
 
+#: Wire kind of a push message (the protocol's only message role, so the
+#: base class's default effect wrappers drive it on the event seam).
+KIND_PUSH = "push"
+
 
 class PushProtocol(GossipProtocol):
     """Copy-based membership: push own id plus ``gossip_length`` view ids.
@@ -81,7 +85,7 @@ class PushProtocol(GossipProtocol):
             sender=node_id,
             target=target,
             payload=[(v, False) for v in payload],
-            kind="push",
+            kind=KIND_PUSH,
         )
 
     def deliver(self, message: Message, rng) -> Optional[Message]:

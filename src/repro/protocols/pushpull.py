@@ -17,11 +17,15 @@ designed to avoid.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.protocols.base import GossipProtocol, Message
+from repro.protocols.base import GossipProtocol, Message, SendEffect
 
 NodeId = int
+
+#: Wire kinds of the two halves of a push-pull exchange.
+KIND_REQUEST = "pushpull-request"
+KIND_REPLY = "pushpull-reply"
 
 
 class PushPullProtocol(GossipProtocol):
@@ -72,30 +76,46 @@ class PushPullProtocol(GossipProtocol):
             sender=node_id,
             target=target,
             payload=[(node_id, False)],  # reinforcement: push own id
-            kind="pushpull-request",
+            kind=KIND_REQUEST,
         )
 
-    def deliver(self, message: Message, rng) -> Optional[Message]:
+    def deliver_effects(self, message: Message, rng) -> Tuple[SendEffect, ...]:
+        """The receive step, natively on the event/effect seam.
+
+        A request produces the pull half as a typed reply effect; whether
+        that reply survives the network is the transport's business — the
+        nonatomic degradation under loss the paper's §3.1 describes.
+        """
         view = self._views.get(message.target)
         if view is None:
-            return None
+            return ()
         self.stats.deliveries += 1
-        if message.kind == "pushpull-request":
+        if message.kind == KIND_REQUEST:
             self._insert(message.target, message.sender, rng)
             if not view:
-                return None
+                return ()
             pulled = view[int(rng.integers(len(view)))]  # mixing: pull a view id
             self.stats.messages_sent += 1
-            return Message(
-                sender=message.target,
-                target=message.sender,
-                payload=[(pulled, False)],
-                kind="pushpull-reply",
+            return (
+                SendEffect(
+                    Message(
+                        sender=message.target,
+                        target=message.sender,
+                        payload=[(pulled, False)],
+                        kind=KIND_REPLY,
+                    ),
+                    reply=True,
+                ),
             )
         # pushpull-reply: the initiator absorbs the pulled id.
         for value, _ in message.payload:
             self._insert(message.target, value, rng)
-        return None
+        return ()
+
+    def deliver(self, message: Message, rng) -> Optional[Message]:
+        """Compatibility wrapper over :meth:`deliver_effects`."""
+        effects = self.deliver_effects(message, rng)
+        return effects[0].message if effects else None
 
     def _insert(self, node_id: NodeId, value: NodeId, rng) -> None:
         if value == node_id:

@@ -14,11 +14,15 @@ this attrition against S&F's stable edge count.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.protocols.base import GossipProtocol, Message
+from repro.protocols.base import GossipProtocol, Message, SendEffect
 
 NodeId = int
+
+#: Wire kinds of the two halves of a shuffle exchange.
+KIND_REQUEST = "shuffle-request"
+KIND_REPLY = "shuffle-reply"
 
 
 class ShuffleProtocol(GossipProtocol):
@@ -94,16 +98,22 @@ class ShuffleProtocol(GossipProtocol):
             sender=node_id,
             target=target,
             payload=[(v, False) for v in to_send],
-            kind="shuffle-request",
+            kind=KIND_REQUEST,
         )
 
-    def deliver(self, message: Message, rng) -> Optional[Message]:
+    def deliver_effects(self, message: Message, rng) -> Tuple[SendEffect, ...]:
+        """The receive step, natively on the event/effect seam.
+
+        A request produces the refill half as a typed reply effect; a
+        lost reply is exactly the id-attrition channel §3.1 charges
+        shuffle protocols with.
+        """
         view = self._views.get(message.target)
         if view is None:
-            return None
+            return ()
         self.stats.deliveries += 1
         received = [v for v, _ in message.payload]
-        if message.kind == "shuffle-request":
+        if message.kind == KIND_REQUEST:
             # Sample the reply excluding pointers to the requester, which it
             # would discard (see initiate for the symmetric exclusion).
             reply_ids: List[NodeId] = []
@@ -123,17 +133,27 @@ class ShuffleProtocol(GossipProtocol):
                         candidates[c] = index
             self._absorb(message.target, received)
             if not reply_ids:
-                return None
+                return ()
             self.stats.messages_sent += 1
-            return Message(
-                sender=message.target,
-                target=message.sender,
-                payload=[(v, False) for v in reply_ids],
-                kind="shuffle-reply",
+            return (
+                SendEffect(
+                    Message(
+                        sender=message.target,
+                        target=message.sender,
+                        payload=[(v, False) for v in reply_ids],
+                        kind=KIND_REPLY,
+                    ),
+                    reply=True,
+                ),
             )
         # shuffle-reply
         self._absorb(message.target, received)
-        return None
+        return ()
+
+    def deliver(self, message: Message, rng) -> Optional[Message]:
+        """Compatibility wrapper over :meth:`deliver_effects`."""
+        effects = self.deliver_effects(message, rng)
+        return effects[0].message if effects else None
 
     def _absorb(self, node_id: NodeId, ids: List[NodeId]) -> None:
         view = self._views[node_id]

@@ -1,0 +1,529 @@
+"""Localhost UDP cluster harness for S&F.
+
+This is the production shape of the paper's system model: ``n`` nodes,
+each with its own UDP socket and its own view, exchanging ``[u, w]``
+datagrams with no shared state and no retransmission.  Loss is injected
+receiver-side (a datagram is read off the socket and discarded with
+probability ``drop_rate``), so the sender's code path is exactly the
+lossless one — the sender cannot detect loss, as section 4.1 requires.
+
+The harness runs every node as an asyncio task in one process.  That
+keeps a several-hundred-node cluster cheap (one socket + one timer per
+node) while the messages still traverse the real OS network stack: every
+send is a genuine ``sendto`` on 127.0.0.1 and every receive a datagram
+callback, with kernel scheduling deciding interleaving — the asynchrony
+the discrete-event engine only simulates.
+
+Scenario controls:
+
+* **kill/restart** — a node's task is cancelled and its socket closed
+  (its id lingers in other views and drains at the section 6.5.2 rate);
+  a restarted node rejoins through the introducer like any newcomer.
+* **partition-and-heal** — nodes are assigned groups and every node's
+  inbound filter drops cross-group protocol messages; healing removes
+  the filter.  Receiver-side, so senders keep "succeeding", as in a real
+  partition.
+
+Counters stream into :mod:`repro.obs` under ``cluster.*`` names, and the
+final :class:`ClusterReport` carries the live outdegree distribution the
+``live-degree`` experiment checks against the §6.2 degree Markov chain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.net.transport import AsyncioUdpTransport
+from repro.net.wire import JoinRequest, Welcome, WireRecord
+from repro.obs import get_telemetry
+from repro.protocols.base import DeliverEvent, InitiateEvent, Message
+from repro.util.rng import SeedLike, make_rng, spawn_rngs
+from repro.util.tables import format_table
+
+NodeId = int
+
+
+@dataclass
+class ClusterConfig:
+    """Everything a cluster run needs, as one picklable record.
+
+    ``rate`` is per-node initiate actions per second; with the default
+    duration each node gets a few dozen actions — enough for degrees to
+    mix (the §6.2 chain converges in tens of actions per node).
+    """
+
+    n: int = 50
+    view_size: int = 8
+    d_low: int = 2
+    drop_rate: float = 0.05
+    rate: float = 40.0
+    duration_s: float = 3.0
+    seed: SeedLike = None
+    host: str = "127.0.0.1"
+    #: Scenario knobs: nodes to kill-and-restart, and partition groups
+    #: (>1 splits the cluster for the middle third of the run).
+    kill_restart: int = 0
+    partition_groups: int = 1
+    #: Introducer join handshake (retries cover Welcomes eaten by drop
+    #: injection on the joiner's own socket).
+    join_timeout_s: float = 0.25
+    join_retries: int = 20
+
+    def params(self) -> SFParams:
+        return SFParams(view_size=self.view_size, d_low=self.d_low)
+
+    def bootstrap_degree(self) -> int:
+        """Initial outdegree: even, in ``[d_low, s]`` (same rule as the
+        simulation experiments' ring bootstrap)."""
+        s = self.view_size
+        return min(s - 2, max(self.d_low + 2, (3 * s // 4) & ~1))
+
+
+class ClusterNode:
+    """One S&F node: a socket, a view, and an initiate timer.
+
+    The node's :class:`SendForget` instance holds *only its own view* —
+    ``deliver`` looks up ``message.target`` and finds exactly the local
+    state, so the very same protocol class that simulates ``n`` nodes
+    in-process runs one node here, unchanged.
+    """
+
+    def __init__(self, cluster: "LocalCluster", node_id: NodeId, rng):
+        self.cluster = cluster
+        self.node_id = node_id
+        self.rng = rng
+        self.protocol = SendForget(cluster.config.params())
+        self.transport: Optional[AsyncioUdpTransport] = None
+        self._task: Optional[asyncio.Task] = None
+        self._welcome: Optional[asyncio.Future] = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    async def start(self, bootstrap_ids: Optional[List[NodeId]] = None) -> None:
+        """Bind the socket, obtain a view (given or via introducer), go live."""
+        cfg = self.cluster.config
+        self.transport = await AsyncioUdpTransport.create(
+            self._on_record,
+            host=cfg.host,
+            port=0,
+            drop_rate=cfg.drop_rate,
+            rng=self.rng,
+            resolve=self.cluster.resolve,
+            inbound_filter=self._admit,
+        )
+        self.cluster.address_book[self.node_id] = self.transport.address
+        if bootstrap_ids is None:
+            bootstrap_ids = await self._join_via_introducer()
+        self.protocol.add_node(self.node_id, bootstrap_ids)
+        self._task = asyncio.create_task(self._loop(), name=f"sandf-node-{self.node_id}")
+
+    async def stop(self) -> None:
+        """Crash the node: cancel its timer, close its socket.
+
+        No goodbye message — the paper's leave model (section 5).  Other
+        nodes keep our id until it drains out of their views.
+        """
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+        if self.transport is not None:
+            self.transport.close()
+        self.cluster.address_book.pop(self.node_id, None)
+
+    # -- the node's two halves -----------------------------------------
+
+    async def _loop(self) -> None:
+        """The initiate clock: exponential gaps, like the DES engine."""
+        cfg = self.cluster.config
+        try:
+            while True:
+                await asyncio.sleep(float(self.rng.exponential(1.0 / cfg.rate)))
+                for effect in self.protocol.handle(
+                    InitiateEvent(self.node_id), self.rng
+                ):
+                    self.transport.send(effect, self.rng)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # a node crash must not vanish silently
+            self.cluster.errors.append(f"node {self.node_id} initiate: {exc!r}")
+
+    def _on_record(
+        self, record: WireRecord, timestamp: Optional[float], addr: Tuple[str, int]
+    ) -> None:
+        if isinstance(record, Message):
+            try:
+                for effect in self.protocol.handle(DeliverEvent(record), self.rng):
+                    self.transport.send(effect, self.rng)
+            except Exception as exc:
+                self.cluster.errors.append(f"node {self.node_id} deliver: {exc!r}")
+        elif isinstance(record, Welcome):
+            for peer, port in record.address_book.items():
+                self.cluster.address_book.setdefault(
+                    peer, (self.cluster.config.host, port)
+                )
+            if self._welcome is not None and not self._welcome.done():
+                self._welcome.set_result(record)
+
+    def _admit(self, record: WireRecord) -> bool:
+        """Receiver-side partition filter (control records always pass)."""
+        if isinstance(record, Message):
+            return self.cluster.admits(record.sender, self.node_id)
+        return True
+
+    async def _join_via_introducer(self) -> List[NodeId]:
+        cfg = self.cluster.config
+        loop = asyncio.get_running_loop()
+        request = JoinRequest(node=self.node_id, port=self.transport.port)
+        for _ in range(cfg.join_retries):
+            self._welcome = loop.create_future()
+            self.transport.send_record(request, self.cluster.introducer_address)
+            try:
+                welcome = await asyncio.wait_for(
+                    self._welcome, timeout=cfg.join_timeout_s
+                )
+                return list(welcome.bootstrap)
+            except asyncio.TimeoutError:
+                continue  # request or welcome eaten by drop injection
+        raise RuntimeError(
+            f"node {self.node_id} could not join after {cfg.join_retries} attempts"
+        )
+
+
+@dataclass
+class ClusterReport:
+    """What a cluster run measured; ``format()`` renders the summary."""
+
+    n: int
+    live_nodes: int
+    duration_s: float
+    drop_rate: float
+    actions: int
+    datagrams_sent: int
+    datagrams_received: int
+    datagrams_dropped: int
+    datagrams_filtered: int
+    decode_errors: int
+    unroutable: int
+    restarts: int
+    degree_counts: Dict[int, int]
+    degree_violations: List[str]
+    errors: List[str]
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+
+    def degree_pmf(self) -> Dict[int, float]:
+        total = sum(self.degree_counts.values())
+        if total == 0:
+            return {}
+        return {d: c / total for d, c in sorted(self.degree_counts.items())}
+
+    def observed_drop_fraction(self) -> float:
+        if self.datagrams_received == 0:
+            return 0.0
+        return self.datagrams_dropped / self.datagrams_received
+
+    def ok(self) -> bool:
+        """Clean run: every view in bounds, no node raised."""
+        return not self.degree_violations and not self.errors
+
+    def format(self) -> str:
+        degrees = ", ".join(
+            f"{d}:{c}" for d, c in sorted(self.degree_counts.items())
+        )
+        rows = [
+            ["nodes (live/total)", f"{self.live_nodes}/{self.n}"],
+            ["duration [s]", f"{self.duration_s:.2f}"],
+            ["actions", self.actions],
+            ["datagrams sent", self.datagrams_sent],
+            ["datagrams received", self.datagrams_received],
+            ["dropped (injected)", self.datagrams_dropped],
+            ["filtered (partition)", self.datagrams_filtered],
+            ["decode errors", self.decode_errors],
+            ["unroutable", self.unroutable],
+            ["observed drop fraction", f"{self.observed_drop_fraction():.4f}"],
+            ["restarts", self.restarts],
+            ["latency p50 [ms]", f"{self.latency_p50_ms:.3f}"],
+            ["latency p99 [ms]", f"{self.latency_p99_ms:.3f}"],
+            ["outdegree counts", degrees],
+            ["degree violations", len(self.degree_violations)],
+            ["node errors", len(self.errors)],
+        ]
+        return format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"UDP cluster (n={self.n}, drop={self.drop_rate})",
+        )
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+class LocalCluster:
+    """Boots, disrupts, observes, and tears down a localhost S&F cluster."""
+
+    def __init__(self, config: ClusterConfig):
+        if config.n < 3:
+            raise ValueError(f"need at least 3 nodes, got {config.n}")
+        config.params()  # validate (s, dL) eagerly
+        self.config = config
+        self.rng = make_rng(config.seed)
+        self.address_book: Dict[NodeId, Tuple[str, int]] = {}
+        self.nodes: Dict[NodeId, ClusterNode] = {}
+        self.errors: List[str] = []
+        self.restarts = 0
+        self._partition: Optional[Dict[NodeId, int]] = None
+        self._introducer: Optional[AsyncioUdpTransport] = None
+        self._node_rngs = spawn_rngs(self.rng, config.n + 1)
+        # Counters of killed incarnations, so totals survive restarts.
+        self._grave_actions = 0
+        self._grave_transport = Counter()
+        self._grave_latency: List[float] = []
+
+    # -- shared lookups (the "DNS" of the cluster) ----------------------
+
+    def resolve(self, node_id: NodeId) -> Optional[Tuple[str, int]]:
+        return self.address_book.get(node_id)
+
+    def admits(self, sender: NodeId, receiver: NodeId) -> bool:
+        if self._partition is None:
+            return True
+        return self._partition.get(sender, 0) == self._partition.get(receiver, 0)
+
+    @property
+    def introducer_address(self) -> Tuple[str, int]:
+        if self._introducer is None:
+            raise RuntimeError("cluster is not started")
+        return self._introducer.address
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Introducer up, then all ``n`` nodes on a ring bootstrap.
+
+        The initial population bootstraps directly (the experiments' ring
+        topology — regular and weakly connected); the introducer path is
+        exercised by every restart and late join.
+        """
+        cfg = self.config
+        self._introducer = await AsyncioUdpTransport.create(
+            self._on_introducer, host=cfg.host, port=0, rng=self._node_rngs[cfg.n]
+        )
+        degree = cfg.bootstrap_degree()
+        for node_id in range(cfg.n):
+            self.nodes[node_id] = ClusterNode(
+                self, node_id, self._node_rngs[node_id]
+            )
+        await asyncio.gather(
+            *(
+                self.nodes[u].start(
+                    [(u + k) % cfg.n for k in range(1, degree + 1)]
+                )
+                for u in range(cfg.n)
+            )
+        )
+
+    async def shutdown(self) -> None:
+        for node in self.nodes.values():
+            if node.running or node.transport is not None:
+                await node.stop()
+        if self._introducer is not None:
+            self._introducer.close()
+
+    def _on_introducer(
+        self, record: WireRecord, timestamp: Optional[float], addr: Tuple[str, int]
+    ) -> None:
+        if not isinstance(record, JoinRequest):
+            return
+        cfg = self.config
+        self.address_book[record.node] = (cfg.host, record.port)
+        live = [
+            nid
+            for nid, node in self.nodes.items()
+            if node.running and nid != record.node
+        ]
+        degree = min(cfg.bootstrap_degree(), len(live) & ~1)
+        picks = self.rng.choice(len(live), size=degree, replace=False)
+        welcome = Welcome(
+            node=record.node,
+            bootstrap=[live[int(i)] for i in picks],
+            address_book={nid: a[1] for nid, a in self.address_book.items()},
+        )
+        self._introducer.send_record(welcome, addr)
+
+    # -- scenarios ------------------------------------------------------
+
+    async def kill(self, node_id: NodeId) -> None:
+        # Pop first: a killed incarnation's counters move to the graveyard,
+        # so a node that is never restarted cannot be double-counted.
+        node = self.nodes.pop(node_id)
+        self._bury(node)
+        await node.stop()
+
+    async def restart(self, node_id: NodeId) -> None:
+        """Bring a killed node back as a newcomer, via the introducer."""
+        replacement = ClusterNode(
+            self, node_id, self._node_rngs[node_id % len(self._node_rngs)]
+        )
+        await replacement.start(bootstrap_ids=None)
+        self.nodes[node_id] = replacement
+        self.restarts += 1
+
+    def split(self, groups: int = 2) -> None:
+        """Partition by node id modulo ``groups`` (receiver-side filters)."""
+        if groups < 2:
+            raise ValueError(f"need at least 2 groups, got {groups}")
+        self._partition = {nid: nid % groups for nid in self.nodes}
+
+    def heal(self) -> None:
+        self._partition = None
+
+    def _bury(self, node: ClusterNode) -> None:
+        """Fold a dying incarnation's counters into the run totals."""
+        self._grave_actions += node.protocol.stats.actions
+        transport = node.transport
+        if transport is not None:
+            self._grave_transport["sent"] += transport.datagrams_sent
+            self._grave_transport["received"] += transport.datagrams_received
+            self._grave_transport["dropped"] += transport.dropped
+            self._grave_transport["filtered"] += transport.filtered
+            self._grave_transport["decode_errors"] += transport.decode_errors
+            self._grave_transport["unroutable"] += transport.unroutable
+            self._grave_latency.extend(transport.latency_samples)
+
+    # -- observation ----------------------------------------------------
+
+    def live_nodes(self) -> List[ClusterNode]:
+        return [node for node in self.nodes.values() if node.running]
+
+    def degree_counts(self) -> Counter:
+        return Counter(
+            node.protocol.outdegree(node.node_id) for node in self.live_nodes()
+        )
+
+    def degree_violations(self) -> List[str]:
+        """Observation 5.1 violations across all live views (empty = good)."""
+        violations = []
+        for node in self.live_nodes():
+            try:
+                node.protocol.check_invariant()
+            except AssertionError as exc:
+                violations.append(str(exc))
+        return violations
+
+    def publish_metrics(self) -> None:
+        """Stream run totals into the process telemetry (``cluster.*``)."""
+        tel = get_telemetry()
+        if not tel.metrics_on:
+            return
+        report = self.report(publish=False)
+        tel.inc("cluster.actions", report.actions)
+        tel.inc("cluster.datagrams_sent", report.datagrams_sent)
+        tel.inc("cluster.datagrams_received", report.datagrams_received)
+        tel.inc("cluster.datagrams_dropped", report.datagrams_dropped)
+        tel.inc("cluster.datagrams_filtered", report.datagrams_filtered)
+        tel.inc("cluster.decode_errors", report.decode_errors)
+        tel.inc("cluster.restarts", report.restarts)
+        tel.set_gauge("cluster.live_nodes", report.live_nodes)
+        if report.degree_counts:
+            degrees = list(report.degree_counts.items())
+            total = sum(c for _, c in degrees)
+            mean = sum(d * c for d, c in degrees) / total
+            tel.set_gauge("cluster.outdegree_mean", mean)
+            tel.set_gauge("cluster.outdegree_min", min(d for d, _ in degrees))
+            tel.set_gauge("cluster.outdegree_max", max(d for d, _ in degrees))
+        for latency in self._all_latency_samples():
+            tel.observe("cluster.delivery_latency_s", latency)
+
+    def _all_latency_samples(self) -> List[float]:
+        samples = list(self._grave_latency)
+        for node in self.nodes.values():
+            if node.transport is not None:
+                samples.extend(node.transport.latency_samples)
+        return samples
+
+    def report(self, publish: bool = True) -> ClusterReport:
+        totals = Counter(self._grave_transport)
+        actions = self._grave_actions
+        for node in self.nodes.values():
+            actions += node.protocol.stats.actions
+            transport = node.transport
+            if transport is None:
+                continue
+            totals["sent"] += transport.datagrams_sent
+            totals["received"] += transport.datagrams_received
+            totals["dropped"] += transport.dropped
+            totals["filtered"] += transport.filtered
+            totals["decode_errors"] += transport.decode_errors
+            totals["unroutable"] += transport.unroutable
+        latency = self._all_latency_samples()
+        report = ClusterReport(
+            n=self.config.n,
+            live_nodes=len(self.live_nodes()),
+            duration_s=self.config.duration_s,
+            drop_rate=self.config.drop_rate,
+            actions=actions,
+            datagrams_sent=totals["sent"],
+            datagrams_received=totals["received"],
+            datagrams_dropped=totals["dropped"],
+            datagrams_filtered=totals["filtered"],
+            decode_errors=totals["decode_errors"],
+            unroutable=totals["unroutable"],
+            restarts=self.restarts,
+            degree_counts=dict(sorted(self.degree_counts().items())),
+            degree_violations=self.degree_violations(),
+            errors=list(self.errors),
+            latency_p50_ms=_percentile(latency, 0.50) * 1e3,
+            latency_p99_ms=_percentile(latency, 0.99) * 1e3,
+        )
+        if publish:
+            self.publish_metrics()
+        return report
+
+    # -- scripted run ---------------------------------------------------
+
+    async def run(self) -> ClusterReport:
+        """The standard scenario: warm third, disrupt third, heal third."""
+        cfg = self.config
+        await self.start()
+        third = cfg.duration_s / 3.0
+        await asyncio.sleep(third)
+        if cfg.partition_groups > 1:
+            self.split(cfg.partition_groups)
+        for _ in range(cfg.kill_restart):
+            live = [n.node_id for n in self.live_nodes()]
+            victim = live[int(self.rng.integers(len(live)))]
+            await self.kill(victim)
+            await asyncio.sleep(min(0.05, third / 4))
+            await self.restart(victim)
+        await asyncio.sleep(third)
+        if cfg.partition_groups > 1:
+            self.heal()
+        await asyncio.sleep(third)
+        report = self.report()
+        await self.shutdown()
+        return report
+
+
+def run_cluster(config: ClusterConfig) -> ClusterReport:
+    """Synchronous entry point: boot, run the scenario, report, tear down.
+
+    Used by the CLI (``repro cluster``), the ``live-degree`` experiment
+    cell, the CI smoke job, and the transport benchmark — none of which
+    want to own an event loop.
+    """
+    return asyncio.run(LocalCluster(config).run())

@@ -5,14 +5,22 @@ import pytest
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
 from repro.engine.des import DiscreteEventEngine
-from repro.net.delay import ConstantDelay, ExponentialDelay
+from repro.net.delay import ConstantDelay, DelayModel, ExponentialDelay, UniformDelay
 from repro.net.loss import UniformLoss
+from repro.protocols.pushpull import PushPullProtocol
 
 
 def make_protocol(n=20, view_size=12, d_low=2):
     protocol = SendForget(SFParams(view_size=view_size, d_low=d_low))
     for u in range(n):
         protocol.add_node(u, [(u + k) % n for k in range(1, 7)])
+    return protocol
+
+
+def make_pushpull(n=12, view_size=6):
+    protocol = PushPullProtocol(view_size=view_size)
+    for u in range(n):
+        protocol.add_node(u, [(u + k) % n for k in range(1, 4)])
     return protocol
 
 
@@ -98,3 +106,153 @@ class TestLoss:
         engine.run_until(20.0)
         assert protocol.stats.deliveries == 0
         assert engine.messages_lost > 0
+
+
+class _ScriptedDelay(DelayModel):
+    """Cycles through a fixed list of latencies — lets a test force the
+    n-th send to overtake the (n-1)-th in flight."""
+
+    def __init__(self, delays):
+        self._delays = list(delays)
+        self._next = 0
+
+    def sample(self, sender, target, rng):
+        delay = self._delays[self._next % len(self._delays)]
+        self._next += 1
+        return delay
+
+
+def pair_engine(delay=None):
+    """Two push-pull nodes and an engine whose Poisson clocks are parked
+    far in the future, so tests hand-crank the seam one event at a time."""
+    protocol = PushPullProtocol(view_size=4)
+    protocol.add_node(0, [1])
+    protocol.add_node(1, [0])
+    engine = DiscreteEventEngine(
+        protocol,
+        delay=delay if delay is not None else ConstantDelay(1.0),
+        rate=1e-9,
+        seed=0,
+    )
+    return protocol, engine
+
+
+class TestSeamInterleavings:
+    """Loss/delay/churn interleavings driven through the event seam.
+
+    The regression of record: a push-pull reply whose initiator departed
+    while the reply was in flight must be accounted as churn
+    (``replies_to_departed``), not double-counted as network loss.
+    """
+
+    def test_reply_in_flight_across_initiator_departure(self):
+        protocol, engine = pair_engine()
+        engine._handle_initiate(0)  # request 0 -> 1 now in flight
+        assert engine.stats.messages_sent == 1
+        engine.run_events(1)  # request delivered; reply 1 -> 0 in flight
+        assert engine.stats.replies_sent == 1
+        assert engine.messages_in_flight == 1
+        protocol.remove_node(0)  # initiator leaves before its pull returns
+        engine.run_events(1)  # the reply arrives at a ghost
+        assert engine.stats.replies_to_departed == 1
+        assert engine.stats.replies_lost == 0  # churn, not network loss
+        assert engine.stats.replies_delivered == 0
+        engine.stats.check_conservation()
+        # The historical aggregate still counts it...
+        assert engine.messages_lost == 1
+        # ...but the network-loss fraction must not (the old double-count).
+        assert engine.stats.loss_fraction() == 0.0
+
+    def test_request_in_flight_across_target_departure(self):
+        protocol, engine = pair_engine()
+        engine._handle_initiate(0)
+        protocol.remove_node(1)  # replier leaves with the request airborne
+        engine.run_events(1)
+        assert engine.stats.messages_to_departed == 1
+        assert engine.stats.replies_sent == 0  # no ghost reply was produced
+        engine.stats.check_conservation()
+        assert engine.stats.loss_fraction() == 0.0
+
+    def test_reordered_delivery_preserves_accounting(self):
+        # First send rides a slow link (5.0), second a fast one (0.5): the
+        # later send overtakes the earlier one in flight.
+        protocol, engine = pair_engine(delay=_ScriptedDelay([5.0, 0.5]))
+        engine._handle_initiate(0)
+        engine._handle_initiate(1)
+        assert engine.messages_in_flight == 2
+        engine.run_events(1)  # the *second* request lands first
+        assert engine.now == pytest.approx(0.5)
+        assert engine.stats.messages_delivered == 1
+        first_in_flight = engine._queue[0].message
+        assert first_in_flight.sender == 0  # the slow one is still airborne
+        engine.run_until(20.0)  # drain both requests and both replies
+        assert engine.stats.messages_delivered == 2
+        assert engine.stats.replies_delivered == 2
+        engine.stats.check_conservation()
+
+    def test_sandf_conservation_under_loss_delay_churn(self):
+        protocol = make_protocol(n=30)
+        engine = DiscreteEventEngine(
+            protocol,
+            delay=UniformDelay(0.1, 5.0),
+            loss=UniformLoss(0.15),
+            seed=11,
+        )
+        engine.run_until(10.0)
+        for victim in protocol.node_ids()[:5]:
+            protocol.remove_node(victim)
+        engine.run_until(40.0)
+        protocol.check_invariant()
+        # Flush the network: with every node gone the clocks die and any
+        # airborne message lands at a ghost, so the books close exactly.
+        for victim in protocol.node_ids():
+            protocol.remove_node(victim)
+        engine.run_until(50.0)
+        assert engine.messages_in_flight == 0
+        engine.stats.check_conservation()
+        assert engine.stats.messages_to_departed > 0
+        # S&F is fire-and-forget: the reply channel must stay silent.
+        assert engine.stats.replies_sent == 0
+        assert engine.stats.loss_fraction() == pytest.approx(0.15, abs=0.05)
+
+    def test_pushpull_conservation_under_loss_delay_churn(self):
+        protocol = make_pushpull(n=16)
+        engine = DiscreteEventEngine(
+            protocol,
+            delay=UniformDelay(0.5, 3.0),
+            loss=UniformLoss(0.1),
+            seed=12,
+        )
+        engine.run_until(15.0)
+        for victim in protocol.node_ids()[:4]:
+            protocol.remove_node(victim)
+        engine.run_until(40.0)
+        for victim in protocol.node_ids():
+            protocol.remove_node(victim)
+        engine.run_until(50.0)  # flush in-flight traffic into the churn bins
+        assert engine.messages_in_flight == 0
+        engine.stats.check_conservation()
+        assert engine.stats.replies_sent > 0
+        assert engine.stats.replies_delivered > 0
+        # Compat aggregate equals the four-way split, exactly.
+        assert engine.messages_lost == (
+            engine.stats.messages_lost
+            + engine.stats.replies_lost
+            + engine.stats.messages_to_departed
+            + engine.stats.replies_to_departed
+        )
+
+    def test_loss_strikes_reply_after_request_survives(self):
+        # Lossless on the way out, total loss on the way back: the push
+        # half succeeds, the pull half silently fails (§3.1's nonatomic
+        # degradation) — and the books still balance per kind.
+        protocol, engine = pair_engine()
+        engine._handle_initiate(0)
+        engine.loss = UniformLoss(1.0)
+        engine.run_events(1)  # request delivered; reply eaten at the seam
+        assert engine.stats.messages_delivered == 1
+        assert engine.stats.replies_sent == 1
+        assert engine.stats.replies_lost == 1
+        assert engine.messages_in_flight == 0
+        engine.stats.check_conservation()
+        assert engine.stats.loss_fraction() == pytest.approx(0.5)

@@ -1,0 +1,162 @@
+"""Tests for repro.net.transport (loopback and UDP transports)."""
+
+import asyncio
+
+import pytest
+
+from repro.net.loss import UniformLoss
+from repro.net.transport import AsyncioUdpTransport, LoopbackTransport
+from repro.net.wire import JoinRequest
+from repro.protocols.base import Message, SendEffect
+from repro.util.rng import make_rng
+
+
+def effect(sender=1, target=2, kind="sandf", reply=False):
+    return SendEffect(
+        Message(sender=sender, target=target, payload=[(sender, False)], kind=kind),
+        reply=reply,
+    )
+
+
+class TestLoopback:
+    def test_fifo_order(self):
+        transport = LoopbackTransport()
+        rng = make_rng(0)
+        first, second = effect(sender=1), effect(sender=2)
+        assert transport.send(first, rng)
+        assert transport.send(second, rng)
+        assert transport.poll() is first
+        assert transport.poll() is second
+        assert transport.poll() is None
+
+    def test_loss_applied_at_send_seam(self):
+        transport = LoopbackTransport(UniformLoss(1.0))
+        assert not transport.send(effect(), make_rng(0))
+        assert transport.poll() is None
+        assert transport.sent == 1 and transport.dropped == 1
+
+    def test_lossless_counts(self):
+        transport = LoopbackTransport()
+        rng = make_rng(1)
+        for _ in range(10):
+            transport.send(effect(), rng)
+        assert transport.sent == 10 and transport.dropped == 0
+        assert transport.pending() == 10
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestUdp:
+    def test_send_and_receive_record(self):
+        async def scenario():
+            inbox = []
+            receiver = await AsyncioUdpTransport.create(
+                lambda record, ts, addr: inbox.append(record)
+            )
+            sender = await AsyncioUdpTransport.create(lambda *a: None)
+            message = Message(sender=1, target=2, payload=[(1, True)], kind="sandf")
+            sender.send_record(message, receiver.address, timestamp=0.0)
+            await asyncio.sleep(0.05)
+            sender.close()
+            receiver.close()
+            return inbox, receiver
+
+        inbox, receiver = run(scenario())
+        assert inbox == [Message(sender=1, target=2, payload=[(1, True)], kind="sandf")]
+        assert receiver.delivered == 1
+        assert receiver.latency_samples  # timestamp -> one latency sample
+
+    def test_receiver_side_drop(self):
+        async def scenario():
+            inbox = []
+            receiver = await AsyncioUdpTransport.create(
+                lambda record, ts, addr: inbox.append(record),
+                drop_rate=1.0,
+                rng=make_rng(0),
+            )
+            sender = await AsyncioUdpTransport.create(lambda *a: None)
+            for _ in range(5):
+                sender.send_record(JoinRequest(node=1, port=9), receiver.address)
+            await asyncio.sleep(0.05)
+            sender.close()
+            receiver.close()
+            return inbox, receiver
+
+        inbox, receiver = run(scenario())
+        assert inbox == []
+        assert receiver.datagrams_received == 5
+        assert receiver.dropped == 5  # read off the socket, then discarded
+
+    def test_inbound_filter(self):
+        async def scenario():
+            inbox = []
+            receiver = await AsyncioUdpTransport.create(
+                lambda record, ts, addr: inbox.append(record),
+                inbound_filter=lambda record: not isinstance(record, JoinRequest),
+            )
+            sender = await AsyncioUdpTransport.create(lambda *a: None)
+            sender.send_record(JoinRequest(node=1, port=9), receiver.address)
+            sender.send_record(
+                Message(sender=1, target=2, payload=[], kind="sandf"),
+                receiver.address,
+            )
+            await asyncio.sleep(0.05)
+            sender.close()
+            receiver.close()
+            return inbox, receiver
+
+        inbox, receiver = run(scenario())
+        assert len(inbox) == 1 and isinstance(inbox[0], Message)
+        assert receiver.filtered == 1
+
+    def test_undecodable_datagram_counted_not_raised(self):
+        async def scenario():
+            receiver = await AsyncioUdpTransport.create(lambda *a: None)
+            loop = asyncio.get_running_loop()
+            probe = await AsyncioUdpTransport.create(lambda *a: None)
+            probe._socket.sendto(b"\xff garbage", receiver.address)
+            await asyncio.sleep(0.05)
+            probe.close()
+            receiver.close()
+            del loop
+            return receiver
+
+        receiver = run(scenario())
+        assert receiver.decode_errors == 1
+        assert receiver.delivered == 0
+
+    def test_seam_send_resolves_target(self):
+        async def scenario():
+            inbox = []
+            receiver = await AsyncioUdpTransport.create(
+                lambda record, ts, addr: inbox.append(record)
+            )
+            book = {2: receiver.address}
+            sender = await AsyncioUdpTransport.create(
+                lambda *a: None, resolve=book.get
+            )
+            rng = make_rng(0)
+            assert sender.send(effect(target=2), rng)
+            assert not sender.send(effect(target=99), rng)  # unroutable
+            await asyncio.sleep(0.05)
+            sender.close()
+            receiver.close()
+            return inbox, sender
+
+        inbox, sender = run(scenario())
+        assert len(inbox) == 1
+        assert sender.unroutable == 1
+        assert sender.datagrams_sent == 1
+
+    def test_invalid_drop_rate_rejected(self):
+        with pytest.raises(ValueError):
+            AsyncioUdpTransport(lambda *a: None, drop_rate=1.5)
+
+    def test_unbound_send_raises(self):
+        transport = AsyncioUdpTransport(lambda *a: None)
+        with pytest.raises(RuntimeError, match="not bound"):
+            transport.send_record(JoinRequest(node=1, port=2), ("127.0.0.1", 1))
+        with pytest.raises(RuntimeError, match="not bound"):
+            transport.address

@@ -1,0 +1,141 @@
+"""Tests for repro.net.wire (versioned datagram codec).
+
+The codec is the compatibility boundary between protocol code and any
+process/network boundary a record crosses; the Hypothesis round-trip
+property is the contract: decode(encode(x)) == x for every encodable
+record, bit-for-bit at the dataclass level.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.wire import (
+    MAX_DATAGRAM,
+    WIRE_SCHEMA_VERSION,
+    JoinRequest,
+    Welcome,
+    WireError,
+    decode,
+    decode_with_timestamp,
+    encode,
+)
+from repro.protocols.base import DeliverEvent, InitiateEvent, Message, SendEffect
+
+node_ids = st.integers(min_value=0, max_value=2**31 - 1)
+kinds = st.sampled_from(
+    ["sandf", "push", "pushpull-request", "pushpull-reply",
+     "shuffle-request", "shuffle-reply"]
+)
+payloads = st.lists(st.tuples(node_ids, st.booleans()), max_size=8)
+
+messages = st.builds(
+    Message, sender=node_ids, target=node_ids, payload=payloads, kind=kinds
+)
+records = st.one_of(
+    messages,
+    st.builds(InitiateEvent, node=node_ids),
+    st.builds(DeliverEvent, message=messages),
+    st.builds(SendEffect, message=messages, reply=st.booleans()),
+    st.builds(JoinRequest, node=node_ids, port=st.integers(1, 65535)),
+    st.builds(
+        Welcome,
+        node=node_ids,
+        bootstrap=st.lists(node_ids, max_size=16),
+        address_book=st.dictionaries(node_ids, st.integers(1, 65535), max_size=16),
+    ),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(record=records)
+    def test_every_record_round_trips(self, record):
+        assert decode(encode(record)) == record
+
+    @settings(max_examples=50, deadline=None)
+    @given(record=records, ts=st.floats(0, 1e9, allow_nan=False))
+    def test_timestamp_rides_the_envelope(self, record, ts):
+        decoded, got_ts = decode_with_timestamp(encode(record, timestamp=ts))
+        assert decoded == record
+        assert got_ts == pytest.approx(ts)
+
+    def test_timestamp_absent_by_default(self):
+        message = Message(sender=1, target=2, payload=[(3, True)], kind="sandf")
+        _, ts = decode_with_timestamp(encode(message))
+        assert ts is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(record=records)
+    def test_records_pickle(self, record):
+        assert pickle.loads(pickle.dumps(record)) == record
+
+
+class TestEnvelope:
+    def test_version_is_stamped(self):
+        obj = json.loads(encode(InitiateEvent(node=5)))
+        assert obj["v"] == WIRE_SCHEMA_VERSION
+
+    def test_wrong_version_rejected(self):
+        obj = json.loads(encode(InitiateEvent(node=5)))
+        obj["v"] = WIRE_SCHEMA_VERSION + 1
+        with pytest.raises(WireError, match="version"):
+            decode(json.dumps(obj).encode())
+
+    def test_unknown_tag_rejected(self):
+        payload = json.dumps({"v": WIRE_SCHEMA_VERSION, "t": "???"}).encode()
+        with pytest.raises(WireError, match="unknown wire tag"):
+            decode(payload)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WireError):
+            decode(b"\xff\x00 not json")
+        with pytest.raises(WireError, match="not an object"):
+            decode(b"[1,2,3]")
+
+    def test_malformed_body_rejected(self):
+        payload = json.dumps(
+            {"v": WIRE_SCHEMA_VERSION, "t": "msg", "m": {"s": 1}}
+        ).encode()
+        with pytest.raises(WireError, match="malformed"):
+            decode(payload)
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(WireError, match="cannot encode"):
+            encode(object())
+
+    def test_oversized_record_rejected(self):
+        huge = Welcome(
+            node=0,
+            bootstrap=[],
+            address_book={i: 65535 for i in range(10_000)},
+        )
+        with pytest.raises(WireError, match=str(MAX_DATAGRAM)):
+            encode(huge)
+
+    def test_datagrams_are_compact_json(self):
+        data = encode(Message(sender=1, target=2, payload=[(1, False)], kind="sandf"))
+        assert b" " not in data  # separators=(",", ":")
+        assert len(data) < 200
+
+
+class TestSlots:
+    """The satellite contract: slotted on 3.10+, always picklable."""
+
+    def test_message_has_no_dict_on_slotted_builds(self):
+        import sys
+
+        message = Message(sender=1, target=2, payload=[], kind="sandf")
+        if sys.version_info >= (3, 10):
+            assert not hasattr(message, "__dict__")
+        assert pickle.loads(pickle.dumps(message)) == message
+
+    def test_event_effect_types_picklable(self):
+        effect = SendEffect(
+            Message(sender=1, target=2, payload=[(9, True)], kind="x"), reply=True
+        )
+        for record in (InitiateEvent(3), DeliverEvent(effect.message), effect):
+            assert pickle.loads(pickle.dumps(record)) == record

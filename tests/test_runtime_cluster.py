@@ -1,0 +1,128 @@
+"""Tests for repro.runtime.cluster (localhost UDP cluster harness).
+
+Small clusters and short durations: these tests prove the machinery
+(boot, join, kill/restart, partition, reporting, obs streaming), not the
+steady-state statistics — the §6.2 comparison lives in the paper tier.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.runtime.cluster import ClusterConfig, LocalCluster, run_cluster
+
+
+def tiny_config(**overrides):
+    base = dict(
+        n=8,
+        view_size=8,
+        d_low=2,
+        drop_rate=0.0,
+        rate=80.0,
+        duration_s=0.6,
+        seed=123,
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+class TestConfig:
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            LocalCluster(tiny_config(n=2))
+
+    def test_invalid_params_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            LocalCluster(tiny_config(view_size=8, d_low=4))
+
+    def test_bootstrap_degree_even_and_in_bounds(self):
+        for s, d_low in [(8, 2), (12, 4), (16, 2)]:
+            cfg = tiny_config(view_size=s, d_low=d_low)
+            degree = cfg.bootstrap_degree()
+            assert degree % 2 == 0
+            assert d_low <= degree <= s
+
+
+class TestBasicRun:
+    def test_clean_run_degrees_in_bounds(self):
+        report = run_cluster(tiny_config())
+        assert report.ok(), (report.degree_violations, report.errors)
+        assert report.live_nodes == 8
+        assert report.actions > 0
+        assert report.datagrams_sent > 0
+        # Observation 5.1 on every live view.
+        for degree in report.degree_counts:
+            assert degree % 2 == 0
+            assert 2 <= degree <= 8
+
+    def test_seeded_runs_share_structure(self):
+        report = run_cluster(tiny_config())
+        assert sum(report.degree_counts.values()) == report.live_nodes
+        assert report.datagrams_received <= report.datagrams_sent
+
+    def test_drop_injection_counted(self):
+        report = run_cluster(tiny_config(drop_rate=0.5, duration_s=0.9))
+        assert report.ok(), (report.degree_violations, report.errors)
+        assert report.datagrams_dropped > 0
+        assert 0.0 < report.observed_drop_fraction() < 1.0
+
+    def test_report_format_renders(self):
+        report = run_cluster(tiny_config())
+        text = report.format()
+        assert "UDP cluster" in text and "outdegree" in text
+
+
+class TestScenarios:
+    def test_kill_restart_via_introducer(self):
+        report = run_cluster(tiny_config(n=10, kill_restart=2, duration_s=1.0))
+        assert report.ok(), (report.degree_violations, report.errors)
+        assert report.restarts == 2
+        assert report.live_nodes == 10  # everyone came back
+
+    def test_partition_and_heal_filters_cross_traffic(self):
+        report = run_cluster(
+            tiny_config(n=10, partition_groups=2, duration_s=1.2, rate=120.0)
+        )
+        assert report.ok(), (report.degree_violations, report.errors)
+        assert report.datagrams_filtered > 0  # cross-group drops happened
+
+    def test_manual_scenario_controls(self):
+        async def scenario():
+            cluster = LocalCluster(tiny_config(n=6))
+            await cluster.start()
+            await asyncio.sleep(0.15)
+            cluster.split(2)
+            assert not cluster.admits(0, 1)  # different parity groups
+            assert cluster.admits(0, 2)
+            cluster.heal()
+            assert cluster.admits(0, 1)
+            await cluster.kill(3)
+            assert 3 not in cluster.nodes
+            await cluster.restart(3)
+            assert cluster.nodes[3].running
+            await asyncio.sleep(0.15)
+            report = cluster.report()
+            await cluster.shutdown()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.restarts == 1
+        assert report.live_nodes == 6
+
+
+class TestObservability:
+    def test_metrics_stream_into_obs(self):
+        registry = obs.Registry()
+        with obs.activated(obs.Telemetry(registry=registry)):
+            report = run_cluster(tiny_config())
+        snap = registry.snapshot()
+        assert snap["counters"]["cluster.actions"] == report.actions
+        assert snap["counters"]["cluster.datagrams_sent"] == report.datagrams_sent
+        assert snap["gauges"]["cluster.live_nodes"] == report.live_nodes
+        assert "cluster.outdegree_mean" in snap["gauges"]
+
+    def test_latency_percentiles_sampled(self):
+        report = run_cluster(tiny_config(rate=120.0))
+        assert report.latency_p50_ms > 0.0
+        assert report.latency_p99_ms >= report.latency_p50_ms
