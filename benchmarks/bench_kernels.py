@@ -1,48 +1,87 @@
 """Kernel-backend throughput benchmark: actions/second per population size.
 
-Times the :class:`~repro.kernel.reference.ReferenceKernel` (object per
-node) against the :class:`~repro.kernel.array.ArrayKernel` (one numpy
-id-matrix, conflict-free batch groups) executing scheduler picks at the
-paper's working parameters (``s = 40, dL = 18``, uniform loss 0.05), and
-writes ``BENCH_kernels.json`` at the repo root.
+Times the kernel backends executing scheduler picks at the paper's
+working parameters (``s = 40, dL = 18``, uniform loss 0.05) and writes
+``BENCH_kernels.json`` at the repo root:
 
-The array kernel's conflict-free group length grows ~√n, so its
-advantage *increases* with population size; the reference kernel's
-per-action cost is size-independent.  Run::
+- :class:`~repro.kernel.reference.ReferenceKernel` — object per node
+  (skipped at n=10⁶: its per-action cost is size-independent and the
+  point there is the array-family backends);
+- :class:`~repro.kernel.array.ArrayKernel` — fused batch settlement over
+  one numpy id-matrix;
+- :class:`~repro.kernel.sharded.ShardedKernel` — the same state in
+  shared memory with per-shard apply workers;
+- :class:`~repro.kernel.jit.JitKernel` — only when the optional Numba
+  extra is installed.
+
+Each row also records peak RSS: the process high-watermark (``VmHWM``)
+for in-process backends, parent + workers summed for the sharded one.
+The fused kernel's conflict-free group length grows ~√n, so its
+advantage *increases* with population size.  Run::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]
 
-Not a pytest file on purpose: one timed run is an artifact, not a test.
-``tests/test_kernel_equivalence.py`` guards correctness; this file only
-measures speed.
+``--quick`` shrinks action counts tenfold and caps the grid at n=10⁵ —
+the CI smoke configuration.  Not a pytest file on purpose: one timed run
+is an artifact, not a test.  ``tests/test_kernel_equivalence.py`` guards
+correctness; this file only measures speed.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import resource
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.params import SFParams
 from repro.engine.sequential import EngineStats
-from repro.kernel import ArrayKernel, ReferenceKernel
+from repro.kernel import (
+    ArrayKernel,
+    JitKernel,
+    ReferenceKernel,
+    ShardedKernel,
+    jit_available,
+)
 from repro.net.loss import UniformLoss
 from repro.util.rng import make_rng
 
 PARAMS = SFParams(view_size=40, d_low=18)
 LOSS_RATE = 0.05
 INIT_OUTDEGREE = 30
-BATCH = 4096  # mirror the engine's MAX_BATCH_ACTIONS
+BATCH = 16384  # mirror the engine's MAX_BATCH_ACTIONS
+
+#: Same machine, same parameters, commit ba581dc (pre-fused ArrayKernel
+#: with Python-side conflict-group bookkeeping): the "before" column for
+#: the fused-batch rewrite.
+BASELINE_PRE_FUSED = {
+    1_000: 384_403.7,
+    10_000: 907_077.5,
+    100_000: 912_682.3,
+}
 
 
 def build(kernel_cls, n: int):
-    kernel = (
-        kernel_cls(PARAMS, capacity=n) if kernel_cls is ArrayKernel else kernel_cls(PARAMS)
-    )
-    for u in range(n):
-        kernel.add_node(u, [(u + k) % n for k in range(1, INIT_OUTDEGREE + 1)])
+    if kernel_cls is ReferenceKernel:
+        kernel = kernel_cls(PARAMS)
+        for u in range(n):
+            kernel.add_node(u, [(u + k) % n for k in range(1, INIT_OUTDEGREE + 1)])
+        return kernel
+    kernel = kernel_cls(PARAMS, capacity=n)
+    ids = np.arange(n)
+    offsets = np.arange(1, INIT_OUTDEGREE + 1)
+    kernel.add_nodes(ids, (ids[:, None] + offsets[None, :]) % n)
     return kernel
+
+
+def peak_rss_kb(kernel) -> int:
+    if hasattr(kernel, "peak_rss_kb"):
+        return int(kernel.peak_rss_kb())
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def time_kernel(
@@ -57,30 +96,44 @@ def time_kernel(
     kernel.run_batch(min(actions // 4, 5 * n), rng, loss, stats)
     # Best of ``repeats`` timed passes: the steady state makes passes
     # statistically identical, so the minimum filters scheduler noise.
-    elapsed = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        remaining = actions
-        while remaining > 0:
-            step = min(remaining, BATCH)
-            kernel.run_batch(step, rng, loss, stats)
-            remaining -= step
-        elapsed = min(elapsed, time.perf_counter() - start)
+    # Collect the garbage earlier rows left behind (the reference kernel
+    # allocates one object per node) and keep the collector out of the
+    # timed window, so rows don't pay for their predecessors.
+    gc.collect()
+    gc.disable()
+    try:
+        elapsed = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            remaining = actions
+            while remaining > 0:
+                step = min(remaining, BATCH)
+                kernel.run_batch(step, rng, loss, stats)
+                remaining -= step
+            elapsed = min(elapsed, time.perf_counter() - start)
+    finally:
+        gc.enable()
     kernel.check_invariant()
-    return {
+    row = {
         "backend": kernel_cls.__name__,
         "n": n,
         "actions": actions,
         "repeats": repeats,
         "seconds": round(elapsed, 4),
         "actions_per_sec": round(actions / elapsed, 1),
+        "peak_rss_kb": peak_rss_kb(kernel),
     }
+    if hasattr(kernel, "close"):
+        kernel.close()
+    return row
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--quick", action="store_true", help="shrink action counts for a smoke run"
+        "--quick",
+        action="store_true",
+        help="shrink action counts tenfold and skip the n=10^6 row (CI smoke)",
     )
     parser.add_argument(
         "--output",
@@ -89,27 +142,56 @@ def main() -> int:
     args = parser.parse_args()
     scale = 10 if args.quick else 1
 
-    rows = []
     plans = [
-        # (n, reference actions, array actions)
+        # (n, reference actions, array-family actions)
         (1_000, 100_000 // scale, 400_000 // scale),
         (10_000, 100_000 // scale, 400_000 // scale),
         (100_000, 50_000 // scale, 400_000 // scale),
     ]
+    if not args.quick:
+        # The million-node row: array-family only (the reference kernel's
+        # build alone would dominate, and its throughput is n-independent).
+        plans.append((1_000_000, 0, 1_000_000))
+
+    rows = []
     for n, ref_actions, arr_actions in plans:
-        ref = time_kernel(ReferenceKernel, n, ref_actions)
-        print(f"reference n={n:>7}: {ref['actions_per_sec']:>12,.0f} actions/s")
+        row = {"n": n}
+        if ref_actions:
+            ref = time_kernel(ReferenceKernel, n, ref_actions)
+            print(f"reference n={n:>8}: {ref['actions_per_sec']:>12,.0f} actions/s")
+            row["reference"] = ref
         arr = time_kernel(ArrayKernel, n, arr_actions)
-        print(f"array     n={n:>7}: {arr['actions_per_sec']:>12,.0f} actions/s")
-        speedup = arr["actions_per_sec"] / ref["actions_per_sec"]
-        print(f"  speedup x{speedup:.1f}")
-        rows.append({"n": n, "reference": ref, "array": arr, "speedup": round(speedup, 2)})
+        print(f"array     n={n:>8}: {arr['actions_per_sec']:>12,.0f} actions/s")
+        row["array"] = arr
+        sharded = time_kernel(ShardedKernel, n, arr_actions)
+        print(
+            f"sharded   n={n:>8}: {sharded['actions_per_sec']:>12,.0f} actions/s"
+            f"  (peak RSS {sharded['peak_rss_kb'] / 1024:,.0f} MiB"
+            " across processes)"
+        )
+        row["sharded"] = sharded
+        if jit_available():
+            jit = time_kernel(JitKernel, n, arr_actions)
+            print(f"jit       n={n:>8}: {jit['actions_per_sec']:>12,.0f} actions/s")
+            row["jit"] = jit
+        if ref_actions:
+            row["speedup"] = round(
+                arr["actions_per_sec"] / row["reference"]["actions_per_sec"], 2
+            )
+            print(f"  array speedup vs reference x{row['speedup']:.1f}")
+        before = BASELINE_PRE_FUSED.get(n)
+        if before:
+            row["array_before_fused"] = before
+            row["fused_speedup"] = round(arr["actions_per_sec"] / before, 2)
+            print(f"  fused speedup vs pre-fused array x{row['fused_speedup']:.2f}")
+        rows.append(row)
 
     payload = {
         "params": {"view_size": PARAMS.view_size, "d_low": PARAMS.d_low},
         "loss_rate": LOSS_RATE,
         "batch": BATCH,
         "quick": args.quick,
+        "jit_available": jit_available(),
         "results": rows,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

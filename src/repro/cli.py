@@ -242,6 +242,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             loss_rate=args.loss,
             seed=args.seed,
             backend=args.backend,
+            shard_workers=getattr(args, "shard_workers", None),
         )
         engine.run_rounds(args.rounds)
         protocol.check_invariant()
@@ -261,6 +262,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"diameter={stats.undirected_diameter} "
               f"self-edges={stats.self_edges}")
         _finish_telemetry(args, telemetry)
+        if hasattr(protocol, "close"):
+            protocol.close()
     finally:
         _reset_telemetry(telemetry)
     return 0
@@ -390,11 +393,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.set_defaults(func=_cmd_list)
 
+    from repro.experiments.common import available_backends
+
     backend_kwargs = dict(
-        choices=["reference", "array", "reference-kernel"],
+        choices=list(available_backends()),
         default="reference",
         help="simulation backend: 'reference' (legacy object-per-node), "
-        "'array' (vectorized numpy kernel), or 'reference-kernel' "
+        "'array' (fused vectorized numpy kernel), 'jit' (Numba-compiled "
+        "batch loop; listed only when the 'jit' extra is installed), "
+        "'sharded' (shared-memory array state with per-shard apply "
+        "workers, for very large n), or 'reference-kernel' "
         "(object-per-node under the batched kernel discipline); analytic "
         "experiments warn when a non-default backend cannot apply",
     )
@@ -469,6 +477,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--rounds", type=float, default=300.0)
     simulate_parser.add_argument("--seed", type=int, default=0)
     simulate_parser.add_argument("--backend", **backend_kwargs)
+    simulate_parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="apply workers for --backend sharded (default: one per CPU); "
+        "ignored by other backends",
+    )
     simulate_parser.add_argument("--trace", **trace_kwargs)
     simulate_parser.add_argument("--metrics-out", **metrics_out_kwargs)
     simulate_parser.set_defaults(func=_cmd_simulate)

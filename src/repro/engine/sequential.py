@@ -41,7 +41,7 @@ SnapshotHook = Callable[["SequentialEngine", int], None]
 
 #: Upper bound on one kernel batch, so hook-free runs still draw their
 #: randomness in bounded blocks.
-MAX_BATCH_ACTIONS = 4096
+MAX_BATCH_ACTIONS = 16384
 
 
 @dataclass

@@ -11,15 +11,33 @@ from __future__ import annotations
 
 from typing import Optional, Tuple, Union
 
+import numpy as np
+
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
 from repro.engine.sequential import SequentialEngine
-from repro.kernel import ArrayKernel, ReferenceKernel, SimulationKernel
+from repro.kernel import (
+    ArrayKernel,
+    JitKernel,
+    ReferenceKernel,
+    ShardedKernel,
+    SimulationKernel,
+    jit_available,
+)
 from repro.net.loss import LossModel, UniformLoss
 from repro.util.rng import SeedLike
 
 #: Valid values for ``build_sf_system``'s ``backend`` argument.
-BACKENDS = ("reference", "array", "reference-kernel")
+BACKENDS = ("reference", "array", "jit", "sharded", "reference-kernel")
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backends constructible in this environment.
+
+    ``jit`` requires the optional Numba extra (``pip install 'repro[jit]'``)
+    and is omitted when it cannot run; everything else is always available.
+    """
+    return tuple(b for b in BACKENDS if b != "jit" or jit_available())
 
 
 def build_sf_system(
@@ -30,6 +48,7 @@ def build_sf_system(
     init_outdegree: Optional[int] = None,
     loss_model: Optional[LossModel] = None,
     backend: str = "reference",
+    shard_workers: Optional[int] = None,
 ) -> Tuple[Union[SendForget, SimulationKernel], SequentialEngine]:
     """Create ``n`` S&F nodes on a ring bootstrap plus a sequential engine.
 
@@ -44,12 +63,19 @@ def build_sf_system(
     - ``"reference"`` (default) — the legacy per-action ``SendForget``
       path, bit-identical to historical runs at any given seed;
     - ``"array"`` — the vectorized :class:`repro.kernel.ArrayKernel`
-      (one numpy id-matrix for all views, batched execution);
+      (one numpy id-matrix for all views, fused batched execution);
+    - ``"jit"`` — :class:`repro.kernel.JitKernel`, the array layout with
+      a Numba-compiled batch loop (optional extra; raises a clean
+      ``ImportError`` when Numba is absent — see
+      :func:`available_backends`);
+    - ``"sharded"`` — :class:`repro.kernel.ShardedKernel`, the array
+      layout in shared memory with ``shard_workers`` apply processes
+      (default: one per CPU), for very large ``n``;
     - ``"reference-kernel"`` — ``SendForget`` objects driven through the
       batched kernel discipline (mainly for equivalence testing).
 
-    The two kernel backends share a canonical randomness discipline and
-    are bit-identical to *each other* at any seed, but consume the RNG
+    The kernel backends share a canonical randomness discipline and are
+    bit-identical to *each other* at any seed, but consume the RNG
     stream differently from ``"reference"``, so per-seed trajectories
     differ across that boundary (distributions do not).
     """
@@ -69,13 +95,25 @@ def build_sf_system(
         protocol: Union[SendForget, SimulationKernel] = SendForget(params)
     elif backend == "array":
         protocol = ArrayKernel(params, capacity=n)
+    elif backend == "jit":
+        protocol = JitKernel(params, capacity=n)
+    elif backend == "sharded":
+        protocol = ShardedKernel(params, capacity=n, workers=shard_workers)
     elif backend == "reference-kernel":
         protocol = ReferenceKernel(params)
     else:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-    for u in range(n):
-        bootstrap = [(u + k) % n for k in range(1, init_outdegree + 1)]
-        protocol.add_node(u, bootstrap)
+    if isinstance(protocol, ArrayKernel):
+        # Bulk join: state-identical to the add_node loop below (no
+        # randomness involved), but O(1) numpy calls — at n=10⁶ the loop
+        # itself would dwarf the simulation.
+        ids = np.arange(n)
+        offsets = np.arange(1, init_outdegree + 1)
+        protocol.add_nodes(ids, (ids[:, None] + offsets[None, :]) % n)
+    else:
+        for u in range(n):
+            bootstrap = [(u + k) % n for k in range(1, init_outdegree + 1)]
+            protocol.add_node(u, bootstrap)
     loss = loss_model if loss_model is not None else UniformLoss(loss_rate)
     # A caller-supplied stateful model (e.g. GilbertElliottLoss) may be
     # reused across replications; start each assembled system with a clean

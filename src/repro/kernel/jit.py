@@ -1,0 +1,190 @@
+"""Optional Numba-compiled kernel backend (``--backend jit``).
+
+:class:`JitKernel` replaces the fused-window settlement of
+:class:`~repro.kernel.array.ArrayKernel` with a single compiled loop that
+executes the batch strictly in action order — the natural bit-exact
+implementation, since the canonical randomness block is drawn up front
+and sequential execution needs no conflict analysis at all.  The loop is
+compiled with ``numba.njit(cache=True)`` on first use, so repeated runs
+pay the compile cost once per machine.
+
+Numba is an *optional extra* (``pip install 'repro[jit]'``): importing
+this module never fails, :func:`jit_available` reports whether the
+backend can run, and constructing :class:`JitKernel` without Numba raises
+a clean ``ImportError``.  Stateful loss models (Gilbert–Elliott,
+partitions, per-link rates) consult Python callbacks per message and are
+delegated to the inherited in-order array path, which is already exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import SFParams
+from repro.kernel.array import ArrayKernel
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import njit as _njit
+
+    _HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the tier-1 environment
+    _njit = None
+    _HAVE_NUMBA = False
+
+
+def jit_available() -> bool:
+    """True when the Numba extra is importable (backend can be built)."""
+    return _HAVE_NUMBA
+
+
+#: Lazily compiled batch step (one per process; njit caching makes the
+#: second process on a machine reuse the on-disk compilation artifact).
+_STEP = None
+
+
+def _batch_step_python(
+    flat_ids, flat_dep, outdeg, sent, received, node_at, id_index,
+    ebits, use_ebits, s, d_low, initiators, slot_i, slot_j,
+    lost_all, store_u, count,
+):
+    """The sequential S&F batch loop (Fig 5.1), compiled by Numba.
+
+    Pure scalar code over the kernel's flat state arrays; returns the
+    stats deltas as a tuple so the wrapper can update the Python-side
+    counters.  Kept import-safe (plain Python) and compiled on demand.
+    """
+    self_loops = 0
+    msgs = 0
+    dups = 0
+    lost_n = 0
+    departed = 0
+    delivered = 0
+    deletions = 0
+    one = np.uint64(1)
+    for k in range(count):
+        u = initiators[k]
+        i = slot_i[k]
+        j = slot_j[k]
+        base = u * s
+        vi = flat_ids[base + i]
+        vj = flat_ids[base + j]
+        if vi < 0 or vj < 0:
+            self_loops += 1
+            continue
+        msgs += 1
+        sent[u] += 1
+        dup = outdeg[u] <= d_low
+        if dup:
+            dups += 1
+        else:
+            flat_ids[base + i] = -1
+            flat_ids[base + j] = -1
+            flat_dep[base + i] = False
+            flat_dep[base + j] = False
+            outdeg[u] -= 2
+            if use_ebits:
+                ebits[u] |= (one << np.uint64(i)) | (one << np.uint64(j))
+        if lost_all[k]:
+            lost_n += 1
+            continue
+        t = id_index[vi]
+        if t < 0:
+            departed += 1
+            continue
+        delivered += 1
+        received[t] += 1
+        c = s - outdeg[t]
+        if c < 2:
+            deletions += 1
+            continue
+        k1 = int(store_u[k, 0] * c)
+        if k1 > c - 1:
+            k1 = c - 1
+        k2 = int(store_u[k, 1] * (c - 1))
+        if k2 > c - 2:
+            k2 = c - 2
+        if k2 >= k1:
+            k2 += 1
+        tbase = t * s
+        e1 = -1
+        e2 = -1
+        cnt = 0
+        for col in range(s):
+            if flat_ids[tbase + col] < 0:
+                if cnt == k1:
+                    e1 = col
+                if cnt == k2:
+                    e2 = col
+                cnt += 1
+        flat_ids[tbase + e1] = node_at[u]
+        flat_dep[tbase + e1] = dup
+        flat_ids[tbase + e2] = vj
+        flat_dep[tbase + e2] = dup
+        outdeg[t] += 2
+        if use_ebits:
+            ebits[t] &= ~((one << np.uint64(e1)) | (one << np.uint64(e2)))
+    return self_loops, msgs, dups, lost_n, departed, delivered, deletions
+
+
+def _build_step():
+    global _STEP
+    if _STEP is None:
+        _STEP = _njit(cache=True)(_batch_step_python)
+    return _STEP
+
+
+class JitKernel(ArrayKernel):
+    """S&F batches as one Numba-compiled in-order loop.
+
+    State layout, observation methods, churn, and the stateful-loss
+    in-order path are all inherited from :class:`ArrayKernel`; only the
+    uniform-loss hot path differs.  Requires the ``jit`` extra.
+    """
+
+    _metric_prefix = "kernel.jit"
+
+    def __init__(self, params: SFParams, capacity: int = 64):
+        if not _HAVE_NUMBA:
+            raise ImportError(
+                "JitKernel requires numba; install the optional extra with "
+                "pip install 'repro[jit]' (or choose --backend array)"
+            )
+        super().__init__(params, capacity)
+        self._step = _build_step()
+
+    def _run_unordered(self, draws, bi_all, bj_all, shm_all, lost_all,
+                       engine_stats, count):
+        use_ebits = self._ebits is not None
+        ebits = self._ebits if use_ebits else np.zeros(1, dtype=np.uint64)
+        (
+            self_loops, msgs, dups, lost_n, departed, delivered, deletions,
+        ) = self._step(
+            self._flat_ids,
+            self._flat_dep,
+            self._outdeg,
+            self._sent,
+            self._received,
+            self._node_at,
+            self._id_index,
+            ebits,
+            use_ebits,
+            self.params.view_size,
+            self.params.d_low,
+            draws.initiators,
+            draws.slot_i,
+            draws.slot_j,
+            lost_all,
+            draws.store_u,
+            count,
+        )
+        stats = self.stats
+        stats.self_loops += self_loops
+        stats.non_self_loop_actions += msgs
+        stats.messages_sent += msgs
+        stats.duplications += dups
+        stats.deliveries += delivered
+        stats.deletions += deletions
+        engine_stats.messages_sent += msgs
+        engine_stats.messages_lost += lost_n
+        engine_stats.messages_to_departed += departed
+        engine_stats.messages_delivered += delivered

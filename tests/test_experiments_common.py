@@ -77,7 +77,9 @@ class TestBackends:
     def test_backend_registry(self):
         from repro.experiments.common import BACKENDS
 
-        assert BACKENDS == ("reference", "array", "reference-kernel")
+        assert BACKENDS == (
+            "reference", "array", "jit", "sharded", "reference-kernel"
+        )
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):

@@ -1,15 +1,20 @@
-"""Bit-exact equivalence: ReferenceKernel ≡ ArrayKernel, slot for slot.
+"""Bit-exact equivalence: ReferenceKernel ≡ every array-family backend.
 
 The kernel layer's canonical draw discipline (``repro.kernel.base``)
 guarantees that two kernels driven by equal-seeded generators with the
 same batch schedule consume identical random numbers.  These tests hold
-both implementations to that bar: after every batch of a mixed schedule
+every implementation to that bar: after every batch of a mixed schedule
 (including batch sizes past the engine's ``MAX_BATCH_ACTIONS``), every
 view must match slot-for-slot — ids, dependence flags, and ⊥ positions —
 and every protocol/engine counter must agree exactly, across loss models
 exercising both of the array kernel's execution paths (the unordered
-dependency-DAG path for precomputable loss, the in-order prefix path for
+fused-window path for precomputable loss, the in-order prefix path for
 stateful loss) and under churn.
+
+Covered backends: the fused :class:`ArrayKernel`; :class:`JitKernel`'s
+batch loop both as plain Python (always runnable — it is byte-for-byte
+the function Numba compiles) and compiled (skipped when the ``jit``
+extra is absent); and :class:`ShardedKernel` with two apply workers.
 """
 
 from __future__ import annotations
@@ -20,7 +25,14 @@ import pytest
 from repro.core.params import SFParams
 from repro.engine.sequential import EngineStats, SequentialEngine
 from repro.experiments.common import build_sf_system
-from repro.kernel import ArrayKernel, ReferenceKernel
+from repro.kernel import (
+    ArrayKernel,
+    JitKernel,
+    ReferenceKernel,
+    ShardedKernel,
+    jit_available,
+)
+from repro.kernel.jit import _batch_step_python
 from repro.net.loss import (
     GilbertElliottLoss,
     NoLoss,
@@ -47,15 +59,53 @@ STATS_FIELDS = (
 )
 
 
+class PurePythonJitKernel(JitKernel):
+    """``JitKernel``'s exact batch loop, uncompiled.
+
+    Runs in every environment (no Numba needed) and executes the very
+    function the compiled backend feeds to ``njit``, so the loop's
+    semantics are pinned by the equivalence matrix even where the
+    compiled variant has to be skipped.
+    """
+
+    def __init__(self, params, capacity=64):
+        ArrayKernel.__init__(self, params, capacity)
+        self._step = _batch_step_python
+
+
+def make_sharded(params, capacity=64):
+    return ShardedKernel(params, capacity=capacity, workers=2)
+
+
+#: The array-family backends held bit-exact against ReferenceKernel.
+ARRAY_BACKENDS = [
+    pytest.param(ArrayKernel, id="array"),
+    pytest.param(PurePythonJitKernel, id="jit-python-loop"),
+    pytest.param(
+        JitKernel,
+        id="jit",
+        marks=pytest.mark.skipif(
+            not jit_available(), reason="numba not installed (jit extra)"
+        ),
+    ),
+    pytest.param(make_sharded, id="sharded-2-workers"),
+]
+
+
 def build(kernel_cls, n, params=PARAMS, capacity=None, init_outdegree=10):
     kernel = (
-        kernel_cls(params, capacity=capacity or n)
-        if kernel_cls is ArrayKernel
-        else kernel_cls(params)
+        kernel_cls(params)
+        if kernel_cls is ReferenceKernel
+        else kernel_cls(params, capacity=capacity or n)
     )
     for u in range(n):
         kernel.add_node(u, [(u + k) % n for k in range(1, init_outdegree + 1)])
     return kernel
+
+
+def close_kernel(kernel):
+    if hasattr(kernel, "close"):
+        kernel.close()
 
 
 def assert_same_state(ref, arr, context=""):
@@ -91,22 +141,26 @@ LOSS_MODELS = [
 
 
 class TestKernelEquivalence:
+    @pytest.mark.parametrize("kernel_cls", ARRAY_BACKENDS)
     @pytest.mark.parametrize("make_loss", LOSS_MODELS)
-    def test_slot_exact_over_batch_schedule(self, make_loss):
+    def test_slot_exact_over_batch_schedule(self, make_loss, kernel_cls):
         n = 200
         ref = build(ReferenceKernel, n)
-        arr = build(ArrayKernel, n)
-        rng_ref, rng_arr = make_rng(42), make_rng(42)
-        stats_ref, stats_arr = EngineStats(), EngineStats()
-        loss_ref, loss_arr = make_loss(), make_loss()
-        for batch in BATCH_SCHEDULE:
-            ref.run_batch(batch, rng_ref, loss_ref, stats_ref)
-            arr.run_batch(batch, rng_arr, loss_arr, stats_arr)
-            assert_same_state(ref, arr, context=f"after batch {batch}")
-            ref.check_invariant()
-            arr.check_invariant()
-        assert stats_ref == stats_arr
-        assert stats_ref.actions == sum(BATCH_SCHEDULE) > 10_000
+        arr = build(kernel_cls, n)
+        try:
+            rng_ref, rng_arr = make_rng(42), make_rng(42)
+            stats_ref, stats_arr = EngineStats(), EngineStats()
+            loss_ref, loss_arr = make_loss(), make_loss()
+            for batch in BATCH_SCHEDULE:
+                ref.run_batch(batch, rng_ref, loss_ref, stats_ref)
+                arr.run_batch(batch, rng_arr, loss_arr, stats_arr)
+                assert_same_state(ref, arr, context=f"after batch {batch}")
+                ref.check_invariant()
+                arr.check_invariant()
+            assert stats_ref == stats_arr
+            assert stats_ref.actions == sum(BATCH_SCHEDULE) > 10_000
+        finally:
+            close_kernel(arr)
 
     def test_full_loss_never_delivers(self):
         ref = build(ReferenceKernel, 50)
@@ -118,40 +172,48 @@ class TestKernelEquivalence:
         assert stats_arr.messages_delivered == 0
         assert stats_arr.messages_lost == stats_arr.messages_sent > 0
 
-    def test_equivalence_under_churn(self):
-        """Joins and swap-remove leaves interleaved with lossy batches."""
+    @pytest.mark.parametrize("kernel_cls", ARRAY_BACKENDS)
+    def test_equivalence_under_churn(self, kernel_cls):
+        """Joins and swap-remove leaves interleaved with lossy batches.
+
+        The tiny initial capacity also exercises array growth — for the
+        sharded backend, that is the worker re-attach protocol firing
+        mid-run while batches keep flowing.
+        """
         n = 60
-        # Tiny initial capacity so the test also exercises array growth.
         ref = build(ReferenceKernel, n)
-        arr = build(ArrayKernel, n, capacity=8)
-        rng_ref, rng_arr = make_rng(7), make_rng(7)
-        stats_ref, stats_arr = EngineStats(), EngineStats()
-        churn_rng = np.random.default_rng(99)
-        next_id = n
-        for step in range(40):
-            ref.run_batch(250, rng_ref, UniformLoss(0.1), stats_ref)
-            arr.run_batch(250, rng_arr, UniformLoss(0.1), stats_arr)
-            assert_same_state(ref, arr, context=f"churn step {step}")
-            ref.check_invariant()
-            arr.check_invariant()
-            if step % 3 == 0 and ref.population > 20:
-                victim = int(churn_rng.choice(ref.node_ids()))
-                ref.remove_node(victim)
-                arr.remove_node(victim)
-            if step % 4 == 0:
-                donors = sorted(ref.node_ids())[:6]
-                ref.add_node(next_id, donors)
-                arr.add_node(next_id, donors)
-                next_id += 1
-        assert stats_ref == stats_arr
-        # Departed nodes attracted messages: tracked apart from loss.
-        assert stats_arr.messages_to_departed > 0
-        assert ref.load_counts("sent") == arr.load_counts("sent")
-        assert ref.load_counts("received") == arr.load_counts("received")
-        assert ref.indegrees() == arr.indegrees()
-        assert ref.dependent_fraction() == pytest.approx(
-            arr.dependent_fraction(), abs=1e-12
-        )
+        arr = build(kernel_cls, n, capacity=8)
+        try:
+            rng_ref, rng_arr = make_rng(7), make_rng(7)
+            stats_ref, stats_arr = EngineStats(), EngineStats()
+            churn_rng = np.random.default_rng(99)
+            next_id = n
+            for step in range(40):
+                ref.run_batch(250, rng_ref, UniformLoss(0.1), stats_ref)
+                arr.run_batch(250, rng_arr, UniformLoss(0.1), stats_arr)
+                assert_same_state(ref, arr, context=f"churn step {step}")
+                ref.check_invariant()
+                arr.check_invariant()
+                if step % 3 == 0 and ref.population > 20:
+                    victim = int(churn_rng.choice(ref.node_ids()))
+                    ref.remove_node(victim)
+                    arr.remove_node(victim)
+                if step % 4 == 0:
+                    donors = sorted(ref.node_ids())[:6]
+                    ref.add_node(next_id, donors)
+                    arr.add_node(next_id, donors)
+                    next_id += 1
+            assert stats_ref == stats_arr
+            # Departed nodes attracted messages: tracked apart from loss.
+            assert stats_arr.messages_to_departed > 0
+            assert ref.load_counts("sent") == arr.load_counts("sent")
+            assert ref.load_counts("received") == arr.load_counts("received")
+            assert ref.indegrees() == arr.indegrees()
+            assert ref.dependent_fraction() == pytest.approx(
+                arr.dependent_fraction(), abs=1e-12
+            )
+        finally:
+            close_kernel(arr)
 
     def test_stateful_loss_uses_identical_aux_stream(self):
         """Gilbert–Elliott consumes an auxiliary generator; both kernels

@@ -1,0 +1,64 @@
+"""The optional Numba backend: graceful degradation and availability.
+
+Tier-1 must pass with Numba absent (it is an optional extra), so these
+tests pin the degradation contract — import safety, a clean actionable
+``ImportError``, and the backend registry hiding ``jit`` — and only
+exercise the compiled path when the extra happens to be installed.  The
+loop's *semantics* are covered unconditionally by the equivalence matrix
+(``PurePythonJitKernel`` in ``test_kernel_equivalence.py`` runs the very
+function Numba would compile).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SFParams
+from repro.experiments.common import BACKENDS, available_backends, build_sf_system
+from repro.kernel import JitKernel, jit_available
+
+PARAMS = SFParams(view_size=10, d_low=4)
+
+
+class TestDegradation:
+    def test_module_imports_without_numba(self):
+        # Reaching this line proves the import chain is safe: the module
+        # was imported at collection time regardless of Numba.
+        import repro.kernel.jit  # noqa: F401
+
+    def test_available_backends_subset(self):
+        avail = available_backends()
+        assert set(avail) <= set(BACKENDS)
+        assert "array" in avail and "sharded" in avail and "reference" in avail
+        assert ("jit" in avail) == jit_available()
+
+    @pytest.mark.skipif(jit_available(), reason="numba installed")
+    def test_constructor_raises_actionable_import_error(self):
+        with pytest.raises(ImportError, match=r"repro\[jit\]"):
+            JitKernel(PARAMS)
+
+    @pytest.mark.skipif(jit_available(), reason="numba installed")
+    def test_build_sf_system_surfaces_the_import_error(self):
+        with pytest.raises(ImportError, match=r"repro\[jit\]"):
+            build_sf_system(20, PARAMS, backend="jit")
+
+
+@pytest.mark.skipif(not jit_available(), reason="numba not installed")
+class TestCompiled:
+    def test_compiled_loop_matches_array_kernel(self):
+        from repro.engine.sequential import EngineStats
+        from repro.kernel import ArrayKernel
+        from repro.net.loss import UniformLoss
+        from repro.util.rng import make_rng
+
+        n = 80
+        arr, jit = ArrayKernel(PARAMS, capacity=n), JitKernel(PARAMS, capacity=n)
+        for k in (arr, jit):
+            for u in range(n):
+                k.add_node(u, [(u + i) % n for i in range(1, 7)])
+        es_a, es_j = EngineStats(), EngineStats()
+        arr.run_batch(5000, make_rng(3), UniformLoss(0.2), es_a)
+        jit.run_batch(5000, make_rng(3), UniformLoss(0.2), es_j)
+        assert es_a == es_j
+        for u in range(n):
+            assert arr.view_slots(u) == jit.view_slots(u)

@@ -1,0 +1,155 @@
+"""ShardedKernel mechanics: shared blocks, worker routing, lifecycle.
+
+Bit-exactness against ``ReferenceKernel`` across the loss-model matrix
+lives in ``test_kernel_equivalence.py``; this file covers what is
+specific to the sharded backend — worker-count invariance of the final
+state, the grow/re-attach protocol, shared-memory cleanup, peak-RSS
+reporting, the ``phase.shard_*`` timers, and the bulk-join fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import SFParams
+from repro.engine.sequential import EngineStats
+from repro.kernel import ArrayKernel, ShardedKernel
+from repro.net.loss import UniformLoss
+from repro.obs import Telemetry, activated
+from repro.obs.metrics import Registry
+from repro.util.rng import make_rng
+
+PARAMS = SFParams(view_size=10, d_low=4)
+
+
+def populate(kernel, n):
+    for u in range(n):
+        kernel.add_node(u, [(u + k) % n for k in range(1, 7)])
+    return kernel
+
+
+def run(kernel, batches, seed=13, rate=0.1):
+    stats = EngineStats()
+    rng = make_rng(seed)
+    loss = UniformLoss(rate)
+    for batch in batches:
+        kernel.run_batch(batch, rng, loss, stats)
+    return stats
+
+
+class TestSharding:
+    def test_worker_count_does_not_change_the_trajectory(self):
+        """Row routing is a pure partition of the apply pass: any worker
+        count must yield the same state as the in-process array kernel."""
+        n = 120
+        arr = populate(ArrayKernel(PARAMS, capacity=n), n)
+        stats_arr = run(arr, [600, 600, 600])
+        for workers in (1, 3):
+            sharded = populate(
+                ShardedKernel(PARAMS, capacity=n, workers=workers), n
+            )
+            try:
+                stats_sh = run(sharded, [600, 600, 600])
+                assert stats_sh == stats_arr
+                for u in range(n):
+                    assert sharded.view_slots(u) == arr.view_slots(u), (
+                        workers, u,
+                    )
+            finally:
+                sharded.close()
+
+    def test_grow_reattaches_workers(self):
+        """Capacity doubling swaps the shared blocks under running
+        workers; joins after the grow must land in the new blocks."""
+        kernel = ShardedKernel(PARAMS, capacity=4, workers=2)
+        try:
+            populate(kernel, 4)
+            run(kernel, [200])  # spawn workers on the small blocks
+            for u in range(4, 40):
+                kernel.add_node(u, [0, 1, 2, 3])  # forces grows
+            run(kernel, [400], seed=29)
+            kernel.check_invariant()
+            assert kernel.population == 40
+        finally:
+            kernel.close()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="worker"):
+            ShardedKernel(PARAMS, workers=-1)
+
+
+class TestLifecycle:
+    def test_close_unlinks_shared_blocks_and_stops_workers(self):
+        kernel = populate(ShardedKernel(PARAMS, capacity=32, workers=2), 20)
+        run(kernel, [300])
+        res = kernel._res
+        procs = list(res.procs)
+        blocks = [block for entries in res.blocks.values() for _, block in entries]
+        assert procs and blocks
+        kernel.close()
+        for proc in procs:
+            assert not proc.is_alive()
+        assert not res.blocks
+        # Unlinked: re-attaching any of the block names must fail.
+        from multiprocessing import shared_memory
+
+        for block in blocks:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=block.name)
+
+    def test_close_is_idempotent_and_safe_before_start(self):
+        kernel = ShardedKernel(PARAMS, capacity=8, workers=2)
+        kernel.close()
+        kernel.close()
+
+    def test_peak_rss_reported(self):
+        kernel = populate(ShardedKernel(PARAMS, capacity=32, workers=2), 20)
+        try:
+            run(kernel, [300])
+            assert kernel.peak_rss_kb() > 0
+        finally:
+            kernel.close()
+
+
+class TestObservability:
+    def test_phase_timers_recorded(self):
+        registry = Registry()
+        with activated(Telemetry(registry=registry)):
+            kernel = populate(ShardedKernel(PARAMS, capacity=32, workers=2), 20)
+            try:
+                run(kernel, [500])
+            finally:
+                kernel.close()
+        timers = registry.snapshot()["timers"]
+        assert "phase.shard_plan" in timers, sorted(timers)
+        assert "phase.shard_apply" in timers, sorted(timers)
+        assert timers["phase.shard_apply"]["count"] > 0
+
+
+class TestBulkJoin:
+    def test_add_nodes_matches_looped_add_node(self):
+        n = 50
+        looped = populate(ArrayKernel(PARAMS, capacity=n), n)
+        bulk = ArrayKernel(PARAMS, capacity=n)
+        ids = np.arange(n)
+        boot = (ids[:, None] + np.arange(1, 7)[None, :]) % n
+        bulk.add_nodes(ids, boot)
+        assert bulk.node_ids() == looped.node_ids()
+        for u in range(n):
+            assert bulk.view_slots(u) == looped.view_slots(u)
+        bulk.check_invariant()
+
+    def test_add_nodes_validates(self):
+        kernel = ArrayKernel(PARAMS)
+        with pytest.raises(ValueError, match="even"):
+            kernel.add_nodes(np.arange(3), np.zeros((3, 5), dtype=np.int64))
+        with pytest.raises(ValueError, match="duplicate"):
+            kernel.add_nodes(
+                np.array([1, 1]), np.tile(np.arange(2, 8), (2, 1))
+            )
+        kernel.add_nodes(np.arange(4), np.tile(np.arange(4, 10), (4, 1)))
+        with pytest.raises(ValueError, match="already exists"):
+            kernel.add_nodes(
+                np.array([2]), np.arange(4, 10)[None, :]
+            )

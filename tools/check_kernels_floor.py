@@ -1,0 +1,84 @@
+"""CI regression guard: fused + sharded kernel throughput floors at n=10⁵.
+
+Runs a short timed burst on the fused :class:`ArrayKernel` and the
+:class:`ShardedKernel` at n=10⁵ (paper working parameters, uniform loss)
+and fails when either drops below a conservative actions/second floor.
+The floors are set far under warm-machine numbers (this box measures the
+fused kernel in the millions of actions/second; see
+``BENCH_kernels.json``) so only a structural regression — e.g. the batch
+settlement degrading to per-action Python work — trips them, not CI
+runner noise.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_kernels_floor.py
+    PYTHONPATH=src python tools/check_kernels_floor.py --array-floor 5e5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.params import SFParams
+from repro.engine.sequential import EngineStats
+from repro.kernel import ArrayKernel, ShardedKernel
+from repro.net.loss import UniformLoss
+from repro.util.rng import make_rng
+
+N = 100_000
+ACTIONS = 200_000
+BATCH = 4096
+PARAMS = SFParams(view_size=40, d_low=18)
+
+
+def measure(kernel) -> float:
+    ids = np.arange(N)
+    offsets = np.arange(1, 31)
+    kernel.add_nodes(ids, (ids[:, None] + offsets[None, :]) % N)
+    rng = make_rng(2009)
+    loss = UniformLoss(0.05)
+    stats = EngineStats()
+    kernel.run_batch(ACTIONS // 4, rng, loss, stats)  # warm-up
+    best = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        remaining = ACTIONS
+        while remaining:
+            step = min(remaining, BATCH)
+            kernel.run_batch(step, rng, loss, stats)
+            remaining -= step
+        best = min(best, time.perf_counter() - start)
+    kernel.check_invariant()
+    if hasattr(kernel, "close"):
+        kernel.close()
+    return ACTIONS / best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--array-floor", type=float, default=250_000.0)
+    parser.add_argument("--sharded-floor", type=float, default=60_000.0)
+    args = parser.parse_args()
+
+    failures = []
+    for label, kernel, floor in (
+        ("array (fused)", ArrayKernel(PARAMS, capacity=N), args.array_floor),
+        ("sharded", ShardedKernel(PARAMS, capacity=N), args.sharded_floor),
+    ):
+        rate = measure(kernel)
+        verdict = "ok" if rate >= floor else "BELOW FLOOR"
+        print(f"{label:>14}: {rate:>12,.0f} actions/s (floor {floor:,.0f}) {verdict}")
+        if rate < floor:
+            failures.append(label)
+    if failures:
+        print(f"throughput regression: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
