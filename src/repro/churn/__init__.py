@@ -9,7 +9,9 @@ bounded in section 6.5.2.
 from repro.churn.process import ChurnProcess, bootstrap_from_peer
 from repro.churn.traces import (
     ChurnEvent,
+    flash_crowd_trace,
     generate_trace,
+    heavy_tailed_trace,
     load_trace,
     replay_trace,
     save_trace,
@@ -20,6 +22,8 @@ __all__ = [
     "bootstrap_from_peer",
     "ChurnEvent",
     "generate_trace",
+    "flash_crowd_trace",
+    "heavy_tailed_trace",
     "replay_trace",
     "save_trace",
     "load_trace",

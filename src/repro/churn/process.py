@@ -111,11 +111,21 @@ class ChurnProcess:
         return joiner
 
     def leave_one(self) -> Optional[NodeId]:
-        """Crash a uniformly random live node (None below min population)."""
+        """Crash a uniformly random live node (None below min population).
+
+        The pick comes from the protocol's own live list and is removed
+        exactly once — a departed node must never be removed (or counted)
+        twice, or engine departure accounting (``messages_to_departed``)
+        and the ``left`` history drift apart from reality.  The guard
+        protects against a protocol whose ``node_ids`` went stale under
+        a concurrent wrapper.
+        """
         live = self.protocol.node_ids()
         if len(live) <= self.min_population:
             return None
         victim = live[int(self.rng.integers(len(live)))]
+        if not self.protocol.has_node(victim):
+            return None
         self.protocol.remove_node(victim)
         self.left.append(victim)
         return victim

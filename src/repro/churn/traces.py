@@ -68,6 +68,103 @@ def generate_trace(
     return events
 
 
+def flash_crowd_trace(
+    initial_nodes: List[int],
+    rounds: int,
+    crowd_size: int,
+    arrival_round: int = 0,
+    stay_rounds: Optional[int] = None,
+    seed: SeedLike = None,
+) -> List[ChurnEvent]:
+    """A flash crowd: ``crowd_size`` nodes all join at ``arrival_round``.
+
+    The adversarial shape for a join path: section 6.5 analyzes a steady
+    join *rate*, while a flash crowd concentrates the same mass in one
+    round — every joiner bootstraps off the same small pre-crowd
+    population, spiking indegrees and (live) introducer load at once.
+
+    With ``stay_rounds`` set, each crowd member leaves again a
+    geometrically distributed number of rounds later (mean
+    ``stay_rounds``) — the crowd drains away like a real audience rather
+    than on one synchronized cliff.
+    """
+    if rounds < 0:
+        raise ValueError(f"rounds must be nonnegative, got {rounds}")
+    if crowd_size < 0:
+        raise ValueError(f"crowd_size must be nonnegative, got {crowd_size}")
+    if not 0 <= arrival_round < max(rounds, 1):
+        raise ValueError(
+            f"arrival_round must fall inside the trace, got {arrival_round}"
+        )
+    rng = make_rng(seed)
+    next_id = (max(initial_nodes) + 1) if initial_nodes else 0
+    events: List[ChurnEvent] = []
+    for offset in range(crowd_size):
+        node = next_id + offset
+        events.append(ChurnEvent(arrival_round, JOIN, node))
+        if stay_rounds is not None:
+            depart = arrival_round + 1 + int(rng.geometric(1.0 / max(stay_rounds, 1)))
+            if depart < rounds:
+                events.append(ChurnEvent(depart, LEAVE, node))
+    events.sort(key=lambda event: (event.round, event.kind != JOIN, event.node))
+    return events
+
+
+def heavy_tailed_trace(
+    initial_nodes: List[int],
+    rounds: int,
+    arrival_rate: float,
+    alpha: float = 1.5,
+    min_session: float = 2.0,
+    min_population: int = 8,
+    seed: SeedLike = None,
+) -> List[ChurnEvent]:
+    """Poisson arrivals with Pareto(``alpha``) session lengths.
+
+    Measured peer-to-peer session lengths are heavy-tailed: most peers
+    stay briefly, a few stay orders of magnitude longer.  With
+    ``alpha ≤ 2`` the session length has infinite variance, so unlike
+    the Poisson-leave model (memoryless residence) the population is
+    dominated by a stable old core plus a fast-churning fringe — the
+    regime where "an id in a view is probably alive" is most strained.
+
+    Leaves that would push the trace's own population below
+    ``min_population`` are dropped (the node simply stays).
+    """
+    if rounds < 0:
+        raise ValueError(f"rounds must be nonnegative, got {rounds}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be nonnegative, got {arrival_rate}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if min_session <= 0:
+        raise ValueError(f"min_session must be positive, got {min_session}")
+    rng = make_rng(seed)
+    next_id = (max(initial_nodes) + 1) if initial_nodes else 0
+    population = len(initial_nodes)
+    # Planned departures per round; suppressed when at the floor.
+    departures: dict = {}
+    events: List[ChurnEvent] = []
+    for round_number in range(rounds):
+        for node in departures.pop(round_number, []):
+            if population <= min_population:
+                continue  # stays for good — the floor protects liveness
+            events.append(ChurnEvent(round_number, LEAVE, node))
+            population -= 1
+        for _ in range(int(rng.poisson(arrival_rate))):
+            node = next_id
+            next_id += 1
+            events.append(ChurnEvent(round_number, JOIN, node))
+            population += 1
+            # Pareto: min_session * (1 + pareto(alpha)) has cdf
+            # 1 - (min_session/x)^alpha; sessions round up to >= 1 round.
+            session = min_session * (1.0 + float(rng.pareto(alpha)))
+            depart = round_number + max(1, int(round(session)))
+            if depart < rounds:
+                departures.setdefault(depart, []).append(node)
+    return events
+
+
 def save_trace(events: List[ChurnEvent], path) -> None:
     """Persist a trace as JSON so experiments can be replayed exactly."""
     import json

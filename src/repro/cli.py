@@ -337,7 +337,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
         kill_restart=args.kill_restart,
+        kill_wave=args.kill_wave,
         partition_groups=args.partition_groups,
+        failure_detection=args.failure_detection,
+        suspect_after_s=args.suspect_after,
+        fail_after_s=args.fail_after,
     )
     telemetry = _configure_telemetry(args)
     try:
@@ -527,6 +531,25 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument(
         "--kill-restart", type=int, default=0, metavar="K",
         help="kill K random nodes mid-run and rejoin them via the introducer",
+    )
+    cluster_parser.add_argument(
+        "--kill-wave", type=int, default=0, metavar="K",
+        help="kill K random nodes for good at the 1/3 mark (the "
+        "failure-detection scenario: survivors must declare them FAILED)",
+    )
+    cluster_parser.add_argument(
+        "--failure-detection", action="store_true",
+        help="run the SWIM-style failure detector on every node, liveness "
+        "gossip piggybacked on the S&F datagrams; the report then carries "
+        "the detection verdict and a wrong verdict fails the run",
+    )
+    cluster_parser.add_argument(
+        "--suspect-after", type=float, default=1.5, metavar="S",
+        help="seconds without liveness evidence before a peer is SUSPECTED",
+    )
+    cluster_parser.add_argument(
+        "--fail-after", type=float, default=0.75, metavar="S",
+        help="seconds in SUSPECTED without refutation before FAILED",
     )
     cluster_parser.add_argument(
         "--partition-groups", type=int, default=1, metavar="G",

@@ -69,13 +69,16 @@ from repro.runner import GridCell, SweepRunner
 #: experiment module is left unregistered.
 EXPERIMENT_MODULES: Tuple[str, ...] = (
     "repro.experiments.ablation_variants",
+    "repro.experiments.adversarial_loss",
     "repro.experiments.baselines",
     "repro.experiments.connectivity_exp",
     "repro.experiments.dup_del_balance",
+    "repro.experiments.failure_detection",
     "repro.experiments.fig_6_1",
     "repro.experiments.fig_6_2",
     "repro.experiments.fig_6_3",
     "repro.experiments.fig_6_4",
+    "repro.experiments.flash_crowd",
     "repro.experiments.independence_exp",
     "repro.experiments.join_integration",
     "repro.experiments.lemma_7_5",

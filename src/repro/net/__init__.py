@@ -14,10 +14,13 @@ datagram format of :mod:`repro.net.wire`.
 
 from repro.net.delay import ConstantDelay, DelayModel, ExponentialDelay, UniformDelay
 from repro.net.loss import (
+    CorrelatedLoss,
     GilbertElliottLoss,
     LossModel,
     NoLoss,
     PerLinkLoss,
+    TargetedLoss,
+    TopologyLoss,
     UniformLoss,
 )
 from repro.net.transport import AsyncioUdpTransport, LoopbackTransport, Transport
@@ -37,6 +40,9 @@ __all__ = [
     "UniformLoss",
     "GilbertElliottLoss",
     "PerLinkLoss",
+    "TargetedLoss",
+    "CorrelatedLoss",
+    "TopologyLoss",
     "DelayModel",
     "ConstantDelay",
     "ExponentialDelay",

@@ -97,21 +97,41 @@ _TAG_WELCOME = "wlcm"
 
 
 def _message_body(message: Message) -> Dict[str, Any]:
-    return {
+    body = {
         "s": int(message.sender),
         "d": int(message.target),
         "k": message.kind,
         "p": [[int(node_id), 1 if dep else 0] for node_id, dep in message.payload],
     }
+    # The extension envelope is strictly additive: absent extensions
+    # produce the exact pre-extension bytes, so extension-free peers and
+    # replays stay bit-identical on the wire.  Each extension key maps to
+    # a JSON object that carries its own version field (e.g. the failure
+    # detector's liveness gossip, repro.failure.detector.FD_WIRE_VERSION).
+    if message.ext:
+        body["x"] = {
+            str(key): dict(value) for key, value in message.ext.items()
+        }
+    return body
 
 
 def _message_from_body(body: Any) -> Message:
+    if not isinstance(body, dict):
+        raise WireError(f"malformed message body: {body!r}")
     try:
+        ext = body.get("x")
+        if ext is not None:
+            if not isinstance(ext, dict) or not all(
+                isinstance(value, dict) for value in ext.values()
+            ):
+                raise WireError(f"malformed extension envelope: {ext!r}")
+            ext = {str(key): dict(value) for key, value in ext.items()}
         return Message(
             sender=int(body["s"]),
             target=int(body["d"]),
             payload=[(int(v), bool(f)) for v, f in body["p"]],
             kind=str(body["k"]),
+            ext=ext,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireError(f"malformed message body: {body!r}") from exc

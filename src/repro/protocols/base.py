@@ -53,6 +53,15 @@ class Message:
     ``kind`` distinguishes message roles for multi-step protocols
     (e.g. ``"pull-request"`` vs ``"pull-reply"``).
 
+    ``ext`` is an optional extension envelope for metadata piggybacked on
+    protocol traffic by layers *outside* the protocol itself — currently
+    the failure detector's liveness gossip (:mod:`repro.failure`).  Each
+    extension owns one key mapping to a self-versioned blob, so carriers
+    that do not understand an extension forward or ignore it without
+    misreading the membership payload.  ``None`` (the default) encodes to
+    exactly the pre-extension wire bytes, keeping extension-free runs
+    bit-identical on the wire as well as in memory.
+
     The record is slotted and picklable, and round-trips through the
     versioned wire codec (:func:`repro.net.wire.encode` /
     :func:`repro.net.wire.decode`) so it can cross process and network
@@ -63,6 +72,7 @@ class Message:
     target: NodeId
     payload: List[Tuple[NodeId, bool]]
     kind: str = "push"
+    ext: Optional[Dict[str, Dict]] = None
 
 
 # ----------------------------------------------------------------------

@@ -33,15 +33,16 @@ from __future__ import annotations
 
 import asyncio
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.params import SFParams
 from repro.core.sandf import SendForget
+from repro.failure import FD_EXT_KEY, DetectorConfig, FailureDetector, PeerState
 from repro.net.transport import AsyncioUdpTransport
 from repro.net.wire import JoinRequest, Welcome, WireRecord
 from repro.obs import get_telemetry
-from repro.protocols.base import DeliverEvent, InitiateEvent, Message
+from repro.protocols.base import DeliverEvent, InitiateEvent, Message, SendEffect
 from repro.util.rng import SeedLike, make_rng, spawn_rngs
 from repro.util.tables import format_table
 
@@ -65,14 +66,34 @@ class ClusterConfig:
     duration_s: float = 3.0
     seed: SeedLike = None
     host: str = "127.0.0.1"
-    #: Scenario knobs: nodes to kill-and-restart, and partition groups
-    #: (>1 splits the cluster for the middle third of the run).
+    #: Scenario knobs: nodes to kill-and-restart, nodes to kill *for
+    #: good* in one wave at the 1/3 mark (the failure-detection
+    #: scenario), and partition groups (>1 splits the cluster for the
+    #: middle third of the run).
     kill_restart: int = 0
+    kill_wave: int = 0
     partition_groups: int = 1
-    #: Introducer join handshake (retries cover Welcomes eaten by drop
-    #: injection on the joiner's own socket).
+    #: Introducer join handshake: ``join_timeout_s`` is the *first*
+    #: attempt's timeout; each retry doubles it (capped at
+    #: ``join_backoff_cap_s``) with ±20% jitter, so a hammered or
+    #: drop-afflicted introducer sees backed-off, decorrelated retries.
     join_timeout_s: float = 0.25
     join_retries: int = 20
+    join_backoff_cap_s: float = 2.0
+    #: SWIM-style failure detection (``repro.failure``), liveness gossip
+    #: piggybacked on the S&F datagrams.  Timeouts are wall-clock
+    #: seconds; size ``suspect_after_s`` well above the worst-pair rumor
+    #: refresh age at the configured ``rate`` (see
+    #: ``docs/failure_detection.md``) and ``fail_after_s`` above one
+    #: rumor round trip, or live nodes get falsely suspected/evicted.
+    failure_detection: bool = False
+    suspect_after_s: float = 1.5
+    fail_after_s: float = 0.75
+    fd_piggyback: int = 64
+    #: A killed node counts as detected when more than this fraction of
+    #: live detectors call it FAILED (and a live node as a false
+    #: positive, same threshold).
+    fd_quorum: float = 0.5
 
     def params(self) -> SFParams:
         return SFParams(view_size=self.view_size, d_low=self.d_low)
@@ -93,14 +114,36 @@ class ClusterNode:
     in-process runs one node here, unchanged.
     """
 
-    def __init__(self, cluster: "LocalCluster", node_id: NodeId, rng):
+    def __init__(
+        self, cluster: "LocalCluster", node_id: NodeId, rng, incarnation: int = 0
+    ):
         self.cluster = cluster
         self.node_id = node_id
         self.rng = rng
         self.protocol = SendForget(cluster.config.params())
+        cfg = cluster.config
+        #: SWIM detector (when enabled): heartbeats advance on the
+        #: initiate timer, liveness rides the S&F datagrams, and sends to
+        #: FAILED peers are suppressed at this node's send seam.  A
+        #: restarted node is seeded one incarnation above its previous
+        #: life so its ALIVE gossip resurrects stale FAILED records.
+        self.detector: Optional[FailureDetector] = (
+            FailureDetector(
+                node_id,
+                config=DetectorConfig(
+                    suspect_after=cfg.suspect_after_s,
+                    fail_after=cfg.fail_after_s,
+                    piggyback_limit=cfg.fd_piggyback,
+                ),
+                incarnation=incarnation,
+            )
+            if cfg.failure_detection
+            else None
+        )
         self.transport: Optional[AsyncioUdpTransport] = None
         self._task: Optional[asyncio.Task] = None
         self._welcome: Optional[asyncio.Future] = None
+        self._loop_ref: Optional[asyncio.AbstractEventLoop] = None
 
     @property
     def running(self) -> bool:
@@ -109,6 +152,7 @@ class ClusterNode:
     async def start(self, bootstrap_ids: Optional[List[NodeId]] = None) -> None:
         """Bind the socket, obtain a view (given or via introducer), go live."""
         cfg = self.cluster.config
+        self._loop_ref = asyncio.get_running_loop()
         self.transport = await AsyncioUdpTransport.create(
             self._on_record,
             host=cfg.host,
@@ -120,8 +164,17 @@ class ClusterNode:
         )
         self.cluster.address_book[self.node_id] = self.transport.address
         if bootstrap_ids is None:
-            bootstrap_ids = await self._join_via_introducer()
+            try:
+                bootstrap_ids = await self._join_via_introducer()
+            except RuntimeError:
+                # Leave no half-started node behind; the caller decides
+                # whether a failed join is an error or a counted event.
+                self.transport.close()
+                self.cluster.address_book.pop(self.node_id, None)
+                raise
         self.protocol.add_node(self.node_id, bootstrap_ids)
+        if self.detector is not None:
+            self.detector.seed_peers(bootstrap_ids, self._loop_ref.time())
         self._task = asyncio.create_task(self._loop(), name=f"sandf-node-{self.node_id}")
 
     async def stop(self) -> None:
@@ -149,22 +202,53 @@ class ClusterNode:
         try:
             while True:
                 await asyncio.sleep(float(self.rng.exponential(1.0 / cfg.rate)))
+                if self.detector is not None:
+                    self.detector.beat(self._loop_ref.time())
                 for effect in self.protocol.handle(
                     InitiateEvent(self.node_id), self.rng
                 ):
-                    self.transport.send(effect, self.rng)
+                    if self._fd_outbound(effect):
+                        self.transport.send(effect, self.rng)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # a node crash must not vanish silently
             self.cluster.errors.append(f"node {self.node_id} initiate: {exc!r}")
+
+    def _fd_outbound(self, effect: SendEffect) -> bool:
+        """Suppress sends to FAILED peers; piggyback rumors on the rest.
+
+        Suppression is this node's eviction action: to the protocol it is
+        indistinguishable from loss (S&F's one tolerated failure), so
+        view invariants hold while traffic to the dead stops.  Returns
+        whether the effect should actually reach the transport.
+        """
+        if self.detector is None:
+            return True
+        message = effect.message
+        if self.detector.state_of(message.target) is PeerState.FAILED:
+            extra = self.protocol.stats.extra
+            extra["fd_suppressed"] = extra.get("fd_suppressed", 0) + 1
+            return False
+        blob = self.detector.wire_extension()
+        if blob is not None:
+            ext = dict(message.ext) if message.ext else {}
+            ext[FD_EXT_KEY] = blob
+            message.ext = ext
+        return True
 
     def _on_record(
         self, record: WireRecord, timestamp: Optional[float], addr: Tuple[str, int]
     ) -> None:
         if isinstance(record, Message):
             try:
+                if self.detector is not None:
+                    now = self._loop_ref.time()
+                    self.detector.observe_direct(record.sender, now)
+                    if record.ext:
+                        self.detector.absorb_extension(record.ext.get(FD_EXT_KEY), now)
                 for effect in self.protocol.handle(DeliverEvent(record), self.rng):
-                    self.transport.send(effect, self.rng)
+                    if self._fd_outbound(effect):
+                        self.transport.send(effect, self.rng)
             except Exception as exc:
                 self.cluster.errors.append(f"node {self.node_id} deliver: {exc!r}")
         elif isinstance(record, Welcome):
@@ -182,19 +266,28 @@ class ClusterNode:
         return True
 
     async def _join_via_introducer(self) -> List[NodeId]:
+        """Bounded-retry join with exponential backoff and jitter.
+
+        Each attempt waits up to the current timeout for a Welcome; a miss
+        (request or Welcome eaten by drop injection) doubles the timeout
+        up to ``join_backoff_cap_s``.  The ±20% jitter is drawn from the
+        node's own rng, so simultaneous joiners (restart storms,
+        flash crowds) decorrelate instead of re-colliding in lockstep.
+        """
         cfg = self.cluster.config
         loop = asyncio.get_running_loop()
         request = JoinRequest(node=self.node_id, port=self.transport.port)
+        timeout = cfg.join_timeout_s
         for _ in range(cfg.join_retries):
             self._welcome = loop.create_future()
             self.transport.send_record(request, self.cluster.introducer_address)
+            jittered = timeout * (0.8 + 0.4 * float(self.rng.random()))
             try:
-                welcome = await asyncio.wait_for(
-                    self._welcome, timeout=cfg.join_timeout_s
-                )
+                welcome = await asyncio.wait_for(self._welcome, timeout=jittered)
                 return list(welcome.bootstrap)
             except asyncio.TimeoutError:
-                continue  # request or welcome eaten by drop injection
+                self.cluster.join_retry_timeouts += 1
+                timeout = min(timeout * 2.0, cfg.join_backoff_cap_s)
         raise RuntimeError(
             f"node {self.node_id} could not join after {cfg.join_retries} attempts"
         )
@@ -221,6 +314,27 @@ class ClusterReport:
     errors: List[str]
     latency_p50_ms: float = 0.0
     latency_p99_ms: float = 0.0
+    #: Join-path robustness: retry timeouts absorbed by backoff, and
+    #: joins that exhausted every retry (counted, not fatal — a node that
+    #: cannot rejoin is a fact of the run, not a harness bug).
+    join_retry_timeouts: int = 0
+    join_failures: int = 0
+    #: Failure detection (when enabled): the kill set, which of them a
+    #: quorum of live detectors declared FAILED, and live nodes a quorum
+    #: falsely declared FAILED.  ``fd_suppressed`` counts sends evicted
+    #: at the send seam because the target was considered FAILED.
+    fd_enabled: bool = False
+    killed_nodes: List[int] = field(default_factory=list)
+    fd_detected: List[int] = field(default_factory=list)
+    fd_missed: List[int] = field(default_factory=list)
+    fd_false_positives: List[int] = field(default_factory=list)
+    fd_suppressed: int = 0
+
+    def detection_ok(self) -> bool:
+        """Every killed node detected, no live node falsely failed."""
+        if not self.fd_enabled:
+            return True
+        return not self.fd_missed and not self.fd_false_positives
 
     def degree_pmf(self) -> Dict[int, float]:
         total = sum(self.degree_counts.values())
@@ -234,8 +348,10 @@ class ClusterReport:
         return self.datagrams_dropped / self.datagrams_received
 
     def ok(self) -> bool:
-        """Clean run: every view in bounds, no node raised."""
-        return not self.degree_violations and not self.errors
+        """Clean run: views in bounds, no node raised, detection correct."""
+        return (
+            not self.degree_violations and not self.errors and self.detection_ok()
+        )
 
     def format(self) -> str:
         degrees = ", ".join(
@@ -258,7 +374,17 @@ class ClusterReport:
             ["outdegree counts", degrees],
             ["degree violations", len(self.degree_violations)],
             ["node errors", len(self.errors)],
+            ["join retry timeouts", self.join_retry_timeouts],
+            ["join failures", self.join_failures],
         ]
+        if self.fd_enabled:
+            rows += [
+                ["killed nodes", len(self.killed_nodes)],
+                ["detected FAILED (quorum)", len(self.fd_detected)],
+                ["missed detections", len(self.fd_missed)],
+                ["false positives", len(self.fd_false_positives)],
+                ["suppressed sends", self.fd_suppressed],
+            ]
         return format_table(
             ["quantity", "value"],
             rows,
@@ -286,11 +412,21 @@ class LocalCluster:
         self.nodes: Dict[NodeId, ClusterNode] = {}
         self.errors: List[str] = []
         self.restarts = 0
+        self.join_retry_timeouts = 0
+        self.join_failures = 0
+        #: Ids currently dead by :meth:`kill` (a successful restart
+        #: removes the id again) — the ground truth the failure-detection
+        #: verdict is judged against.
+        self.killed: List[NodeId] = []
+        #: Incarnation each id held when last buried; restarts come back
+        #: one above it so their ALIVE gossip beats stale FAILED records.
+        self._fd_incarnations: Dict[NodeId, int] = {}
         self._partition: Optional[Dict[NodeId, int]] = None
         self._introducer: Optional[AsyncioUdpTransport] = None
         self._node_rngs = spawn_rngs(self.rng, config.n + 1)
         # Counters of killed incarnations, so totals survive restarts.
         self._grave_actions = 0
+        self._grave_suppressed = 0
         self._grave_transport = Counter()
         self._grave_latency: List[float] = []
 
@@ -373,15 +509,32 @@ class LocalCluster:
         node = self.nodes.pop(node_id)
         self._bury(node)
         await node.stop()
+        self.killed.append(node_id)
 
-    async def restart(self, node_id: NodeId) -> None:
-        """Bring a killed node back as a newcomer, via the introducer."""
+    async def restart(self, node_id: NodeId) -> bool:
+        """Bring a killed node back as a newcomer, via the introducer.
+
+        Returns whether the rejoin succeeded.  A join that exhausts its
+        backed-off retries is *counted* (``join_failures``), not raised:
+        the node simply stays dead, which is a legitimate outcome of a
+        lossy join path — and one the failure detector should then report.
+        """
         replacement = ClusterNode(
-            self, node_id, self._node_rngs[node_id % len(self._node_rngs)]
+            self,
+            node_id,
+            self._node_rngs[node_id % len(self._node_rngs)],
+            incarnation=self._fd_incarnations.get(node_id, -1) + 1,
         )
-        await replacement.start(bootstrap_ids=None)
+        try:
+            await replacement.start(bootstrap_ids=None)
+        except RuntimeError:
+            self.join_failures += 1
+            return False
         self.nodes[node_id] = replacement
         self.restarts += 1
+        if node_id in self.killed:
+            self.killed.remove(node_id)
+        return True
 
     def split(self, groups: int = 2) -> None:
         """Partition by node id modulo ``groups`` (receiver-side filters)."""
@@ -394,7 +547,10 @@ class LocalCluster:
 
     def _bury(self, node: ClusterNode) -> None:
         """Fold a dying incarnation's counters into the run totals."""
+        if node.detector is not None:
+            self._fd_incarnations[node.node_id] = node.detector.incarnation
         self._grave_actions += node.protocol.stats.actions
+        self._grave_suppressed += node.protocol.stats.extra.get("fd_suppressed", 0)
         transport = node.transport
         if transport is not None:
             self._grave_transport["sent"] += transport.datagrams_sent
@@ -425,6 +581,48 @@ class LocalCluster:
                 violations.append(str(exc))
         return violations
 
+    def detection_verdict(self) -> Tuple[List[NodeId], List[NodeId], List[NodeId]]:
+        """``(detected, missed, false_positives)`` under the quorum rule.
+
+        A killed id is *detected* when more than ``fd_quorum`` of live
+        detectors call it FAILED; a live id with the same level of FAILED
+        votes among its peers is a *false positive*.
+        """
+        detectors = [
+            node for node in self.live_nodes() if node.detector is not None
+        ]
+        if not detectors:
+            return [], list(sorted(self.killed)), []
+        quorum = self.config.fd_quorum
+        detected: List[NodeId] = []
+        missed: List[NodeId] = []
+        for victim in sorted(self.killed):
+            votes = sum(
+                1
+                for node in detectors
+                if node.detector.state_of(victim) is PeerState.FAILED
+            )
+            (detected if votes > quorum * len(detectors) else missed).append(victim)
+        false_positives: List[NodeId] = []
+        for node in detectors:
+            peers = [d for d in detectors if d.node_id != node.node_id]
+            if not peers:
+                continue
+            votes = sum(
+                1
+                for peer in peers
+                if peer.detector.state_of(node.node_id) is PeerState.FAILED
+            )
+            if votes > quorum * len(peers):
+                false_positives.append(node.node_id)
+        return detected, missed, sorted(false_positives)
+
+    def _suppressed_sends(self) -> int:
+        total = self._grave_suppressed
+        for node in self.nodes.values():
+            total += node.protocol.stats.extra.get("fd_suppressed", 0)
+        return total
+
     def publish_metrics(self) -> None:
         """Stream run totals into the process telemetry (``cluster.*``)."""
         tel = get_telemetry()
@@ -438,7 +636,17 @@ class LocalCluster:
         tel.inc("cluster.datagrams_filtered", report.datagrams_filtered)
         tel.inc("cluster.decode_errors", report.decode_errors)
         tel.inc("cluster.restarts", report.restarts)
+        tel.inc("cluster.join_retry_timeouts", report.join_retry_timeouts)
+        tel.inc("cluster.join_failures", report.join_failures)
         tel.set_gauge("cluster.live_nodes", report.live_nodes)
+        if report.fd_enabled:
+            tel.inc("cluster.fd_suppressed", report.fd_suppressed)
+            tel.set_gauge("cluster.fd_killed", len(report.killed_nodes))
+            tel.set_gauge("cluster.fd_detected", len(report.fd_detected))
+            tel.set_gauge("cluster.fd_missed", len(report.fd_missed))
+            tel.set_gauge(
+                "cluster.fd_false_positives", len(report.fd_false_positives)
+            )
         if report.degree_counts:
             degrees = list(report.degree_counts.items())
             total = sum(c for _, c in degrees)
@@ -471,6 +679,11 @@ class LocalCluster:
             totals["decode_errors"] += transport.decode_errors
             totals["unroutable"] += transport.unroutable
         latency = self._all_latency_samples()
+        fd_enabled = self.config.failure_detection
+        if fd_enabled:
+            detected, missed, false_positives = self.detection_verdict()
+        else:
+            detected, missed, false_positives = [], [], []
         report = ClusterReport(
             n=self.config.n,
             live_nodes=len(self.live_nodes()),
@@ -489,6 +702,14 @@ class LocalCluster:
             errors=list(self.errors),
             latency_p50_ms=_percentile(latency, 0.50) * 1e3,
             latency_p99_ms=_percentile(latency, 0.99) * 1e3,
+            join_retry_timeouts=self.join_retry_timeouts,
+            join_failures=self.join_failures,
+            fd_enabled=fd_enabled,
+            killed_nodes=sorted(self.killed),
+            fd_detected=detected,
+            fd_missed=missed,
+            fd_false_positives=false_positives,
+            fd_suppressed=self._suppressed_sends(),
         )
         if publish:
             self.publish_metrics()
@@ -497,13 +718,25 @@ class LocalCluster:
     # -- scripted run ---------------------------------------------------
 
     async def run(self) -> ClusterReport:
-        """The standard scenario: warm third, disrupt third, heal third."""
+        """The standard scenario: warm third, disrupt third, heal third.
+
+        The disruption third optionally includes a permanent *kill wave*
+        (``kill_wave`` random victims stopped for good) — the
+        failure-detection scenario: survivors must declare every victim
+        FAILED, and no survivor, before the run ends.
+        """
         cfg = self.config
         await self.start()
         third = cfg.duration_s / 3.0
         await asyncio.sleep(third)
         if cfg.partition_groups > 1:
             self.split(cfg.partition_groups)
+        if cfg.kill_wave > 0:
+            live = [n.node_id for n in self.live_nodes()]
+            count = min(cfg.kill_wave, max(0, len(live) - 3))
+            picks = self.rng.choice(len(live), size=count, replace=False)
+            for index in picks:
+                await self.kill(live[int(index)])
         for _ in range(cfg.kill_restart):
             live = [n.node_id for n in self.live_nodes()]
             victim = live[int(self.rng.integers(len(live)))]

@@ -98,3 +98,51 @@ class TestChurnProcess:
             churn.apply_round()
             engine.run_rounds(1)
         protocol.check_invariant()
+
+
+class TestLeaveOneDoubleCountGuard:
+    """A departed node must never be removed (or counted) twice."""
+
+    class _StaleListProtocol(SendForget):
+        """node_ids keeps reporting one ghost id after its removal.
+
+        Models a wrapper whose membership list lags the ground truth;
+        leave_one must consult has_node before removing.
+        """
+
+        def __init__(self, params, ghost):
+            super().__init__(params)
+            self.ghost = ghost
+
+        def node_ids(self):
+            ids = super().node_ids()
+            if self.ghost not in ids:
+                ids = ids + [self.ghost]
+            return ids
+
+    def test_ghost_pick_is_a_noop(self):
+        params = SFParams(view_size=12, d_low=2)
+        protocol = self._StaleListProtocol(params, ghost=0)
+        for u in range(20):
+            protocol.add_node(u, [(u + k) % 20 for k in range(1, 7)])
+        protocol.remove_node(0)
+        churn = ChurnProcess(protocol, 0.0, 1.0, min_population=2, seed=1)
+        results = []
+        for _ in range(40):
+            results.append(churn.leave_one())
+        # The ghost was (statistically) picked at least once and skipped.
+        assert 0 not in churn.left
+        assert None in results
+        # Every recorded departure happened exactly once.
+        assert len(churn.left) == len(set(churn.left))
+        assert all(not protocol.has_node(v) for v in churn.left)
+
+    def test_left_history_matches_population_delta(self, small_system):
+        protocol, engine = small_system
+        churn = ChurnProcess(protocol, 0.0, 1.0, min_population=10, seed=2)
+        before = len(protocol.node_ids())
+        removed = sum(1 for _ in range(25) if churn.leave_one() is not None)
+        assert len(protocol.node_ids()) == before - removed
+        assert len(churn.left) == removed
+        engine.run_rounds(5)
+        engine.stats.check_conservation()

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.churn.traces import ChurnEvent, generate_trace, replay_trace
+from repro.churn.traces import (
+    ChurnEvent,
+    flash_crowd_trace,
+    generate_trace,
+    heavy_tailed_trace,
+    replay_trace,
+)
 
 from conftest import build_system
 
@@ -119,3 +125,107 @@ class TestReplay:
         protocol, engine = build_system(10, small_params)
         replay_trace(engine, [], total_rounds=5, seed=14)
         assert engine.rounds_completed == pytest.approx(5.0, abs=0.01)
+
+
+class TestFlashCrowdTrace:
+    def test_all_arrivals_land_in_one_round(self):
+        trace = flash_crowd_trace(list(range(20)), rounds=50, crowd_size=30,
+                                  arrival_round=5, seed=1)
+        joins = [e for e in trace if e.kind == "join"]
+        assert len(joins) == 30
+        assert all(e.round == 5 for e in joins)
+        assert {e.node for e in joins} == set(range(20, 50))
+
+    def test_without_stay_rounds_nobody_leaves(self):
+        trace = flash_crowd_trace(list(range(10)), rounds=40, crowd_size=15, seed=2)
+        assert all(e.kind == "join" for e in trace)
+
+    def test_geometric_drain_after_arrival(self):
+        trace = flash_crowd_trace(list(range(10)), rounds=200, crowd_size=40,
+                                  arrival_round=0, stay_rounds=10, seed=3)
+        leaves = [e for e in trace if e.kind == "leave"]
+        assert leaves  # some of the crowd drains within the horizon
+        assert all(e.round >= 2 for e in leaves)  # strictly after arrival
+        # Only crowd members leave, each at most once.
+        crowd = set(range(10, 50))
+        leave_ids = [e.node for e in leaves]
+        assert set(leave_ids) <= crowd
+        assert len(leave_ids) == len(set(leave_ids))
+
+    def test_events_sorted_joins_before_leaves(self):
+        trace = flash_crowd_trace(list(range(10)), rounds=100, crowd_size=30,
+                                  arrival_round=0, stay_rounds=3, seed=4)
+        keys = [(e.round, e.kind != "join", e.node) for e in trace]
+        assert keys == sorted(keys)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd_trace([0, 1], rounds=-1, crowd_size=3)
+        with pytest.raises(ValueError):
+            flash_crowd_trace([0, 1], rounds=10, crowd_size=-1)
+        with pytest.raises(ValueError):
+            flash_crowd_trace([0, 1], rounds=10, crowd_size=3, arrival_round=10)
+
+    def test_replays_against_engine(self, small_params):
+        protocol, engine = build_system(30, small_params)
+        trace = flash_crowd_trace(list(range(30)), rounds=30, crowd_size=30,
+                                  arrival_round=0, stay_rounds=8, seed=5)
+        replay_trace(engine, trace, total_rounds=30, bootstrap_size=2, seed=6)
+        protocol.check_invariant()
+        engine.stats.check_conservation()
+        assert len(protocol.node_ids()) >= 30
+
+
+class TestHeavyTailedTrace:
+    def test_deterministic(self):
+        a = heavy_tailed_trace(list(range(20)), 100, 1.0, seed=7)
+        b = heavy_tailed_trace(list(range(20)), 100, 1.0, seed=7)
+        assert a == b
+
+    def test_sessions_last_at_least_one_round(self):
+        trace = heavy_tailed_trace(list(range(10)), 200, 2.0, seed=8)
+        joined_at = {}
+        for event in trace:
+            if event.kind == "join":
+                joined_at[event.node] = event.round
+            else:
+                assert event.round >= joined_at[event.node] + 1
+
+    def test_population_floor_respected(self):
+        trace = heavy_tailed_trace(list(range(10)), 300, 0.5, min_population=8,
+                                   seed=9)
+        population = 10
+        for event in trace:
+            population += 1 if event.kind == "join" else -1
+            assert population >= 8
+
+    def test_heavy_tail_produces_long_sessions(self):
+        trace = heavy_tailed_trace(list(range(10)), 500, 2.0, alpha=1.2,
+                                   min_session=2.0, seed=10)
+        joined_at = {}
+        lengths = []
+        for event in trace:
+            if event.kind == "join":
+                joined_at[event.node] = event.round
+            else:
+                lengths.append(event.round - joined_at[event.node])
+        assert lengths
+        # Pareto tail: the longest completed session dwarfs the median.
+        lengths.sort()
+        assert lengths[-1] >= 5 * lengths[len(lengths) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heavy_tailed_trace([0], 10, arrival_rate=-1.0)
+        with pytest.raises(ValueError):
+            heavy_tailed_trace([0], 10, 1.0, alpha=0.0)
+        with pytest.raises(ValueError):
+            heavy_tailed_trace([0], 10, 1.0, min_session=0.0)
+
+    def test_replays_against_engine(self, small_params):
+        protocol, engine = build_system(20, small_params)
+        trace = heavy_tailed_trace(list(range(20)), 60, 1.0, min_population=8,
+                                   seed=11)
+        replay_trace(engine, trace, total_rounds=60, bootstrap_size=2, seed=12)
+        protocol.check_invariant()
+        engine.stats.check_conservation()

@@ -57,6 +57,20 @@ class TestParser:
         assert args.artifacts_dir == "out"
         assert parser.parse_args(["run", "fig-6.1"]).artifacts_dir is None
 
+    def test_cluster_failure_detection_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["cluster", "--n", "20", "--kill-wave", "4", "--failure-detection",
+             "--suspect-after", "1.0", "--fail-after", "0.5"]
+        )
+        assert args.kill_wave == 4
+        assert args.failure_detection
+        assert args.suspect_after == 1.0
+        assert args.fail_after == 0.5
+        defaults = parser.parse_args(["cluster"])
+        assert defaults.kill_wave == 0
+        assert not defaults.failure_detection
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -1,0 +1,156 @@
+"""Tests for the simulation-side failure-detection layer.
+
+The load-bearing guarantees:
+
+* **RNG transparency** — the layer draws no randomness, so a seeded run
+  with the layer installed is bit-identical to one without it (the
+  "detector disabled ⇒ identical" acceptance bar);
+* **kill-wave detection** — crashed nodes end up FAILED at a quorum of
+  survivors, with zero false positives among the living;
+* **conservation under suppression** — sends dropped toward FAILED
+  peers are counted, keeping the transport identity exact.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SFParams
+from repro.core.sandf import SendForget
+from repro.engine.sequential import SequentialEngine
+from repro.failure import DetectorConfig, FailureDetectorLayer, PeerState
+from repro.net.loss import UniformLoss
+
+#: Dense regime: steady-state degree well above d_low keeps p_send (and
+#: with it the liveness-rumor refresh rate) high; timeouts sized with
+#: ~3x margin over the measured worst-pair refresh age (~24 periods).
+DENSE = dict(view_size=24, d_low=16)
+DETECT = dict(suspect_after=48.0, fail_after=24.0, piggyback_limit=64)
+
+
+def build(n=30, *, layered=True, loss=0.05, seed=42, config=None, **params):
+    merged = dict(DENSE, **params)
+    protocol = SendForget(SFParams(**merged))
+    init = merged["d_low"]
+    for u in range(n):
+        protocol.add_node(u, [(u + k) % n for k in range(1, init + 1)])
+    if layered:
+        protocol = FailureDetectorLayer(
+            protocol, DetectorConfig(**(config or DETECT))
+        )
+    engine = SequentialEngine(protocol, UniformLoss(loss), seed=seed)
+    return protocol, engine
+
+
+def views_of(protocol):
+    return {u: sorted(protocol.view_of(u).elements()) for u in protocol.node_ids()}
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: installing the layer must not perturb a single RNG draw
+# ----------------------------------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=5, deadline=None)
+def test_layer_is_rng_transparent_for_any_seed(seed):
+    """With timeouts that never fire, layered and bare runs are identical."""
+    quiet = dict(suspect_after=1e9, fail_after=1e9, piggyback_limit=8)
+    bare, engine_bare = build(n=12, layered=False, seed=seed)
+    layered, engine_layered = build(n=12, layered=True, seed=seed, config=quiet)
+    engine_bare.run_rounds(40)
+    engine_layered.run_rounds(40)
+    assert views_of(bare) == views_of(layered)
+    assert engine_bare.stats == engine_layered.stats
+
+
+def test_no_crash_run_is_bit_identical_and_suspicion_free():
+    """At production timeouts, a healthy run diverges in nothing."""
+    bare, engine_bare = build(layered=False)
+    layered, engine_layered = build(layered=True)
+    engine_bare.run_rounds(120)
+    engine_layered.run_rounds(120)
+    assert views_of(bare) == views_of(layered)
+    assert engine_bare.stats == engine_layered.stats
+    summary = layered.summary()
+    assert summary["suspected"] == 0
+    assert summary["failed"] == 0
+    assert summary["suppressed_sends"] == 0
+
+
+# ----------------------------------------------------------------------
+# Kill wave: completeness and accuracy
+# ----------------------------------------------------------------------
+
+
+def test_kill_wave_detected_by_quorum_with_zero_false_positives():
+    layer, engine = build(n=30)
+    engine.run_rounds(20)
+    victims = [3, 7, 11, 19, 23]
+    for victim in victims:
+        layer.remove_node(victim)
+    engine.run_rounds(120)
+    assert layer.failed_by_quorum(quorum=0.5) == sorted(victims)
+    survivors = set(layer.node_ids())
+    for survivor in survivors:
+        for detector in layer.detectors.values():
+            assert detector.state_of(survivor) is not PeerState.FAILED
+
+
+def test_every_failed_verdict_passed_through_suspected():
+    layer, engine = build(n=30)
+    engine.run_rounds(20)
+    for victim in (0, 1):
+        layer.remove_node(victim)
+    engine.run_rounds(120)
+    suspected_seen = set()
+    for observer, peer, old, new, _inc, _now in layer.transitions:
+        if new is PeerState.SUSPECTED:
+            suspected_seen.add((observer, peer))
+        if new is PeerState.FAILED:
+            assert old is PeerState.SUSPECTED
+            assert (observer, peer) in suspected_seen
+
+
+def test_conservation_holds_under_suppression():
+    """inner messages produced == engine transported + fd_suppressed."""
+    layer, engine = build(n=30)
+    engine.run_rounds(20)
+    layer.stats.reset()
+    engine.stats.__init__()
+    for victim in (2, 9, 17):
+        layer.remove_node(victim)
+    engine.run_rounds(120)
+    engine.stats.check_conservation()
+    suppressed = layer.stats.extra.get("fd_suppressed", 0)
+    assert suppressed > 0  # FAILED verdicts did suppress traffic
+    assert layer.stats.messages_sent == (
+        engine.stats.messages_sent + engine.stats.replies_sent + suppressed
+    )
+
+
+def test_restart_resurrects_via_higher_incarnation():
+    layer, engine = build(n=30)
+    engine.run_rounds(20)
+    layer.remove_node(5)
+    engine.run_rounds(120)
+    assert 5 in layer.failed_by_quorum()
+    # The node comes back: its detector seeds one incarnation above the
+    # grave, so its ALIVE gossip resurrects the FAILED records.
+    layer.add_node(5, [(5 + k) % 30 for k in range(1, DENSE["d_low"] + 1) if (5 + k) % 30 != 5])
+    assert layer.detector_of(5).incarnation >= 1
+    engine.run_rounds(120)
+    assert 5 not in layer.failed_by_quorum()
+    resurrected = sum(
+        detector.counters["resurrected"] for detector in layer.detectors.values()
+    )
+    assert resurrected > 0
+
+
+def test_verdicts_and_summary_shapes():
+    layer, engine = build(n=12, loss=0.0)
+    engine.run_rounds(10)
+    verdicts = layer.verdicts_on(3)
+    assert set(verdicts) == set(layer.node_ids()) - {3}
+    summary = layer.summary()
+    for key in ("refutations", "suspected", "failed", "suppressed_sends"):
+        assert key in summary

@@ -34,10 +34,13 @@ from repro.kernel import (
 )
 from repro.kernel.jit import _batch_step_python
 from repro.net.loss import (
+    CorrelatedLoss,
     GilbertElliottLoss,
     NoLoss,
     PartitionLoss,
     PerLinkLoss,
+    TargetedLoss,
+    TopologyLoss,
     UniformLoss,
 )
 from repro.util.rng import make_rng
@@ -128,6 +131,26 @@ def make_per_link_loss():
     return PerLinkLoss(rates, default_rate=0.05)
 
 
+def make_targeted_loss():
+    # Stateless, precomputable per pair: rides the fused fast path.
+    return TargetedLoss(victims=range(0, 200, 17), victim_loss=0.85, base_loss=0.05)
+
+
+def make_correlated_loss():
+    # Stateful (global message counter): forces the in-order prefix path.
+    return CorrelatedLoss(period=37, burst=11, burst_loss=0.7, base_loss=0.05)
+
+
+def make_topology_loss():
+    # Ring admission mask: stateless, fused path, with hard (rate 1.0)
+    # off-mask drops mixed into probabilistic on-mask loss.
+    neighbors = {
+        u: frozenset((u + k) % 200 for k in range(-8, 9) if k != 0)
+        for u in range(200)
+    }
+    return TopologyLoss(neighbors, edge_loss=0.1)
+
+
 LOSS_MODELS = [
     pytest.param(NoLoss, id="lossless"),
     pytest.param(lambda: UniformLoss(0.3), id="uniform-0.3"),
@@ -137,6 +160,9 @@ LOSS_MODELS = [
     ),
     pytest.param(make_partition_loss, id="partition"),
     pytest.param(make_per_link_loss, id="per-link"),
+    pytest.param(make_targeted_loss, id="targeted"),
+    pytest.param(make_correlated_loss, id="correlated"),
+    pytest.param(make_topology_loss, id="topology"),
 ]
 
 

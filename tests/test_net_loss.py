@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.net.loss import GilbertElliottLoss, NoLoss, PerLinkLoss, UniformLoss
+from repro.net.loss import (
+    CorrelatedLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    PerLinkLoss,
+    TargetedLoss,
+    TopologyLoss,
+    UniformLoss,
+)
 from repro.util.rng import make_rng
 
 
@@ -129,3 +137,94 @@ class TestPerLinkLoss:
     def test_expected_rate_average(self):
         model = PerLinkLoss({(0, 1): 0.2, (1, 0): 0.4})
         assert model.expected_rate() == pytest.approx(0.3)
+
+
+class TestTargetedLoss:
+    def test_victim_traffic_silenced_both_directions(self):
+        model = TargetedLoss(victims=[3], victim_loss=1.0, base_loss=0.0)
+        rng = make_rng(0)
+        assert model.is_lost(3, 7, rng)  # victim sending
+        assert model.is_lost(7, 3, rng)  # victim receiving
+        assert not model.is_lost(7, 8, rng)
+
+    def test_rate_for_exposes_fused_path(self):
+        model = TargetedLoss(victims=[1, 2], victim_loss=0.9, base_loss=0.05)
+        assert model.rate_for(1, 5) == 0.9
+        assert model.rate_for(5, 2) == 0.9
+        assert model.rate_for(5, 6) == 0.05
+
+    def test_retarget_moves_the_adversary(self):
+        model = TargetedLoss(victims=[1], victim_loss=1.0)
+        model.retarget([2])
+        assert model.rate_for(1, 5) == 0.0
+        assert model.rate_for(2, 5) == 1.0
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            TargetedLoss([1], victim_loss=1.5)
+        with pytest.raises(ValueError):
+            TargetedLoss([1], base_loss=-0.1)
+
+    def test_stateless_reset_noop(self):
+        model = TargetedLoss([1])
+        model.reset()
+        assert model.rate_for(1, 2) == 1.0
+
+
+class TestCorrelatedLoss:
+    def test_burst_phase_loses_rest_delivers(self):
+        model = CorrelatedLoss(period=4, burst=2, burst_loss=1.0, base_loss=0.0)
+        rng = make_rng(0)
+        verdicts = [model.is_lost(0, 1, rng) for _ in range(8)]
+        assert verdicts == [True, True, False, False] * 2
+
+    def test_reset_rewinds_to_cycle_origin(self):
+        model = CorrelatedLoss(period=4, burst=2, burst_loss=1.0, base_loss=0.0)
+        rng = make_rng(0)
+        first = [model.is_lost(0, 1, rng) for _ in range(3)]
+        model.reset()
+        replay = [model.is_lost(0, 1, make_rng(0)) for _ in range(3)]
+        assert replay == first == [True, True, False]
+
+    def test_stateful_model_requests_in_order_path(self):
+        assert CorrelatedLoss(period=4, burst=2).rate_for(0, 1) is None
+
+    def test_expected_rate_mixes_phases(self):
+        model = CorrelatedLoss(period=10, burst=3, burst_loss=1.0, base_loss=0.1)
+        assert model.expected_rate() == pytest.approx(0.3 + 0.7 * 0.1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelatedLoss(period=0, burst=0)
+        with pytest.raises(ValueError):
+            CorrelatedLoss(period=4, burst=5)
+        with pytest.raises(ValueError):
+            CorrelatedLoss(period=4, burst=2, burst_loss=1.2)
+
+
+class TestTopologyLoss:
+    def test_off_mask_edges_always_drop(self):
+        model = TopologyLoss({0: frozenset([1]), 1: frozenset([0])})
+        rng = make_rng(0)
+        assert not model.is_lost(0, 1, rng)
+        assert model.is_lost(0, 2, rng)
+        assert model.rate_for(0, 2) == 1.0
+
+    def test_symmetric_admission_from_one_sided_lists(self):
+        model = TopologyLoss({0: frozenset([1])})  # 1 does not list 0
+        assert model.rate_for(1, 0) == 0.0
+        asym = TopologyLoss({0: frozenset([1])}, symmetric=False)
+        assert asym.rate_for(1, 0) == 1.0
+
+    def test_on_mask_edge_loss_applies(self):
+        model = TopologyLoss({0: frozenset([1])}, edge_loss=1.0)
+        assert model.rate_for(0, 1) == 1.0
+
+    def test_invalid_edge_loss_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyLoss({}, edge_loss=1.5)
+
+    def test_stateless_reset_noop(self):
+        model = TopologyLoss({0: frozenset([1])})
+        model.reset()
+        assert model.rate_for(0, 1) == 0.0

@@ -139,3 +139,58 @@ class TestSlots:
         )
         for record in (InitiateEvent(3), DeliverEvent(effect.message), effect):
             assert pickle.loads(pickle.dumps(record)) == record
+
+
+class TestExtensionEnvelope:
+    """The additive "x" envelope carrying e.g. liveness gossip."""
+
+    def test_ext_round_trips(self):
+        message = Message(
+            sender=1, target=2, payload=[(3, True)], kind="sandf",
+            ext={"fd": {"v": 1, "g": [[4, 0, 0, 7]]}},
+        )
+        decoded = decode(encode(message))
+        assert decoded.ext == message.ext
+        assert decoded == message
+
+    def test_absent_ext_produces_pre_extension_bytes(self):
+        bare = Message(sender=1, target=2, payload=[(3, False)], kind="sandf")
+        raw = encode(bare)
+        assert b'"x"' not in raw  # strictly additive: no key when empty
+        assert decode(raw).ext is None
+
+    def test_extension_free_peer_ignores_unknown_extensions(self):
+        # A decoder must deliver the message even if it does not know the
+        # extension key; interpretation is the consumer's job.
+        message = Message(
+            sender=1, target=2, payload=[], kind="sandf",
+            ext={"future-ext": {"v": 99}},
+        )
+        decoded = decode(encode(message))
+        assert decoded.payload == []
+        assert decoded.ext == {"future-ext": {"v": 99}}
+
+    def test_malformed_extension_envelope_rejected(self):
+        message = Message(sender=1, target=2, payload=[], kind="sandf")
+        raw = json.loads(encode(message))
+        raw["m"]["x"] = ["not", "a", "dict"]
+        with pytest.raises(WireError):
+            decode(json.dumps(raw).encode())
+
+    @given(record=messages, blob=st.dictionaries(
+        st.text(min_size=1, max_size=6),
+        st.dictionaries(
+            st.text(min_size=1, max_size=4),
+            st.one_of(st.integers(), st.lists(st.integers(), max_size=4)),
+            max_size=4,
+        ),
+        max_size=3,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_ext_blobs_round_trip(self, record, blob):
+        message = Message(
+            sender=record.sender, target=record.target,
+            payload=record.payload, kind=record.kind,
+            ext=blob or None,
+        )
+        assert decode(encode(message)) == message
