@@ -1,16 +1,22 @@
-"""Sweep-runner benchmark: serial seed path vs jobs=4 with a warm cache.
+"""Sweep-runner benchmark: seed path, backends, and scrape overhead.
 
-Times ``loss_sweep`` and ``parameter_sweep`` two ways:
+Times ``loss_sweep`` and ``parameter_sweep`` three ways:
 
-* **serial seed path** — the pre-runner configuration: ``jobs=1``, the
-  scalar loop matrix builder, solve cache disabled;
-* **parallel + warm cache** — ``jobs=4`` with the vectorized builder and
-  a pre-warmed content-addressed solve cache (the steady-state of a
-  workflow that re-runs sweeps while iterating on plots/analysis).
+* **serial seed path vs parallel + warm cache** — the pre-runner
+  configuration (``jobs=1``, scalar loop matrix builder, solve cache
+  disabled) against ``jobs=4`` with the vectorized builder and a
+  pre-warmed content-addressed solve cache (the steady-state of a
+  workflow that re-runs sweeps while iterating on plots/analysis);
+* **execution backends** — the same sweep dispatched inline, on the
+  process pool, and on the thread backend (``executor=``), asserting
+  identical rows across all three;
+* **scrape overhead** — the sweep with a live ``/metrics`` endpoint
+  being scraped continuously vs metrics alone, quantifying what a
+  Prometheus scraper costs a running sweep (it reads lock-free scalar
+  snapshots, so the answer should be "noise").
 
-Asserts the two paths produce *identical* rows (the vectorized builder
-is bit-identical to the loop builder and sweep results are collected in
-grid order), and writes ``BENCH_sweeps.json`` at the repo root.  Run::
+Asserts every variant produces *identical* rows and writes
+``BENCH_sweeps.json`` at the repo root.  Run::
 
     PYTHONPATH=src python benchmarks/bench_sweeps.py [--quick]
 """
@@ -21,11 +27,15 @@ import argparse
 import json
 import os
 import tempfile
+import threading
 import time
+import urllib.request
 from pathlib import Path
 
 from repro.experiments import loss_sweep, parameter_sweep
 from repro.markov.degree_mc import DegreeMarkovChain
+from repro.obs import MetricsEndpoint, configure, reset
+from repro.runner import SweepRunner
 
 PARALLEL_JOBS = 4
 
@@ -94,6 +104,111 @@ def bench_experiment(name: str, run_kwargs: dict, rows_of) -> dict:
     }
 
 
+def bench_backends(run_kwargs: dict) -> dict:
+    """The same loss sweep on every execution backend, rows asserted equal.
+
+    Uses a warm solve cache so the numbers isolate *dispatch* overhead
+    (submission, pickling, collection) rather than solver time.
+    """
+    timings = {}
+    reference_rows = None
+    with tempfile.TemporaryDirectory() as tmp:
+        saved = os.environ.get("REPRO_SOLVE_CACHE_DIR")
+        os.environ["REPRO_SOLVE_CACHE_DIR"] = tmp
+        try:
+            loss_sweep.run(jobs=PARALLEL_JOBS, **run_kwargs)  # warm the cache
+            for executor in ("inline", "process", "thread"):
+                jobs = 1 if executor == "inline" else PARALLEL_JOBS
+                runner = SweepRunner(jobs=jobs, executor=executor)
+                start = time.perf_counter()
+                result = loss_sweep.run(runner=runner, **run_kwargs)
+                timings[executor] = round(time.perf_counter() - start, 3)
+                if reference_rows is None:
+                    reference_rows = result.rows
+                else:
+                    assert result.rows == reference_rows, (
+                        f"{executor} backend rows differ from inline"
+                    )
+        finally:
+            if saved is None:
+                del os.environ["REPRO_SOLVE_CACHE_DIR"]
+            else:
+                os.environ["REPRO_SOLVE_CACHE_DIR"] = saved
+    print("backends (warm cache): " + ", ".join(
+        f"{name} {seconds:.3f}s" for name, seconds in timings.items()
+    ))
+    return {
+        "experiment": "loss_sweep",
+        "cells": len(reference_rows),
+        "jobs": PARALLEL_JOBS,
+        "seconds": timings,
+        "identical_outputs": True,
+    }
+
+
+def bench_scrape_overhead(run_kwargs: dict) -> dict:
+    """Sweep wall time with a hammered /metrics endpoint vs without."""
+
+    def timed_run(scrape: bool) -> float:
+        telemetry = configure(metrics=True)
+        endpoint = None
+        stop = threading.Event()
+        scraper = None
+        scrapes = [0]
+        if scrape:
+            endpoint = MetricsEndpoint(telemetry.registry, port=0)
+            port = endpoint.start()
+
+            def hammer():
+                while not stop.is_set():
+                    with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/metrics", timeout=5
+                    ) as response:
+                        response.read()
+                    scrapes[0] += 1
+
+            scraper = threading.Thread(target=hammer, daemon=True)
+            scraper.start()
+        try:
+            start = time.perf_counter()
+            loss_sweep.run(jobs=PARALLEL_JOBS, **run_kwargs)
+            elapsed = time.perf_counter() - start
+        finally:
+            stop.set()
+            if scraper is not None:
+                scraper.join(timeout=5.0)
+            if endpoint is not None:
+                endpoint.stop()
+            reset()
+        return elapsed, scrapes[0]
+
+    # Warm an isolated solve cache first so both timed runs see the same
+    # cache state (otherwise the first run pays the solves for both).
+    with tempfile.TemporaryDirectory() as tmp:
+        saved = os.environ.get("REPRO_SOLVE_CACHE_DIR")
+        os.environ["REPRO_SOLVE_CACHE_DIR"] = tmp
+        try:
+            loss_sweep.run(jobs=PARALLEL_JOBS, **run_kwargs)
+            plain_s, _ = timed_run(scrape=False)
+            scraped_s, scrapes = timed_run(scrape=True)
+        finally:
+            if saved is None:
+                del os.environ["REPRO_SOLVE_CACHE_DIR"]
+            else:
+                os.environ["REPRO_SOLVE_CACHE_DIR"] = saved
+    overhead = (scraped_s - plain_s) / plain_s if plain_s else 0.0
+    print(f"scrape overhead: plain {plain_s:.3f}s, "
+          f"scraped {scraped_s:.3f}s ({scrapes} scrapes, "
+          f"{overhead * 100:+.1f}%)")
+    return {
+        "experiment": "loss_sweep",
+        "plain_seconds": round(plain_s, 3),
+        "scraped_seconds": round(scraped_s, 3),
+        "scrapes": scrapes,
+        "overhead_fraction": round(overhead, 4),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -116,8 +231,15 @@ def main() -> int:
         bench_experiment("loss_sweep", loss_kwargs, lambda r: r.rows),
         bench_experiment("parameter_sweep", param_kwargs, lambda r: r.cells),
     ]
+    backends = bench_backends(loss_kwargs)
+    scrape = bench_scrape_overhead(loss_kwargs)
 
-    payload = {"quick": args.quick, "results": results}
+    payload = {
+        "quick": args.quick,
+        "results": results,
+        "backends": backends,
+        "scrape_overhead": scrape,
+    }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0

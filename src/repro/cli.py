@@ -72,39 +72,81 @@ def _make_runner(args: argparse.Namespace):
     checkpoint = None
     if args.checkpoint_dir:
         checkpoint = CheckpointStore(args.checkpoint_dir)
+    if getattr(args, "coordinate", False) and checkpoint is None:
+        raise SystemExit("--coordinate requires --checkpoint-dir")
+    kwargs = {}
+    lease_ttl = getattr(args, "lease_ttl", None)
+    if lease_ttl is not None:
+        kwargs["lease_ttl"] = lease_ttl
     return SweepRunner(
         jobs=_resolve_jobs(args.jobs),
         on_error=args.on_error,
         cell_timeout=args.cell_timeout,
         checkpoint=checkpoint,
+        executor=getattr(args, "executor", None),
+        coordinate=getattr(args, "coordinate", False),
+        **kwargs,
     )
 
 
 def _configure_telemetry(args: argparse.Namespace):
     """Install process telemetry from ``--trace``/``--metrics-out``.
 
-    Either flag turns the metrics registry on (the trace alone would not
-    be able to feed the one-line summary or the ``<slug>.metrics.json``
-    artifact).  Returns the installed telemetry, or ``None`` when both
-    flags are absent — the zero-cost default.
+    Any of the telemetry flags (``--metrics-port`` included) turns the
+    metrics registry on (the trace alone would not be able to feed the
+    one-line summary, the ``<slug>.metrics.json`` artifact, or the
+    ``/metrics`` exposition).  Returns the installed telemetry, or
+    ``None`` when every flag is absent — the zero-cost default.
     """
     trace = getattr(args, "trace", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not trace and not metrics_out:
+    metrics_port = getattr(args, "metrics_port", None)
+    if not trace and not metrics_out and metrics_port is None:
         return None
     from repro import obs
 
     return obs.configure(metrics=True, trace_path=trace)
 
 
-def _telemetry_summary(registry) -> str:
+def _start_endpoint(args: argparse.Namespace, telemetry, progress=None):
+    """Serve live ``/metrics`` + ``/progress`` when ``--metrics-port`` is set.
+
+    Returns the started :class:`repro.obs.MetricsEndpoint` (or ``None``);
+    the bound address goes to stderr so scripts scraping stdout for
+    experiment output are unaffected.
+    """
+    port = getattr(args, "metrics_port", None)
+    if port is None:
+        return None
+    from repro.obs import MetricsEndpoint
+
+    endpoint = MetricsEndpoint(
+        registry=telemetry.registry if telemetry else None,
+        progress=progress,
+        port=port,
+    )
+    bound = endpoint.start()
+    print(
+        f"metrics endpoint: http://127.0.0.1:{bound}/metrics "
+        f"(progress at /progress)",
+        file=sys.stderr,
+    )
+    return endpoint
+
+
+def _stop_endpoint(endpoint) -> None:
+    if endpoint is not None:
+        endpoint.stop()
+
+
+def _telemetry_summary(registry, runner=None) -> str:
     """The one-line summary ``run``/``simulate``/``report`` print."""
     snap = registry.snapshot()
     counters = snap["counters"]
     cell_run = snap["timers"].get("phase.cell_run", {})
     wall = cell_run.get("total") or 0.0
     cpu = cell_run.get("cpu_total") or 0.0
-    return (
+    line = (
         "telemetry:"
         f" cells={counters.get('sweep.cells', 0)}"
         f" completed={counters.get('sweep.completed', 0)}"
@@ -115,9 +157,15 @@ def _telemetry_summary(registry) -> str:
         f" cell_run={wall:.2f}s"
         f" cpu={cpu:.2f}s"
     )
+    if runner is not None and runner.last_stats.backend:
+        line += (
+            f" backend={runner.last_stats.backend}"
+            f" stolen={runner.last_stats.stolen_cells}"
+        )
+    return line
 
 
-def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
+def _finish_telemetry(args: argparse.Namespace, telemetry, runner=None) -> None:
     """Flush the trace, write ``--metrics-out``, print the summary."""
     if telemetry is None:
         return
@@ -131,7 +179,7 @@ def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
             path.write_text(
                 json.dumps(telemetry.registry.snapshot(), indent=2, sort_keys=True)
             )
-        print(_telemetry_summary(telemetry.registry))
+        print(_telemetry_summary(telemetry.registry, runner=runner))
 
 
 def _reset_telemetry(telemetry) -> None:
@@ -153,14 +201,17 @@ def _print_failures(sweep_runner) -> None:
         )
 
 
-def _execute(spec, args: argparse.Namespace):
+def _execute(spec, args: argparse.Namespace, sweep_runner=None):
     """Run ``spec`` with the CLI's runner flags; returns ``(result, runner)``.
 
+    ``sweep_runner`` lets callers pre-build the runner (so a live
+    ``/progress`` endpoint can be bound to it before execution starts).
     Backend warnings from the registry (a non-default ``--backend`` on an
     analytic experiment) are re-routed to stderr so they are visible even
     where Python's once-per-location warning filter would drop them.
     """
-    sweep_runner = _make_runner(args)
+    if sweep_runner is None:
+        sweep_runner = _make_runner(args)
     from repro.experiments import registry
 
     with warnings.catch_warnings(record=True) as caught:
@@ -205,8 +256,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
     telemetry = _configure_telemetry(args)
+    sweep_runner = _make_runner(args)
+    endpoint = _start_endpoint(args, telemetry, sweep_runner.progress_snapshot)
     try:
-        result, sweep_runner = _execute(spec, args)
+        result, sweep_runner = _execute(spec, args, sweep_runner)
         text = result.format()
         print(text)
         if args.artifacts_dir:
@@ -218,8 +271,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 runner=sweep_runner,
                 registry=telemetry.registry if telemetry else None,
             )
-        _finish_telemetry(args, telemetry)
+        _finish_telemetry(args, telemetry, runner=sweep_runner)
     finally:
+        _stop_endpoint(endpoint)
         _reset_telemetry(telemetry)
     return 0
 
@@ -285,6 +339,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
     telemetry = _configure_telemetry(args)
+    # /progress follows whichever experiment's runner is currently active.
+    current = {"runner": None}
+
+    def _progress():
+        runner = current["runner"]
+        return runner.progress_snapshot() if runner is not None else {}
+
+    endpoint = _start_endpoint(args, telemetry, _progress)
+    sweep_runner = None
     try:
         for spec in specs:
             print(f"== {spec.name} ==")
@@ -299,7 +362,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 per_registry = obs.Registry()
                 obs.configure(registry=per_registry, tracer=telemetry.tracer)
             try:
-                result, sweep_runner = _execute(spec, args)
+                sweep_runner = _make_runner(args)
+                current["runner"] = sweep_runner
+                result, sweep_runner = _execute(spec, args, sweep_runner)
             finally:
                 if telemetry is not None:
                     obs.set_telemetry(telemetry)
@@ -312,8 +377,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 spec, result, text, args.output,
                 runner=sweep_runner, registry=per_registry,
             )
-        _finish_telemetry(args, telemetry)
+        _finish_telemetry(args, telemetry, runner=sweep_runner)
     finally:
+        _stop_endpoint(endpoint)
         _reset_telemetry(telemetry)
     print(f"report written to {args.output}/")
     return 0
@@ -362,6 +428,26 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         for error in report.errors:
             print(f"NODE ERROR: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_checkpoint_gc(args: argparse.Namespace) -> int:
+    """Prune unresumable checkpoint entries; report reclaimed bytes."""
+    from repro.runner import gc_store
+
+    report = gc_store(
+        args.directory,
+        workers=args.worker or None,
+        dry_run=args.dry_run,
+    )
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(
+        f"checkpoint-gc {args.directory}: scanned={report.scanned} "
+        f"pruned={report.pruned} kept={report.kept} "
+        f"{verb} {report.reclaimed_bytes} bytes"
+    )
+    for reason in sorted(report.reasons):
+        print(f"  {reason}: {report.reasons[reason]}")
     return 0
 
 
@@ -415,8 +501,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="worker processes for the experiment's cell grid (default 1 = "
-        "serial; 0 = one per CPU, capped at 8); results are identical at "
-        "any value",
+        "serial; 0 = one per CPU, capped at 8, or the REPRO_JOBS env "
+        "override when set); results are identical at any value",
     )
     on_error_kwargs = dict(
         choices=["raise", "retry", "skip"],
@@ -451,6 +537,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the aggregated metrics registry (counters, gauges, "
         "histograms, timers — worker processes included) to PATH as JSON",
     )
+    executor_kwargs = dict(
+        choices=["auto", "inline", "process", "thread"],
+        default="auto",
+        help="dispatch backend for sweep cells: 'auto' (default; inline at "
+        "--jobs 1, a process pool otherwise), 'inline' (this process), "
+        "'process' (ProcessPoolExecutor with deadline enforcement and "
+        "crash recovery), or 'thread' (ThreadPoolExecutor); results are "
+        "bit-identical on every backend",
+    )
+    metrics_port_kwargs = dict(
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live OpenMetrics at http://127.0.0.1:PORT/metrics and "
+        "sweep progress JSON at /progress while the command runs (0 = "
+        "pick a free port, printed to stderr); implies metrics collection",
+    )
+    coordinate_kwargs = dict(
+        action="store_true",
+        help="partition the grid with other dispatchers sharing the same "
+        "--checkpoint-dir: cells are leased before execution, peer results "
+        "adopted, and expired leases stolen (requires --checkpoint-dir)",
+    )
+    lease_ttl_kwargs = dict(
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds before a --coordinate lease from a dead dispatcher "
+        "may be stolen (default 300); must exceed the worst-case wall "
+        "time of one cell",
+    )
 
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id (see 'list')")
@@ -459,9 +576,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--backend", **backend_kwargs)
     run_parser.add_argument("--jobs", **jobs_kwargs)
+    run_parser.add_argument("--executor", **executor_kwargs)
     run_parser.add_argument("--on-error", **on_error_kwargs)
     run_parser.add_argument("--cell-timeout", **cell_timeout_kwargs)
     run_parser.add_argument("--checkpoint-dir", **checkpoint_kwargs)
+    run_parser.add_argument("--coordinate", **coordinate_kwargs)
+    run_parser.add_argument("--lease-ttl", **lease_ttl_kwargs)
+    run_parser.add_argument("--metrics-port", **metrics_port_kwargs)
     run_parser.add_argument(
         "--artifacts-dir",
         default=None,
@@ -505,9 +626,13 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--fast", action="store_true")
     report_parser.add_argument("--backend", **backend_kwargs)
     report_parser.add_argument("--jobs", **jobs_kwargs)
+    report_parser.add_argument("--executor", **executor_kwargs)
     report_parser.add_argument("--on-error", **on_error_kwargs)
     report_parser.add_argument("--cell-timeout", **cell_timeout_kwargs)
     report_parser.add_argument("--checkpoint-dir", **checkpoint_kwargs)
+    report_parser.add_argument("--coordinate", **coordinate_kwargs)
+    report_parser.add_argument("--lease-ttl", **lease_ttl_kwargs)
+    report_parser.add_argument("--metrics-port", **metrics_port_kwargs)
     report_parser.add_argument("--trace", **trace_kwargs)
     report_parser.add_argument("--metrics-out", **metrics_out_kwargs)
     report_parser.set_defaults(func=_cmd_report)
@@ -563,6 +688,29 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--trace", **trace_kwargs)
     cluster_parser.add_argument("--metrics-out", **metrics_out_kwargs)
     cluster_parser.set_defaults(func=_cmd_cluster)
+
+    gc_parser = sub.add_parser(
+        "checkpoint-gc",
+        help="prune checkpoint entries the current code cannot resume from",
+    )
+    gc_parser.add_argument(
+        "directory", help="checkpoint directory (--checkpoint-dir of past runs)"
+    )
+    gc_parser.add_argument(
+        "--worker",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        help="worker token to KEEP (repeatable); entries recorded under any "
+        "other token — or none — are pruned.  Tokens are module-qualified "
+        "names, e.g. repro.experiments.registry._spec_worker",
+    )
+    gc_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned without deleting anything",
+    )
+    gc_parser.set_defaults(func=_cmd_checkpoint_gc)
 
     size_parser = sub.add_parser("size", help="apply the paper's sizing rules")
     size_parser.add_argument("--target-degree", type=int, default=30)

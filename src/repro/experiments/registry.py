@@ -341,12 +341,15 @@ def run_cells(
     backend: Optional[str] = None,
     runner: Optional[SweepRunner] = None,
     jobs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> List[Any]:
     """Run ``points`` through the spec's cell via a :class:`SweepRunner`.
 
     The building block behind :func:`execute`; legacy ``module.run()``
     wrappers with partial entry points call it directly with custom
     points.  Returns records in grid order (``None`` for skipped cells).
+    ``executor`` selects the dispatch backend when no preconfigured
+    ``runner`` is given (see :func:`repro.runner.backends.resolve_backend`).
     """
     spec = name_or_spec if isinstance(name_or_spec, ExperimentSpec) else get(
         name_or_spec
@@ -360,7 +363,7 @@ def run_cells(
             stacklevel=2,
         )
     if runner is None:
-        runner = SweepRunner(jobs=jobs)
+        runner = SweepRunner(jobs=jobs, executor=executor)
     return runner.run(
         _spec_worker,
         list(points),
@@ -376,6 +379,7 @@ def execute(
     backend: Optional[str] = None,
     runner: Optional[SweepRunner] = None,
     jobs: Optional[int] = None,
+    executor: Optional[str] = None,
     points: Optional[Sequence[Any]] = None,
 ) -> Any:
     """Run one experiment end to end: grid → cells → aggregate.
@@ -383,7 +387,7 @@ def execute(
     ``points`` overrides the spec's ``grid(fast)`` (how the legacy
     ``module.run()`` wrappers express their keyword arguments).  A
     preconfigured ``runner`` (jobs, retries, ``on_error``, timeout,
-    checkpoint) overrides ``jobs``.
+    checkpoint, executor, coordinate) overrides ``jobs``/``executor``.
     """
     spec = name_or_spec if isinstance(name_or_spec, ExperimentSpec) else get(
         name_or_spec
@@ -397,7 +401,8 @@ def execute(
     if not points:
         raise ValueError(f"experiment {spec.name!r} produced an empty grid")
     records = run_cells(
-        spec, points, backend=backend, runner=runner, jobs=jobs
+        spec, points, backend=backend, runner=runner, jobs=jobs,
+        executor=executor,
     )
     with phase("aggregate"):
         result = spec.aggregate(points, records)

@@ -11,7 +11,11 @@ the sweep runner, the solve cache, the experiment registry, and the CLI
 * :func:`repro.obs.profile.phase` — per-phase wall/CPU profiling hooks;
 * :class:`repro.obs.worker.MeteredWorker` — captures worker-process
   metrics in :class:`repro.runner.SweepRunner` pools and ships them back
-  for a deterministic merge.
+  for a deterministic merge;
+* :func:`repro.obs.openmetrics.render_openmetrics` /
+  :class:`repro.obs.openmetrics.MetricsEndpoint` — Prometheus/OpenMetrics
+  text exposition of any registry and a stdlib HTTP thread serving live
+  ``/metrics`` + ``/progress`` during a sweep (``--metrics-port``).
 
 Instrumented code never holds a tracer or registry directly; it asks for
 the process-current :class:`Telemetry` via :func:`get_telemetry` and
@@ -36,12 +40,14 @@ from repro.obs.metrics import (
     Registry,
     TimerStat,
 )
+from repro.obs.openmetrics import MetricsEndpoint, render_openmetrics
 from repro.obs.trace import TRACE_SCHEMA_VERSION, Tracer
 
 __all__ = [
     "METRICS_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
     "HistogramStat",
+    "MetricsEndpoint",
     "Registry",
     "Telemetry",
     "TimerStat",
@@ -49,6 +55,7 @@ __all__ = [
     "activated",
     "configure",
     "get_telemetry",
+    "render_openmetrics",
     "reset",
     "set_telemetry",
 ]

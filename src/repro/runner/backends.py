@@ -1,0 +1,607 @@
+"""Pluggable execution backends for the sweep runner.
+
+:class:`repro.runner.SweepRunner` owns sweep *policy* — grid order,
+seed derivation, retries, ``on_error`` settlement, checkpointing,
+telemetry — while this module owns sweep *dispatch*: how a batch of
+cells actually gets executed.  The seam is :class:`ExecutionBackend`,
+with three implementations:
+
+* :class:`InlineBackend` — cells run synchronously in the dispatching
+  process; no pickling requirement, zero overhead.  The historical
+  ``jobs <= 1`` path.
+* :class:`ProcessPoolBackend` — cells fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with the full
+  fault-tolerance machinery: per-cell deadline enforcement (a hung
+  worker is killed by rebuilding the pool), ``BrokenProcessPool``
+  recovery (bounded rebuilds, in-flight cells requeued), and crash
+  settlement.  The historical ``jobs > 1`` path.
+* :class:`FuturesBackend` — cells run on *any*
+  ``concurrent.futures``-compatible executor (a
+  :class:`~concurrent.futures.ThreadPoolExecutor` today, an SSH or
+  cluster executor tomorrow).  Generic executors cannot be killed and
+  rebuilt, so deadline enforcement and crash recovery are advertised
+  off via the capability flags; everything else — retries, backoff,
+  ``on_error`` policies, ordered collection — works identically.
+
+Because every backend settles cells through the same runner policy
+callbacks and results land in grid slots, a pure worker produces
+**bit-identical** output on every backend, at any parallelism — the
+same guarantee the runner has always made for ``jobs=1`` vs ``jobs=N``.
+
+Backends are selected by :func:`resolve_backend` (the ``executor=``
+argument of :class:`~repro.runner.SweepRunner` and the CLI's
+``--executor`` flag): ``"auto"`` keeps the historical jobs-based choice,
+``"inline"``/``"process"``/``"thread"`` force a backend, and any
+:class:`ExecutionBackend` instance is used as-is.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import time
+from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.obs import get_telemetry
+from repro.obs.profile import phase
+from repro.obs.worker import MeteredResult, MeteredWorker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
+    from repro.runner.sweep import GridCell, SweepRunner, SweepWorker
+
+LOGGER = logging.getLogger("repro.runner")
+
+#: Longest sleep while the loop is only waiting on retry backoff.
+_IDLE_TICK = 0.25
+
+#: Names accepted by :func:`resolve_backend` (besides ``"auto"``).
+BACKEND_NAMES = ("inline", "process", "thread")
+
+
+class CellTimeout(RuntimeError):
+    """A cell exceeded ``cell_timeout``; raised parent-side, never in the worker."""
+
+
+class PoolCrashError(RuntimeError):
+    """The executor crashed more than ``max_pool_rebuilds`` times."""
+
+
+class _CellState:
+    """Per-cell failure bookkeeping (attempts, crashes, errors, wall time)."""
+
+    __slots__ = ("cell", "attempts", "crashes", "errors", "elapsed", "submitted")
+
+    def __init__(self, cell: "GridCell"):
+        self.cell = cell
+        self.attempts = 0  # worker raises + timeouts
+        self.crashes = 0   # pool crashes while in flight (blame uncertain)
+        self.errors: List[str] = []
+        self.elapsed = 0.0
+        self.submitted = 0.0
+
+    def charged(self) -> int:
+        return self.attempts + self.crashes
+
+
+class _PhasedWorker:
+    """In-process wrapper recording ``phase.cell_run`` around a worker call.
+
+    The futures loop submits through this for in-process executors
+    (threads), mirroring the inline path's ``with phase("cell_run")`` —
+    worker metrics land directly in the parent registry, no snapshot
+    shipping needed.  Advertises the wrapped worker's checkpoint token.
+    """
+
+    def __init__(self, worker: "SweepWorker"):
+        from repro.runner.checkpoint import worker_token
+
+        self.worker = worker
+        self.checkpoint_token = worker_token(worker)
+
+    def __call__(self, cell: "GridCell", context: Any) -> Any:
+        with phase("cell_run"):
+            return self.worker(cell, context)
+
+
+class ExecutionBackend(ABC):
+    """How a batch of sweep cells is dispatched and collected.
+
+    Subclasses implement :meth:`run_cells`; the ``runner`` argument is
+    the :class:`~repro.runner.SweepRunner` whose policy callbacks
+    (``_handle_failure``, ``_record_success``, ``_skip``, ``_notify``)
+    settle each execution.  Capability flags tell the runner what the
+    backend can honor:
+
+    Attributes:
+        name: short identifier recorded in ``SweepStats.backend`` and
+            the ``sweep.start`` trace record.
+        out_of_process: workers run in other processes — the parent
+            registry is unreachable, so workers are wrapped in
+            :class:`~repro.obs.worker.MeteredWorker` when metrics are on
+            and their snapshots merged deterministically afterwards.
+        enforces_deadlines: ``cell_timeout`` is honored (requires the
+            ability to kill a running cell).
+        recovers_crashes: a :class:`~concurrent.futures.BrokenExecutor`
+            is survivable by rebuilding the executor.
+    """
+
+    name: str = "abstract"
+    out_of_process: bool = False
+    enforces_deadlines: bool = False
+    recovers_crashes: bool = False
+
+    @abstractmethod
+    def run_cells(
+        self,
+        runner: "SweepRunner",
+        worker: "SweepWorker",
+        cells: List["GridCell"],
+        context: Any,
+        results: List[Any],
+        done: int,
+        total: int,
+        keys: Dict[int, str],
+    ) -> None:
+        """Execute ``cells``, settling each through the runner's policy."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class InlineBackend(ExecutionBackend):
+    """Run every cell synchronously in the dispatching process."""
+
+    name = "inline"
+
+    def run_cells(
+        self,
+        runner: "SweepRunner",
+        worker: "SweepWorker",
+        cells: List["GridCell"],
+        context: Any,
+        results: List[Any],
+        done: int,
+        total: int,
+        keys: Dict[int, str],
+    ) -> None:
+        if runner.cell_timeout is not None:
+            LOGGER.warning(
+                "cell_timeout is not enforced by the %s backend; "
+                "running without deadlines", self.name,
+            )
+        for cell in cells:
+            state = _CellState(cell)
+            retry_delay = [0.0]
+
+            def _requeue(_cell: "GridCell", delay: float) -> None:
+                retry_delay[0] = delay
+
+            while True:
+                if retry_delay[0] > 0.0:
+                    time.sleep(retry_delay[0])
+                    retry_delay[0] = 0.0
+                started = time.monotonic()
+                try:
+                    with phase("cell_run"):
+                        result = worker(cell, context)
+                except Exception as exc:
+                    state.elapsed += time.monotonic() - started
+                    if runner._handle_failure(cell, exc, state, results, _requeue):
+                        break  # skipped
+                else:
+                    state.elapsed += time.monotonic() - started
+                    runner._record_success(cell, result, results, keys)
+                    runner._emit_cell_end(cell, "ok", state.elapsed)
+                    break
+            done += 1
+            runner._notify(cell, results[cell.index], done, total)
+
+
+class FuturesBackend(ExecutionBackend):
+    """Dispatch cells to any ``concurrent.futures``-compatible executor.
+
+    Args:
+        executor: an :class:`~concurrent.futures.Executor` *instance*
+            (used as-is; the caller owns its lifetime) or a *factory* —
+            any callable returning a fresh executor, invoked as
+            ``factory(max_workers=k)`` with a fallback to ``factory()``
+            for executors that size themselves.  Executor classes
+            (``ThreadPoolExecutor``) are factories.
+        name: overrides the recorded backend name (e.g. ``"thread"``).
+        out_of_process: set when the executor runs workers in other
+            processes (an SSH/cluster executor) so worker metrics are
+            captured via :class:`~repro.obs.worker.MeteredWorker`
+            snapshots instead of direct registry writes.
+
+    Generic executors cannot kill a running task or be rebuilt after a
+    crash, so ``cell_timeout`` is ignored (with a warning) and a
+    :class:`~concurrent.futures.BrokenExecutor` raises
+    :class:`PoolCrashError` immediately.
+    """
+
+    name = "futures"
+
+    def __init__(
+        self,
+        executor: Union[Executor, Callable[..., Executor]],
+        *,
+        name: Optional[str] = None,
+        out_of_process: bool = False,
+    ):
+        if isinstance(executor, Executor):
+            self._instance: Optional[Executor] = executor
+            self._factory: Optional[Callable[..., Executor]] = None
+        elif callable(executor):
+            self._instance = None
+            self._factory = executor
+        else:
+            raise TypeError(
+                "executor must be a concurrent.futures.Executor instance "
+                f"or a factory callable, got {executor!r}"
+            )
+        if name is not None:
+            self.name = name
+        self.out_of_process = bool(out_of_process)
+        self._owns_executor = self._instance is None
+
+    # -- executor lifecycle --------------------------------------------
+
+    def _new_executor(self, max_workers: int) -> Executor:
+        if self._instance is not None:
+            return self._instance
+        assert self._factory is not None
+        try:
+            return self._factory(max_workers=max_workers)
+        except TypeError:
+            return self._factory()
+
+    def _shutdown(self, executor: Executor) -> None:
+        """Shut an executor down without waiting on in-flight work."""
+        if not self._owns_executor:
+            return  # caller-owned instance: leave it running
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - Python < 3.9
+            executor.shutdown(wait=False)
+
+    def _rebuild(self, executor: Executor, max_workers: int) -> Executor:
+        self._shutdown(executor)
+        return self._new_executor(max_workers)
+
+    def _prepare_worker(self, worker: "SweepWorker") -> "SweepWorker":
+        """The callable actually submitted (metric capture wrapping)."""
+        if not get_telemetry().metrics_on:
+            return worker
+        if self.out_of_process:
+            # The parent registry is unreachable from the worker; ship a
+            # snapshot back and merge it deterministically afterwards.
+            return MeteredWorker(worker)
+        # In-process executor: record straight into the parent registry,
+        # like the inline path (the registry is thread-safe).
+        return _PhasedWorker(worker)
+
+    # -- the dispatch loop ---------------------------------------------
+
+    def run_cells(
+        self,
+        runner: "SweepRunner",
+        worker: "SweepWorker",
+        cells: List["GridCell"],
+        context: Any,
+        results: List[Any],
+        done: int,
+        total: int,
+        keys: Dict[int, str],
+    ) -> None:
+        if runner.cell_timeout is not None and not self.enforces_deadlines:
+            LOGGER.warning(
+                "cell_timeout is not enforced by the %s backend; "
+                "running without deadlines", self.name,
+            )
+        max_workers = min(runner.jobs, len(cells))
+        # The wrapper advertises the bare worker's checkpoint token, so
+        # journal keys (already computed in keys) stay valid either way.
+        submit_worker = self._prepare_worker(worker)
+        pending: deque = deque(cells)
+        waiting: List[Tuple[float, int, "GridCell"]] = []  # (ready_at, idx, cell)
+        states = {cell.index: _CellState(cell) for cell in cells}
+        inflight: Dict[Future, "GridCell"] = {}
+        rebuilds = 0
+
+        def _requeue(cell: "GridCell", delay: float) -> None:
+            heapq.heappush(waiting, (time.monotonic() + delay, cell.index, cell))
+
+        executor = self._new_executor(max_workers)
+        try:
+            while pending or waiting or inflight:
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    _, _, ready_cell = heapq.heappop(waiting)
+                    pending.append(ready_cell)
+                # Cap outstanding submissions at the worker count: in-flight
+                # cells are then (almost) the running set, which keeps the
+                # blame set small when the executor crashes.
+                while pending and len(inflight) < max_workers:
+                    cell = pending.popleft()
+                    future = executor.submit(submit_worker, cell, context)
+                    inflight[future] = cell
+                    states[cell.index].submitted = time.monotonic()
+                if not inflight:
+                    # Everything is waiting out a retry backoff.
+                    pause = max(0.0, waiting[0][0] - time.monotonic())
+                    time.sleep(min(pause, _IDLE_TICK))
+                    continue
+
+                finished, _ = wait(
+                    set(inflight),
+                    timeout=self._wait_timeout(runner, waiting, inflight, states),
+                    return_when=FIRST_COMPLETED,
+                )
+                crash: Optional[BaseException] = None
+                for future in finished:
+                    cell = inflight[future]
+                    try:
+                        result = future.result()
+                    except BrokenExecutor as exc:
+                        # Executor is dead: every in-flight future fails
+                        # with this; handle them wholesale below.
+                        crash = exc
+                        break
+                    except Exception as exc:
+                        del inflight[future]
+                        state = states[cell.index]
+                        state.elapsed += time.monotonic() - state.submitted
+                        if runner._handle_failure(
+                            cell, exc, state, results, _requeue
+                        ):
+                            done += 1
+                            runner._notify(cell, None, done, total)
+                    else:
+                        del inflight[future]
+                        if isinstance(result, MeteredResult):
+                            runner._worker_metrics[cell.index] = result.metrics
+                            result = result.value
+                        state = states[cell.index]
+                        state.elapsed += time.monotonic() - state.submitted
+                        runner._record_success(cell, result, results, keys)
+                        runner._emit_cell_end(cell, "ok", state.elapsed)
+                        done += 1
+                        runner._notify(cell, result, done, total)
+
+                if crash is not None:
+                    rebuilds += 1
+                    runner.last_stats.pool_rebuilds += 1
+                    get_telemetry().event("pool.rebuild", reason="crash")
+                    if not self.recovers_crashes:
+                        raise PoolCrashError(
+                            f"the {self.name} executor broke ({crash!r}) and "
+                            "this backend cannot rebuild it"
+                        ) from crash
+                    LOGGER.warning(
+                        "worker process died (%r); rebuilding pool (%d/%d), "
+                        "requeueing %d in-flight cell(s); %d completed result(s) kept",
+                        crash, rebuilds, runner.max_pool_rebuilds, len(inflight),
+                        runner.last_stats.completed,
+                    )
+                    if rebuilds > runner.max_pool_rebuilds:
+                        raise PoolCrashError(
+                            f"process pool crashed {rebuilds} times "
+                            f"(max_pool_rebuilds={runner.max_pool_rebuilds}); "
+                            f"last crash: {crash!r}"
+                        ) from crash
+                    executor = self._rebuild(executor, max_workers)
+                    done = self._settle_crashed(
+                        runner, crash, inflight, states, pending, results,
+                        done, total,
+                    )
+                    continue
+
+                if (
+                    self.enforces_deadlines
+                    and runner.cell_timeout is not None
+                    and inflight
+                ):
+                    done, executor = self._enforce_deadlines(
+                        runner, executor, max_workers, inflight, states,
+                        pending, results, done, total, _requeue,
+                    )
+        finally:
+            self._shutdown(executor)
+
+    def _wait_timeout(
+        self,
+        runner: "SweepRunner",
+        waiting: List[Tuple[float, int, "GridCell"]],
+        inflight: Dict[Future, "GridCell"],
+        states: Dict[int, _CellState],
+    ) -> Optional[float]:
+        """How long ``wait`` may block before a deadline or retry is due."""
+        now = time.monotonic()
+        candidates = []
+        if (
+            self.enforces_deadlines
+            and runner.cell_timeout is not None
+            and inflight
+        ):
+            soonest = min(
+                states[cell.index].submitted for cell in inflight.values()
+            )
+            candidates.append(max(0.0, soonest + runner.cell_timeout - now))
+        if waiting:
+            candidates.append(max(0.0, waiting[0][0] - now))
+        if not candidates:
+            return None
+        return min(candidates) + 0.01
+
+    def _settle_crashed(
+        self,
+        runner: "SweepRunner",
+        crash: BaseException,
+        inflight: Dict[Future, "GridCell"],
+        states: Dict[int, _CellState],
+        pending: deque,
+        results: List[Any],
+        done: int,
+        total: int,
+    ) -> int:
+        """Requeue or settle every cell that was in flight during a crash.
+
+        The crashed cell cannot be told apart from its in-flight
+        neighbors, so each gets a crash charge; a cell over its
+        ``crash_retries`` budget is settled per ``on_error``.
+        """
+        from repro.runner.sweep import SweepError
+
+        now = time.monotonic()
+        for cell in inflight.values():
+            state = states[cell.index]
+            state.crashes += 1
+            state.elapsed += now - state.submitted
+            state.errors.append(repr(crash))
+            if state.crashes <= runner.crash_retries:
+                pending.append(cell)
+            elif runner.on_error == "skip":
+                runner._skip(cell, state, results)
+                done += 1
+                runner._notify(cell, None, done, total)
+            else:
+                raise SweepError(
+                    cell, crash, attempts=state.charged()
+                ) from crash
+        inflight.clear()
+        return done
+
+    def _enforce_deadlines(
+        self,
+        runner: "SweepRunner",
+        executor: Executor,
+        max_workers: int,
+        inflight: Dict[Future, "GridCell"],
+        states: Dict[int, _CellState],
+        pending: deque,
+        results: List[Any],
+        done: int,
+        total: int,
+        requeue: Callable[["GridCell", float], None],
+    ) -> Tuple[int, Executor]:
+        """Kill the executor if any in-flight cell is over its deadline.
+
+        A running task cannot be cancelled, so deadline enforcement means
+        rebuilding the executor: the overdue cells are charged a timeout
+        attempt and retried/skipped/raised per policy, while the other
+        in-flight cells are requeued uncharged.
+        """
+        now = time.monotonic()
+        overdue = {
+            cell.index
+            for future, cell in inflight.items()
+            if not future.done()
+            and now - states[cell.index].submitted >= runner.cell_timeout
+        }
+        if not overdue:
+            return done, executor
+        runner.last_stats.timeouts += len(overdue)
+        tel = get_telemetry()
+        if tel.tracing_on:
+            tel.event("pool.rebuild", reason="timeout")
+            for index in sorted(overdue):
+                tel.event(
+                    "cell.timeout",
+                    index=index,
+                    elapsed_s=round(now - states[index].submitted, 6),
+                )
+        LOGGER.warning(
+            "%d cell(s) exceeded cell_timeout=%.3gs; killing the pool "
+            "and requeueing %d innocent in-flight cell(s)",
+            len(overdue), runner.cell_timeout, len(inflight) - len(overdue),
+        )
+        executor = self._rebuild(executor, max_workers)
+        for future, cell in list(inflight.items()):
+            state = states[cell.index]
+            state.elapsed += now - state.submitted
+            if cell.index in overdue:
+                exc = CellTimeout(
+                    f"cell {cell.index} (point={cell.point!r}) exceeded "
+                    f"cell_timeout={runner.cell_timeout}s"
+                )
+                if runner._handle_failure(cell, exc, state, results, requeue):
+                    done += 1
+                    runner._notify(cell, None, done, total)
+            else:
+                pending.append(cell)
+        inflight.clear()
+        return done, executor
+
+
+class ProcessPoolBackend(FuturesBackend):
+    """The fully fault-tolerant process-pool backend (historical default).
+
+    Workers run in a :class:`~concurrent.futures.ProcessPoolExecutor`
+    and must be picklable module-level callables.  On top of the generic
+    futures loop this backend enforces per-cell deadlines and survives
+    ``BrokenProcessPool`` crashes by rebuilding the pool — both require
+    the ability to kill worker processes, which is why only this backend
+    advertises those capabilities.
+    """
+
+    name = "process-pool"
+    out_of_process = True
+    enforces_deadlines = True
+    recovers_crashes = True
+
+    def __init__(self) -> None:
+        super().__init__(
+            ProcessPoolExecutor, name=self.name, out_of_process=True
+        )
+
+    def _shutdown(self, executor: Executor) -> None:
+        """Shut a pool down without waiting on (possibly hung) workers."""
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - Python < 3.9
+            executor.shutdown(wait=False)
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                if process.is_alive():
+                    process.terminate()
+            except Exception:  # pragma: no cover - already-reaped process
+                pass
+
+
+def resolve_backend(
+    executor: Union[None, str, ExecutionBackend], jobs: int
+) -> ExecutionBackend:
+    """The :class:`ExecutionBackend` for an ``executor=`` specification.
+
+    ``None`` or ``"auto"`` keeps the historical behavior: inline at
+    ``jobs <= 1``, a process pool otherwise.  ``"inline"``,
+    ``"process"`` (alias ``"process-pool"``) and ``"thread"`` (alias
+    ``"threads"``) force a backend regardless of ``jobs``; an
+    :class:`ExecutionBackend` instance is returned as-is.
+    """
+    if isinstance(executor, ExecutionBackend):
+        return executor
+    if executor is None or executor == "auto":
+        return InlineBackend() if jobs <= 1 else ProcessPoolBackend()
+    if executor == "inline":
+        return InlineBackend()
+    if executor in ("process", "process-pool"):
+        return ProcessPoolBackend()
+    if executor in ("thread", "threads"):
+        return FuturesBackend(ThreadPoolExecutor, name="thread")
+    raise ValueError(
+        f"unknown executor {executor!r}; expected 'auto', one of "
+        f"{BACKEND_NAMES}, or an ExecutionBackend instance"
+    )

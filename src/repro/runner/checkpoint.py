@@ -1,4 +1,4 @@
-"""Checkpoint/resume journal for sweep grids.
+"""Checkpoint/resume journal and coordination fabric for sweep grids.
 
 A long sweep that dies 90% of the way through should not repeat the 90%.
 :class:`CheckpointStore` journals each completed cell's result to disk as
@@ -17,13 +17,29 @@ Entries follow the same content-address discipline as
 * writes go through a temporary file plus :func:`os.replace` (atomic on
   POSIX and Windows), so a crash mid-write never leaves a half-written
   entry and concurrent writers race harmlessly;
-* corrupt or unpicklable entries are quarantined (deleted) on first read
-  and treated as misses, so one bad file costs one recomputation, not a
-  wedged resume.
+* corrupt or unpicklable entries are quarantined (moved into a
+  ``quarantine/`` subdirectory for post-mortem) on first read and treated
+  as misses, so one bad file costs one recomputation, not a wedged
+  resume.
 
 Only *successful* cells are journaled.  Failed, skipped, and timed-out
 cells are retried by the next run — exactly the semantics a resumable
 sweep wants.
+
+Beyond resume, the store doubles as the **coordination fabric** for
+multi-dispatcher sweeps (``SweepRunner(coordinate=True)``): per-cell
+*leases* — small JSON files created with ``O_CREAT | O_EXCL`` — let
+several dispatcher processes sharing one directory partition a grid
+without duplicating work.  :meth:`CheckpointStore.claim` either creates
+the lease (the caller owns the cell), refreshes a lease the caller
+already owns, steals a lease whose TTL expired (the previous dispatcher
+died), or reports the cell as held by a live peer.  Stealing replaces
+the lease atomically and re-reads it to confirm ownership; in the
+pathological race where several dispatchers steal the *same* stale lease
+within one read-modify window, more than one may briefly believe it won
+— harmless, because workers are pure and the journal write is atomic and
+value-identical, so the cost is one duplicated computation on an
+already-abandoned cell, never a wrong result.
 
 A fault-injection wrapper that merely perturbs *execution* (not the
 computed value) can set a ``checkpoint_token`` attribute naming the
@@ -33,7 +49,9 @@ with the plain worker.
 
 Like the solve cache, a checkpoint directory stores pickles this library
 itself produced; it is a private scratch directory, not an interchange
-format — do not point it at untrusted data.
+format — do not point it at untrusted data.  :func:`gc_store` (also
+exposed as ``repro checkpoint-gc`` and ``tools/checkpoint_gc.py``)
+prunes entries the current code can no longer resume from.
 """
 
 from __future__ import annotations
@@ -44,9 +62,10 @@ import logging
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Tuple, Union
 
 from repro.obs import get_telemetry
 
@@ -58,6 +77,12 @@ LOGGER = logging.getLogger("repro.runner.checkpoint")
 #: Bump whenever the journal layout or keying semantics change: every key
 #: embeds this, so entries from older code can never be resumed from.
 CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Name of the subdirectory corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
+
+#: Default seconds before an unrefreshed lease may be stolen.
+DEFAULT_LEASE_TTL = 300.0
 
 
 def worker_token(worker: Any) -> str:
@@ -131,8 +156,8 @@ class CheckpointStore:
     def load(self, key: str) -> Tuple[bool, Any]:
         """``(True, result)`` for a journaled cell, else ``(False, None)``.
 
-        A corrupt entry is quarantined (deleted) and reported as a miss,
-        so the cell is simply recomputed.
+        A corrupt entry is quarantined and reported as a miss, so the
+        cell is simply recomputed.
         """
         path = self._path(key)
         try:
@@ -152,8 +177,20 @@ class CheckpointStore:
         get_telemetry().inc("checkpoint.hits")
         return True, result
 
-    def store(self, key: str, cell: "GridCell", result: Any) -> None:
-        """Atomically journal one completed cell's result."""
+    def store(
+        self,
+        key: str,
+        cell: "GridCell",
+        result: Any,
+        token: Optional[str] = None,
+    ) -> None:
+        """Atomically journal one completed cell's result.
+
+        ``token`` is the producing worker's :func:`worker_token`; it is
+        embedded in the payload (additively — absent in entries written
+        by older code) so :func:`gc_store` can prune entries belonging to
+        workers that no longer exist.
+        """
         payload = {
             "schema": CHECKPOINT_SCHEMA_VERSION,
             "cell": {
@@ -164,6 +201,8 @@ class CheckpointStore:
             },
             "result": result,
         }
+        if token is not None:
+            payload["worker"] = token
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
@@ -180,11 +219,125 @@ class CheckpointStore:
         self.stats.writes += 1
         get_telemetry().inc("checkpoint.writes")
 
-    def _quarantine(self, path: Path, exc: BaseException) -> None:
+    # -- per-cell leases (multi-dispatcher coordination) ---------------
+
+    def _lease_path(self, key: str) -> Path:
+        return self.directory / f"{key}.lease"
+
+    @staticmethod
+    def _read_lease(path: Path) -> Optional[Dict[str, Any]]:
+        """The lease record at ``path``, or ``None`` if absent/corrupt."""
         try:
-            path.unlink()
+            record = json.loads(path.read_text("utf-8"))
+        except (FileNotFoundError, OSError):
+            return None
+        except ValueError:
+            return {}  # corrupt: present but unparseable → treat as stale
+        return record if isinstance(record, dict) else {}
+
+    @staticmethod
+    def _lease_expired(record: Dict[str, Any]) -> bool:
+        try:
+            ts = float(record["ts"])
+            ttl = float(record["ttl"])
+        except (KeyError, TypeError, ValueError):
+            return True  # malformed lease: claimable
+        return time.time() - ts >= ttl
+
+    def _write_lease(self, path: Path, record: Dict[str, Any]) -> None:
+        fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def claim(
+        self, key: str, owner: str, *, ttl: float = DEFAULT_LEASE_TTL
+    ) -> bool:
+        """Try to lease cell ``key`` for ``owner``; True when owned.
+
+        Exactly one of the dispatchers racing on a *fresh* cell wins (the
+        lease file is created with ``O_CREAT | O_EXCL``, which is atomic
+        on POSIX and Windows, including NFSv3+).  Re-claiming a lease the
+        caller already owns refreshes its timestamp and succeeds.  A
+        lease older than its ``ttl`` — or unparseable — is presumed
+        abandoned and stolen: replaced atomically, then re-read to
+        confirm this owner actually won any concurrent steal.
+        """
+        path = self._lease_path(key)
+        record = {
+            "owner": owner,
+            "pid": os.getpid(),
+            "ts": time.time(),
+            "ttl": float(ttl),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
         except OSError:
-            return
+            return False  # unwritable store: never claim what we can't hold
+        else:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            return True
+        existing = self._read_lease(path)
+        if existing is None:
+            # Released between our O_EXCL failure and the read: recurse
+            # once — the O_EXCL path settles any race.
+            return self.claim(key, owner, ttl=ttl)
+        if existing.get("owner") == owner:
+            try:
+                self._write_lease(path, record)  # refresh
+            except OSError:
+                pass  # still ours; refresh is best-effort
+            return True
+        if not self._lease_expired(existing):
+            return False
+        try:
+            self._write_lease(path, record)
+        except OSError:
+            return False
+        confirmed = self._read_lease(path)
+        won = bool(confirmed) and confirmed.get("owner") == owner
+        if won:
+            LOGGER.info(
+                "stole expired lease %s from %r", key[:12],
+                existing.get("owner"),
+            )
+        return won
+
+    def release(self, key: str) -> None:
+        """Drop the lease on ``key`` (no-op when absent)."""
+        try:
+            self._lease_path(key).unlink()
+        except OSError:
+            pass
+
+    def lease_info(self, key: str) -> Optional[Dict[str, Any]]:
+        """The current lease record for ``key``, or ``None``."""
+        record = self._read_lease(self._lease_path(key))
+        return record or None
+
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, path: Path, exc: BaseException) -> None:
+        quarantine = self.directory / QUARANTINE_DIR
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
         get_telemetry().inc("checkpoint.quarantined")
         if not self._quarantine_logged:
             self._quarantine_logged = True
@@ -197,15 +350,126 @@ class CheckpointStore:
             LOGGER.debug("quarantined corrupt checkpoint entry %s (%r)", path.name, exc)
 
     def clear(self) -> None:
-        """Delete every journal entry."""
+        """Delete every journal entry (and any leases)."""
         if self.directory.is_dir():
-            for entry in self.directory.glob("*.pkl"):
-                try:
-                    entry.unlink()
-                except OSError:
-                    pass
+            for pattern in ("*.pkl", "*.lease"):
+                for entry in self.directory.glob(pattern):
+                    try:
+                        entry.unlink()
+                    except OSError:
+                        pass
 
     def __len__(self) -> int:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*.pkl"))
+
+
+# ---------------------------------------------------------------------
+# Garbage collection
+
+
+@dataclass
+class GCReport:
+    """What :func:`gc_store` found and (unless ``dry_run``) removed."""
+
+    scanned: int = 0
+    pruned: int = 0
+    kept: int = 0
+    reclaimed_bytes: int = 0
+    dry_run: bool = False
+    #: prune counts keyed by reason (``stale-schema``, ``unreadable``,
+    #: ``worker-mismatch``, ``orphan-tmp``, ``expired-lease``,
+    #: ``corrupt-lease``, ``quarantined``).
+    reasons: Dict[str, int] = field(default_factory=dict)
+
+    def note(self, reason: str, size: int) -> None:
+        self.pruned += 1
+        self.reclaimed_bytes += size
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+
+
+def gc_store(
+    directory: Union[str, Path],
+    *,
+    workers: Optional[Iterable[str]] = None,
+    dry_run: bool = False,
+) -> GCReport:
+    """Prune checkpoint entries the current code can no longer resume from.
+
+    Removes, reporting reclaimed bytes per category:
+
+    * journal entries (``*.pkl``) that are unreadable or whose embedded
+      schema version differs from :data:`CHECKPOINT_SCHEMA_VERSION`;
+    * journal entries whose ``worker`` token is not in ``workers`` (when
+      a filter is given; entries written before tokens were recorded
+      carry none and are pruned under a filter — conservative, since
+      their producing worker cannot be verified);
+    * orphaned ``*.tmp`` files from writers that died mid-write;
+    * expired or corrupt ``*.lease`` files;
+    * everything under ``quarantine/`` (already judged corrupt).
+
+    Live leases and resumable entries are kept.  ``dry_run`` reports
+    without deleting.
+    """
+    root = Path(directory)
+    report = GCReport(dry_run=dry_run)
+    if not root.is_dir():
+        return report
+    keep_workers = set(workers) if workers is not None else None
+
+    def _remove(path: Path, reason: str) -> None:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        if not dry_run:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        report.note(reason, size)
+        LOGGER.debug("checkpoint-gc: %s %s (%s)",
+                     "would prune" if dry_run else "pruned", path.name, reason)
+
+    for path in sorted(root.glob("*.pkl")):
+        report.scanned += 1
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            schema = payload["schema"]
+        except Exception:
+            _remove(path, "unreadable")
+            continue
+        if schema != CHECKPOINT_SCHEMA_VERSION:
+            _remove(path, "stale-schema")
+            continue
+        if keep_workers is not None and payload.get("worker") not in keep_workers:
+            _remove(path, "worker-mismatch")
+            continue
+        report.kept += 1
+
+    for path in sorted(root.glob("*.tmp")):
+        report.scanned += 1
+        _remove(path, "orphan-tmp")
+
+    for path in sorted(root.glob("*.lease")):
+        report.scanned += 1
+        record = CheckpointStore._read_lease(path)
+        if record is None:
+            continue  # vanished between glob and read
+        if not record:
+            _remove(path, "corrupt-lease")
+        elif CheckpointStore._lease_expired(record):
+            _remove(path, "expired-lease")
+        else:
+            report.kept += 1
+
+    quarantine = root / QUARANTINE_DIR
+    if quarantine.is_dir():
+        for path in sorted(quarantine.iterdir()):
+            if path.is_file():
+                report.scanned += 1
+                _remove(path, "quarantined")
+
+    return report

@@ -11,12 +11,16 @@ pure worker call per cell.  :class:`SweepRunner` owns that shape once:
   depend only on the cell's grid position, never on scheduling; an
   experiment that must preserve a historical derivation (e.g. the legacy
   ``seed + replication``) passes ``seed_fn`` instead;
-* **execution** — ``jobs <= 1`` runs inline (no pickling requirement,
-  zero overhead); ``jobs > 1`` submits cells to a
-  :class:`concurrent.futures.ProcessPoolExecutor`;
+* **execution** — dispatch happens behind the
+  :class:`repro.runner.backends.ExecutionBackend` seam: ``jobs <= 1``
+  selects the inline backend (no pickling requirement, zero overhead),
+  ``jobs > 1`` a :class:`~concurrent.futures.ProcessPoolExecutor`
+  backend, and ``executor=`` forces any backend (``"inline"``,
+  ``"process"``, ``"thread"``, or an
+  :class:`~repro.runner.backends.ExecutionBackend` instance);
 * **ordered collection** — results are returned in grid order regardless
-  of completion order, which is what makes ``jobs=1`` and ``jobs=4``
-  bit-identical for pure workers;
+  of completion order, which is what makes every backend, at any
+  parallelism, bit-identical for pure workers;
 * **hooks** — an optional ``progress`` callback fires per settled cell
   (in completion order) and a ``repro.runner`` logger records timing.  A
   hook that raises is logged at WARNING and never aborts the sweep.
@@ -33,10 +37,11 @@ the runner applies the same stance to its own execution:
   fail-fast behavior), ``"retry"`` (retry, then raise), or ``"skip"``
   (retry, then record a :class:`FailureReport` and yield ``None`` for
   that cell instead of poisoning the whole grid).
-* **per-cell timeouts** (pool path only) — a cell running longer than
-  ``cell_timeout`` seconds is treated as failed: the pool is rebuilt
-  (killing the hung worker), innocent in-flight cells are requeued
-  uncharged, and the overdue cell is retried/skipped/raised per policy.
+* **per-cell timeouts** (deadline-capable backends only) — a cell
+  running longer than ``cell_timeout`` seconds is treated as failed: the
+  pool is rebuilt (killing the hung worker), innocent in-flight cells
+  are requeued uncharged, and the overdue cell is retried/skipped/raised
+  per policy.
 * **BrokenProcessPool recovery** — an OOM-killed or crashed worker
   process no longer discards completed results: the pool is rebuilt (at
   most ``max_pool_rebuilds`` times per run) and in-flight cells are
@@ -46,35 +51,51 @@ the runner applies the same stance to its own execution:
   every completed cell is journaled atomically as it lands; a re-run of
   the same grid loads journaled cells instead of recomputing them, so an
   interrupted sweep resumes where it died with bit-identical output.
+* **multi-dispatcher work stealing** — with ``coordinate=True`` (and a
+  checkpoint store), the store doubles as a coordination fabric:
+  dispatchers claim per-cell leases before executing, adopt journaled
+  results written by their peers, and steal expired leases from dead
+  dispatchers, so several ``repro run`` processes sharing one
+  ``--checkpoint-dir`` partition a grid without duplicating work.
 
-Workers submitted with ``jobs > 1`` must be module-level callables (or
-picklable callable objects) and their arguments picklable — the standard
-multiprocessing constraint.
+Workers submitted to out-of-process backends must be module-level
+callables (or picklable callable objects) and their arguments picklable
+— the standard multiprocessing constraint.
 """
 
 from __future__ import annotations
 
-import heapq
 import logging
 import os
 import time
-from collections import deque
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    BrokenExecutor,
-    Future,
-    ProcessPoolExecutor,
-    wait,
-)
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.obs import get_telemetry
-from repro.obs.profile import phase
-from repro.obs.worker import MeteredResult, MeteredWorker
-from repro.runner.checkpoint import CheckpointStore
+from repro.runner.backends import (
+    CellTimeout,
+    ExecutionBackend,
+    PoolCrashError,
+    _CellState,
+    resolve_backend,
+)
+from repro.runner.checkpoint import CheckpointStore, worker_token
+
+__all__ = [
+    "GridCell",
+    "FailureReport",
+    "SweepStats",
+    "SweepError",
+    "CellTimeout",
+    "PoolCrashError",
+    "SweepRunner",
+    "default_jobs",
+    "derive_seeds",
+    "run_sweep",
+    "ON_ERROR_POLICIES",
+]
 
 LOGGER = logging.getLogger("repro.runner")
 
@@ -88,8 +109,9 @@ ProgressHook = Callable[["GridCell", Any, int, int], None]
 #: Valid ``on_error`` policies.
 ON_ERROR_POLICIES = ("raise", "retry", "skip")
 
-#: Longest sleep while the loop is only waiting on retry backoff.
-_IDLE_TICK = 0.25
+#: How long a coordinated dispatcher sleeps between polls of cells whose
+#: leases are held by a live peer.
+_STEAL_POLL = 0.1
 
 
 @dataclass(frozen=True)
@@ -131,7 +153,13 @@ class FailureReport:
 
 @dataclass
 class SweepStats:
-    """Execution counters for the most recent :meth:`SweepRunner.run`."""
+    """Execution counters for the most recent :meth:`SweepRunner.run`.
+
+    ``backend`` names the :class:`ExecutionBackend` that dispatched the
+    run; ``stolen_cells`` counts cells this dispatcher executed after
+    stealing another dispatcher's released or expired lease
+    (``coordinate=True`` only).
+    """
 
     total: int = 0
     completed: int = 0
@@ -140,6 +168,8 @@ class SweepStats:
     skipped: int = 0
     timeouts: int = 0
     pool_rebuilds: int = 0
+    stolen_cells: int = 0
+    backend: str = ""
 
 
 class SweepError(RuntimeError):
@@ -156,33 +186,27 @@ class SweepError(RuntimeError):
         self.attempts = attempts
 
 
-class CellTimeout(RuntimeError):
-    """A cell exceeded ``cell_timeout``; raised parent-side, never in the worker."""
-
-
-class PoolCrashError(RuntimeError):
-    """The process pool crashed more than ``max_pool_rebuilds`` times."""
-
-
-class _CellState:
-    """Per-cell failure bookkeeping (attempts, crashes, errors, wall time)."""
-
-    __slots__ = ("cell", "attempts", "crashes", "errors", "elapsed", "submitted")
-
-    def __init__(self, cell: GridCell):
-        self.cell = cell
-        self.attempts = 0  # worker raises + timeouts
-        self.crashes = 0   # pool crashes while in flight (blame uncertain)
-        self.errors: List[str] = []
-        self.elapsed = 0.0
-        self.submitted = 0.0
-
-    def charged(self) -> int:
-        return self.attempts + self.crashes
-
-
 def default_jobs() -> int:
-    """A reasonable ``jobs`` for "use the machine": CPU count, capped at 8."""
+    """A reasonable ``jobs`` for "use the machine".
+
+    Honors a positive-integer ``REPRO_JOBS`` environment override
+    (operators pinning sweep width fleet-wide); ``0``, unset, or
+    non-numeric values fall through to the default of CPU count capped
+    at 8 (beyond 8 the per-process import and pickling overhead beats
+    the marginal speedup for this repository's cell sizes).
+    """
+    override = os.environ.get("REPRO_JOBS", "").strip()
+    if override:
+        try:
+            value = int(override)
+        except ValueError:
+            LOGGER.warning(
+                "ignoring non-integer REPRO_JOBS=%r; using the CPU default",
+                override,
+            )
+        else:
+            if value > 0:
+                return value
     return min(os.cpu_count() or 1, 8)
 
 
@@ -202,11 +226,12 @@ def derive_seeds(
 
 
 class SweepRunner:
-    """Run a sweep worker over a parameter grid, serially or in processes.
+    """Run a sweep worker over a parameter grid on a pluggable backend.
 
     Args:
-        jobs: worker processes; ``None`` or ``<= 1`` runs inline in this
-            process.  (Use :func:`default_jobs` for "all the machine".)
+        jobs: worker parallelism; ``None`` or ``<= 1`` selects the inline
+            backend under ``executor="auto"``.  (Use :func:`default_jobs`
+            for "all the machine".)
         progress: optional per-settled-cell hook
             ``progress(cell, result, done, total)``; exceptions it raises
             are logged and swallowed.
@@ -222,10 +247,10 @@ class SweepRunner:
         backoff_factor: exponential backoff multiplier.
         backoff_max: upper bound on any single backoff delay.
         cell_timeout: wall-clock budget per cell execution, in seconds.
-            Enforced only in the pool path (``jobs > 1``) — a hung worker
-            is killed by rebuilding the pool and the cell is handled per
-            ``on_error``; with ``jobs <= 1`` the setting is ignored with a
-            warning (nothing can preempt the inline call).
+            Enforced only by deadline-capable backends (the process
+            pool) — a hung worker is killed by rebuilding the pool and
+            the cell is handled per ``on_error``; other backends ignore
+            the setting with a warning (nothing can preempt the call).
         checkpoint: optional :class:`repro.runner.CheckpointStore`; every
             completed cell is journaled and journaled cells are loaded
             instead of executed on re-runs.
@@ -234,6 +259,20 @@ class SweepRunner:
         crash_retries: requeues granted to a cell that was in flight
             during a pool crash (defaults to ``max_retries``); beyond it
             the cell is handled per ``on_error``.
+        executor: backend selector — ``"auto"`` (default; inline at
+            ``jobs <= 1``, process pool otherwise), ``"inline"``,
+            ``"process"``, ``"thread"``, or an
+            :class:`~repro.runner.backends.ExecutionBackend` instance.
+        coordinate: share the grid with other dispatchers running
+            against the same checkpoint store: cells are claimed via
+            per-cell leases before execution, peer-journaled results are
+            adopted, and expired leases are stolen.  Requires
+            ``checkpoint``.
+        lease_ttl: seconds before an unrefreshed lease is considered
+            abandoned and may be stolen by another dispatcher.  Must
+            exceed the worst-case wall time of one cell (including
+            retries); too small risks duplicated work, too large delays
+            recovery from a dead dispatcher.
 
     After :meth:`run`, :attr:`last_failures` holds the run's
     :class:`FailureReport` list and :attr:`last_stats` its
@@ -254,6 +293,9 @@ class SweepRunner:
         checkpoint: Optional[CheckpointStore] = None,
         max_pool_rebuilds: int = 5,
         crash_retries: Optional[int] = None,
+        executor: Union[None, str, ExecutionBackend] = None,
+        coordinate: bool = False,
+        lease_ttl: float = 300.0,
     ):
         if on_error not in ON_ERROR_POLICIES:
             raise ValueError(
@@ -267,6 +309,13 @@ class SweepRunner:
             raise ValueError(
                 f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
             )
+        if coordinate and checkpoint is None:
+            raise ValueError(
+                "coordinate=True requires a checkpoint store — the store is "
+                "the coordination fabric (leases + result journal)"
+            )
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
         self.jobs = 1 if jobs is None else max(1, int(jobs))
         self.progress = progress
         self.on_error = on_error
@@ -278,12 +327,20 @@ class SweepRunner:
         self.checkpoint = checkpoint
         self.max_pool_rebuilds = max_pool_rebuilds
         self.crash_retries = max_retries if crash_retries is None else crash_retries
+        self.executor = executor
+        self.coordinate = coordinate
+        self.lease_ttl = lease_ttl
         self.last_failures: List[FailureReport] = []
         self.last_stats = SweepStats()
         # Worker-process metric snapshots, keyed by cell index; merged into
         # the parent registry in index order at the end of run() so the
         # aggregate is deterministic at any jobs count.
         self._worker_metrics: Dict[int, Dict[str, Any]] = {}
+        # Lease keys held while coordinating, keyed by cell index;
+        # released as each cell settles (and wholesale on exit).
+        self._held_leases: Dict[int, str] = {}
+        self._worker_token: Optional[str] = None
+        self._lease_owner: Optional[str] = None
 
     def run(
         self,
@@ -311,10 +368,12 @@ class SweepRunner:
         """
         if replications <= 0:
             raise ValueError(f"replications must be positive, got {replications}")
+        backend = resolve_backend(self.executor, self.jobs)
         cells = self._build_cells(points, replications, seed, seed_fn)
         self.last_failures = []
-        self.last_stats = SweepStats(total=len(cells))
+        self.last_stats = SweepStats(total=len(cells), backend=backend.name)
         self._worker_metrics = {}
+        self._held_leases = {}
         if not cells:
             return []
         tel = get_telemetry()
@@ -326,10 +385,12 @@ class SweepRunner:
             replications=replications,
             jobs=self.jobs,
             on_error=self.on_error,
+            executor=backend.name,
         )
         LOGGER.debug(
-            "sweep start: %d points x %d replications, jobs=%d, on_error=%s",
-            len(points), replications, self.jobs, self.on_error,
+            "sweep start: %d points x %d replications, jobs=%d, on_error=%s, "
+            "executor=%s",
+            len(points), replications, self.jobs, self.on_error, backend.name,
         )
         results: List[Any] = [None] * len(cells)
         keys: Dict[int, str] = {}
@@ -341,18 +402,45 @@ class SweepRunner:
                 self.last_stats.resumed, len(cells),
             )
         if to_run:
-            if self.jobs <= 1:
-                self._run_inline(worker, to_run, context, results, done, len(cells), keys)
+            if self.coordinate:
+                self._run_coordinated(
+                    backend, worker, to_run, context, results, len(cells), keys
+                )
             else:
-                self._run_pool(worker, to_run, context, results, done, len(cells), keys)
+                backend.run_cells(
+                    self, worker, to_run, context, results, done, len(cells), keys
+                )
         elapsed = time.perf_counter() - start
         self._finish_telemetry(tel, elapsed)
         LOGGER.debug(
-            "sweep done: %d cells (%d resumed, %d skipped) in %.3fs",
+            "sweep done: %d cells (%d resumed, %d skipped, %d stolen) in %.3fs",
             len(cells), self.last_stats.resumed, self.last_stats.skipped,
-            elapsed,
+            self.last_stats.stolen_cells, elapsed,
         )
         return results
+
+    def progress_snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe view of the current run's progress.
+
+        Safe to call from another thread while :meth:`run` executes (the
+        live ``/progress`` endpoint does exactly that): every field is a
+        scalar read, so the snapshot is only ever momentarily stale,
+        never torn across a single counter.
+        """
+        stats = self.last_stats
+        return {
+            "total": stats.total,
+            "done": stats.resumed + stats.completed + stats.skipped,
+            "completed": stats.completed,
+            "resumed": stats.resumed,
+            "retries": stats.retries,
+            "skipped": stats.skipped,
+            "timeouts": stats.timeouts,
+            "pool_rebuilds": stats.pool_rebuilds,
+            "stolen_cells": stats.stolen_cells,
+            "backend": stats.backend,
+            "failures": len(self.last_failures),
+        }
 
     def _finish_telemetry(self, tel, elapsed: float) -> None:
         """Merge worker snapshots and mirror the run's stats (end of run)."""
@@ -370,6 +458,7 @@ class SweepRunner:
             tel.inc("sweep.skipped", stats.skipped)
             tel.inc("sweep.timeouts", stats.timeouts)
             tel.inc("sweep.pool_rebuilds", stats.pool_rebuilds)
+            tel.inc("sweep.stolen_cells", stats.stolen_cells)
         tel.event(
             "sweep.end",
             cells=self.last_stats.total,
@@ -379,6 +468,7 @@ class SweepRunner:
             skipped=self.last_stats.skipped,
             timeouts=self.last_stats.timeouts,
             pool_rebuilds=self.last_stats.pool_rebuilds,
+            stolen=self.last_stats.stolen_cells,
             duration_s=round(elapsed, 6),
         )
 
@@ -431,6 +521,7 @@ class SweepRunner:
         """Load journaled cells; return the cells that still need running."""
         if self.checkpoint is None:
             return list(cells)
+        self._worker_token = worker_token(worker)
         tel = get_telemetry()
         to_run: List[GridCell] = []
         resumed: List[GridCell] = []
@@ -450,6 +541,106 @@ class SweepRunner:
         for done, cell in enumerate(resumed, start=1):
             self._notify(cell, results[cell.index], done, len(cells))
         return to_run
+
+    # -- multi-dispatcher coordination ---------------------------------
+
+    def _settled(self) -> int:
+        """Cells settled so far (resumed + completed + skipped)."""
+        stats = self.last_stats
+        return stats.resumed + stats.completed + stats.skipped
+
+    def _run_coordinated(
+        self,
+        backend: ExecutionBackend,
+        worker: SweepWorker,
+        cells: List[GridCell],
+        context: Any,
+        results: List[Any],
+        total: int,
+        keys: Dict[int, str],
+    ) -> None:
+        """Partition ``cells`` with peer dispatchers via checkpoint leases.
+
+        Cells are claimed lazily, at most ``jobs`` per round, so several
+        dispatchers starting together interleave through the grid instead
+        of the first one leasing everything.  Each round: adopt any cell
+        a peer has journaled (counted as resumed), claim up to ``jobs``
+        unleased cells and run them on ``backend``, and poll the rest.  A
+        cell whose lease was observed held by a peer and later becomes
+        claimable was *abandoned* — the peer released it without a
+        journal entry (failure/skip) or died and let it expire — and
+        executing it here counts toward ``stolen_cells``.  Leases this
+        dispatcher holds are released as each cell settles — see
+        :meth:`_record_success` and :meth:`_skip` — and wholesale on
+        exit, so a raising sweep never wedges its peers for a full
+        ``lease_ttl``.
+        """
+        store = self.checkpoint
+        assert store is not None  # guaranteed by __init__
+        owner = f"pid{os.getpid()}-{os.urandom(4).hex()}"
+        self._lease_owner = owner
+        tel = get_telemetry()
+        seen_foreign: set = set()
+        try:
+            remaining = list(cells)
+            while remaining:
+                still: List[GridCell] = []
+                batch: List[GridCell] = []
+                for cell in remaining:
+                    key = keys[cell.index]
+                    if len(batch) >= self.jobs:
+                        still.append(cell)  # leave unclaimed for peers
+                        continue
+                    hit, value = store.load(key)
+                    if hit:
+                        # A peer journaled this cell; adopt its result.
+                        results[cell.index] = value
+                        self.last_stats.resumed += 1
+                        if tel.tracing_on:
+                            tel.event("checkpoint.hit", index=cell.index)
+                            self._emit_cell_end(cell, "adopted", 0.0)
+                        self._notify(cell, value, self._settled(), total)
+                        continue
+                    # A lease record under another owner — live or already
+                    # expired — marks the cell as a peer's: winning the
+                    # claim below (now, or in a later round) is a steal.
+                    held = store.lease_info(key)
+                    if held is not None and held.get("owner") != owner:
+                        seen_foreign.add(cell.index)
+                    if store.claim(key, owner, ttl=self.lease_ttl):
+                        self._held_leases[cell.index] = key
+                        batch.append(cell)
+                    else:
+                        seen_foreign.add(cell.index)
+                        still.append(cell)
+                if batch:
+                    stolen = [c for c in batch if c.index in seen_foreign]
+                    if stolen:
+                        self.last_stats.stolen_cells += len(stolen)
+                        LOGGER.info(
+                            "stole %d abandoned cell(s): %s",
+                            len(stolen), [cell.index for cell in stolen],
+                        )
+                    backend.run_cells(
+                        self, worker, batch, context, results,
+                        self._settled(), total, keys,
+                    )
+                elif still and len(still) == len(remaining):
+                    # Everything left is leased by live peers: poll.
+                    time.sleep(_STEAL_POLL)
+                remaining = still
+        finally:
+            self._lease_owner = None
+            for key in self._held_leases.values():
+                store.release(key)
+            self._held_leases.clear()
+
+    def _release_lease(self, cell: GridCell) -> None:
+        key = self._held_leases.pop(cell.index, None)
+        if key is not None and self.checkpoint is not None:
+            self.checkpoint.release(key)
+
+    # -- per-cell settlement policy (called by backends) ---------------
 
     def _backoff_delay(self, failed_attempts: int) -> float:
         if self.backoff_base <= 0.0:
@@ -478,7 +669,10 @@ class SweepRunner:
         results[cell.index] = result
         self.last_stats.completed += 1
         if self.checkpoint is not None:
-            self.checkpoint.store(keys[cell.index], cell, result)
+            self.checkpoint.store(
+                keys[cell.index], cell, result, token=self._worker_token
+            )
+        self._release_lease(cell)
 
     def _skip(self, cell: GridCell, state: _CellState, results: List[Any]) -> None:
         report = FailureReport(
@@ -491,6 +685,7 @@ class SweepRunner:
         self.last_stats.skipped += 1
         results[cell.index] = None
         self._emit_cell_end(cell, "skipped", state.elapsed)
+        self._release_lease(cell)
         LOGGER.warning(
             "skipping cell %d (point=%r, replication=%d) after %d attempt(s): %s",
             cell.index, cell.point, cell.replication, report.attempts,
@@ -533,297 +728,6 @@ class SweepRunner:
         self._skip(cell, state, results)
         return True
 
-    # -- inline path ---------------------------------------------------
-
-    def _run_inline(
-        self,
-        worker: SweepWorker,
-        cells: List[GridCell],
-        context: Any,
-        results: List[Any],
-        done: int,
-        total: int,
-        keys: Dict[int, str],
-    ) -> None:
-        if self.cell_timeout is not None:
-            LOGGER.warning(
-                "cell_timeout is only enforced with jobs > 1; "
-                "running inline without deadlines"
-            )
-        for cell in cells:
-            state = _CellState(cell)
-            retry_delay = [0.0]
-
-            def _requeue(_cell: GridCell, delay: float) -> None:
-                retry_delay[0] = delay
-
-            while True:
-                if retry_delay[0] > 0.0:
-                    time.sleep(retry_delay[0])
-                    retry_delay[0] = 0.0
-                started = time.monotonic()
-                try:
-                    with phase("cell_run"):
-                        result = worker(cell, context)
-                except Exception as exc:
-                    state.elapsed += time.monotonic() - started
-                    if self._handle_failure(cell, exc, state, results, _requeue):
-                        break  # skipped
-                else:
-                    state.elapsed += time.monotonic() - started
-                    self._record_success(cell, result, results, keys)
-                    self._emit_cell_end(cell, "ok", state.elapsed)
-                    break
-            done += 1
-            self._notify(cell, results[cell.index], done, total)
-
-    # -- pool path -----------------------------------------------------
-
-    def _run_pool(
-        self,
-        worker: SweepWorker,
-        cells: List[GridCell],
-        context: Any,
-        results: List[Any],
-        done: int,
-        total: int,
-        keys: Dict[int, str],
-    ) -> None:
-        max_workers = min(self.jobs, len(cells))
-        # Capture worker-process metrics when the parent collects metrics.
-        # The wrapper advertises the bare worker's checkpoint token, so
-        # journal keys (already computed in keys) stay valid either way.
-        submit_worker: SweepWorker = worker
-        if get_telemetry().metrics_on:
-            submit_worker = MeteredWorker(worker)
-        pending: deque = deque(cells)
-        waiting: List[Tuple[float, int, GridCell]] = []  # (ready_at, idx, cell)
-        states = {cell.index: _CellState(cell) for cell in cells}
-        inflight: Dict[Future, GridCell] = {}
-        rebuilds = 0
-
-        def _requeue(cell: GridCell, delay: float) -> None:
-            heapq.heappush(waiting, (time.monotonic() + delay, cell.index, cell))
-
-        pool = ProcessPoolExecutor(max_workers=max_workers)
-        try:
-            while pending or waiting or inflight:
-                now = time.monotonic()
-                while waiting and waiting[0][0] <= now:
-                    _, _, ready_cell = heapq.heappop(waiting)
-                    pending.append(ready_cell)
-                # Cap outstanding submissions at the worker count: in-flight
-                # cells are then (almost) the running set, which keeps the
-                # blame set small when the pool crashes.
-                while pending and len(inflight) < max_workers:
-                    cell = pending.popleft()
-                    future = pool.submit(submit_worker, cell, context)
-                    inflight[future] = cell
-                    states[cell.index].submitted = time.monotonic()
-                if not inflight:
-                    # Everything is waiting out a retry backoff.
-                    pause = max(0.0, waiting[0][0] - time.monotonic())
-                    time.sleep(min(pause, _IDLE_TICK))
-                    continue
-
-                finished, _ = wait(
-                    set(inflight),
-                    timeout=self._wait_timeout(waiting, inflight, states),
-                    return_when=FIRST_COMPLETED,
-                )
-                crash: Optional[BaseException] = None
-                for future in finished:
-                    cell = inflight[future]
-                    try:
-                        result = future.result()
-                    except BrokenExecutor as exc:
-                        # Pool is dead: every in-flight future fails with
-                        # this; handle them wholesale below.
-                        crash = exc
-                        break
-                    except Exception as exc:
-                        del inflight[future]
-                        state = states[cell.index]
-                        state.elapsed += time.monotonic() - state.submitted
-                        if self._handle_failure(cell, exc, state, results, _requeue):
-                            done += 1
-                            self._notify(cell, None, done, total)
-                    else:
-                        del inflight[future]
-                        if isinstance(result, MeteredResult):
-                            self._worker_metrics[cell.index] = result.metrics
-                            result = result.value
-                        state = states[cell.index]
-                        state.elapsed += time.monotonic() - state.submitted
-                        self._record_success(cell, result, results, keys)
-                        self._emit_cell_end(cell, "ok", state.elapsed)
-                        done += 1
-                        self._notify(cell, result, done, total)
-
-                if crash is not None:
-                    rebuilds += 1
-                    self.last_stats.pool_rebuilds += 1
-                    get_telemetry().event("pool.rebuild", reason="crash")
-                    LOGGER.warning(
-                        "worker process died (%r); rebuilding pool (%d/%d), "
-                        "requeueing %d in-flight cell(s); %d completed result(s) kept",
-                        crash, rebuilds, self.max_pool_rebuilds, len(inflight),
-                        self.last_stats.completed,
-                    )
-                    if rebuilds > self.max_pool_rebuilds:
-                        raise PoolCrashError(
-                            f"process pool crashed {rebuilds} times "
-                            f"(max_pool_rebuilds={self.max_pool_rebuilds}); "
-                            f"last crash: {crash!r}"
-                        ) from crash
-                    pool = self._rebuild_pool(pool, max_workers)
-                    done = self._settle_crashed(
-                        crash, inflight, states, pending, results, done, total
-                    )
-                    continue
-
-                if self.cell_timeout is not None and inflight:
-                    done, pool = self._enforce_deadlines(
-                        pool, max_workers, inflight, states, pending,
-                        results, done, total, _requeue,
-                    )
-        finally:
-            self._shutdown_pool(pool)
-
-    def _settle_crashed(
-        self,
-        crash: BaseException,
-        inflight: Dict[Future, GridCell],
-        states: Dict[int, _CellState],
-        pending: deque,
-        results: List[Any],
-        done: int,
-        total: int,
-    ) -> int:
-        """Requeue or settle every cell that was in flight during a crash.
-
-        The crashed cell cannot be told apart from its in-flight
-        neighbors, so each gets a crash charge; a cell over its
-        ``crash_retries`` budget is settled per ``on_error``.
-        """
-        now = time.monotonic()
-        for cell in inflight.values():
-            state = states[cell.index]
-            state.crashes += 1
-            state.elapsed += now - state.submitted
-            state.errors.append(repr(crash))
-            if state.crashes <= self.crash_retries:
-                pending.append(cell)
-            elif self.on_error == "skip":
-                self._skip(cell, state, results)
-                done += 1
-                self._notify(cell, None, done, total)
-            else:
-                raise SweepError(cell, crash, attempts=state.charged()) from crash
-        inflight.clear()
-        return done
-
-    def _enforce_deadlines(
-        self,
-        pool: ProcessPoolExecutor,
-        max_workers: int,
-        inflight: Dict[Future, GridCell],
-        states: Dict[int, _CellState],
-        pending: deque,
-        results: List[Any],
-        done: int,
-        total: int,
-        requeue: Callable[[GridCell, float], None],
-    ) -> Tuple[int, ProcessPoolExecutor]:
-        """Kill the pool if any in-flight cell is over its deadline.
-
-        ``ProcessPoolExecutor`` cannot cancel a running task, so deadline
-        enforcement means rebuilding the pool: the overdue cells are
-        charged a timeout attempt and retried/skipped/raised per policy,
-        while the other in-flight cells are requeued uncharged.
-        """
-        now = time.monotonic()
-        overdue = {
-            cell.index
-            for future, cell in inflight.items()
-            if not future.done()
-            and now - states[cell.index].submitted >= self.cell_timeout
-        }
-        if not overdue:
-            return done, pool
-        self.last_stats.timeouts += len(overdue)
-        tel = get_telemetry()
-        if tel.tracing_on:
-            tel.event("pool.rebuild", reason="timeout")
-            for index in sorted(overdue):
-                tel.event(
-                    "cell.timeout",
-                    index=index,
-                    elapsed_s=round(now - states[index].submitted, 6),
-                )
-        LOGGER.warning(
-            "%d cell(s) exceeded cell_timeout=%.3gs; killing the pool "
-            "and requeueing %d innocent in-flight cell(s)",
-            len(overdue), self.cell_timeout, len(inflight) - len(overdue),
-        )
-        pool = self._rebuild_pool(pool, max_workers)
-        for future, cell in list(inflight.items()):
-            state = states[cell.index]
-            state.elapsed += now - state.submitted
-            if cell.index in overdue:
-                exc = CellTimeout(
-                    f"cell {cell.index} (point={cell.point!r}) exceeded "
-                    f"cell_timeout={self.cell_timeout}s"
-                )
-                if self._handle_failure(cell, exc, state, results, requeue):
-                    done += 1
-                    self._notify(cell, None, done, total)
-            else:
-                pending.append(cell)
-        inflight.clear()
-        return done, pool
-
-    def _wait_timeout(
-        self,
-        waiting: List[Tuple[float, int, GridCell]],
-        inflight: Dict[Future, GridCell],
-        states: Dict[int, _CellState],
-    ) -> Optional[float]:
-        """How long ``wait`` may block before a deadline or retry is due."""
-        now = time.monotonic()
-        candidates = []
-        if self.cell_timeout is not None and inflight:
-            soonest = min(
-                states[cell.index].submitted for cell in inflight.values()
-            )
-            candidates.append(max(0.0, soonest + self.cell_timeout - now))
-        if waiting:
-            candidates.append(max(0.0, waiting[0][0] - now))
-        if not candidates:
-            return None
-        return min(candidates) + 0.01
-
-    def _rebuild_pool(
-        self, pool: ProcessPoolExecutor, max_workers: int
-    ) -> ProcessPoolExecutor:
-        self._shutdown_pool(pool)
-        return ProcessPoolExecutor(max_workers=max_workers)
-
-    @staticmethod
-    def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
-        """Shut a pool down without waiting on (possibly hung) workers."""
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except TypeError:  # pragma: no cover - Python < 3.9
-            pool.shutdown(wait=False)
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                if process.is_alive():
-                    process.terminate()
-            except Exception:  # pragma: no cover - already-reaped process
-                pass
-
 
 def run_sweep(
     worker: SweepWorker,
@@ -840,6 +744,7 @@ def run_sweep(
     backoff_base: float = 0.1,
     cell_timeout: Optional[float] = None,
     checkpoint: Optional[CheckpointStore] = None,
+    executor: Union[None, str, ExecutionBackend] = None,
 ) -> List[Any]:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
@@ -850,6 +755,7 @@ def run_sweep(
         backoff_base=backoff_base,
         cell_timeout=cell_timeout,
         checkpoint=checkpoint,
+        executor=executor,
     ).run(
         worker,
         points,

@@ -1,0 +1,174 @@
+"""Tests for the OpenMetrics exposition and the live metrics endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import Registry
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    MetricsEndpoint,
+    render_openmetrics,
+    sanitize_name,
+)
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("sweep.completed", "repro") == \
+            "repro_sweep_completed"
+
+    def test_no_prefix(self):
+        assert sanitize_name("cells") == "cells"
+
+    def test_leading_digit_gets_underscore(self):
+        assert sanitize_name("9lives") == "_9lives"
+
+    def test_hostile_characters_flattened(self):
+        assert sanitize_name("a-b c{d}", "x") == "x_a_b_c_d_"
+
+
+class TestRenderOpenmetrics:
+    def test_golden_exposition(self):
+        """Exact-string pin of the exposition format.
+
+        If this test fails because the format intentionally changed,
+        update the expectation *and* docs/observability.md together.
+        """
+        registry = Registry()
+        registry.inc("sweep.completed", 3)
+        registry.inc("checkpoint.hits")
+        registry.set_gauge("view.size", 2.5)
+        registry.observe("cells", 4)
+        registry.observe("cells", 6)
+        registry.observe_timer("cell_run", 0.5, 0.25)
+        expected = "\n".join([
+            "# TYPE repro_metrics_schema_version gauge",
+            "repro_metrics_schema_version 1",
+            "# TYPE repro_checkpoint_hits counter",
+            "repro_checkpoint_hits_total 1",
+            "# TYPE repro_sweep_completed counter",
+            "repro_sweep_completed_total 3",
+            "# TYPE repro_view_size gauge",
+            "repro_view_size 2.5",
+            "# TYPE repro_cells histogram",
+            'repro_cells_bucket{le="+Inf"} 2',
+            "repro_cells_sum 10.0",
+            "repro_cells_count 2",
+            "# TYPE repro_cells_min gauge",
+            "repro_cells_min 4.0",
+            "# TYPE repro_cells_max gauge",
+            "repro_cells_max 6.0",
+            "# TYPE repro_cell_run_seconds histogram",
+            'repro_cell_run_seconds_bucket{le="+Inf"} 1',
+            "repro_cell_run_seconds_sum 0.5",
+            "repro_cell_run_seconds_count 1",
+            "# TYPE repro_cell_run_seconds_min gauge",
+            "repro_cell_run_seconds_min 0.5",
+            "# TYPE repro_cell_run_seconds_max gauge",
+            "repro_cell_run_seconds_max 0.5",
+            "# TYPE repro_cell_run_cpu_seconds counter",
+            "repro_cell_run_cpu_seconds_total 0.25",
+            "# EOF",
+        ]) + "\n"
+        assert render_openmetrics(registry) == expected
+
+    def test_empty_registry_is_just_schema_and_eof(self):
+        out = render_openmetrics(Registry())
+        assert out.endswith("# EOF\n")
+        assert "schema_version" in out
+
+    def test_accepts_snapshot_dict(self):
+        registry = Registry()
+        registry.inc("n", 2)
+        assert render_openmetrics(registry.snapshot()) == \
+            render_openmetrics(registry)
+
+    def test_prefix_override_and_none(self):
+        registry = Registry()
+        registry.inc("n")
+        assert "acme_n_total 1" in render_openmetrics(registry, prefix="acme")
+        assert "\nn_total 1" in render_openmetrics(registry, prefix="")
+
+    def test_deterministic_sorted_output(self):
+        a, b = Registry(), Registry()
+        a.inc("zeta"), a.inc("alpha")
+        b.inc("alpha"), b.inc("zeta")
+        assert render_openmetrics(a) == render_openmetrics(b)
+
+    def test_non_finite_gauges(self):
+        registry = Registry()
+        registry.set_gauge("pos", float("inf"))
+        registry.set_gauge("neg", float("-inf"))
+        registry.set_gauge("nan", float("nan"))
+        out = render_openmetrics(registry)
+        assert "repro_pos +Inf" in out
+        assert "repro_neg -Inf" in out
+        assert "repro_nan NaN" in out
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestMetricsEndpoint:
+    @pytest.fixture()
+    def registry(self):
+        registry = Registry()
+        registry.inc("sweep.completed", 7)
+        return registry
+
+    def test_serves_metrics_and_progress(self, registry):
+        progress = {"total": 4, "done": 2}
+        with MetricsEndpoint(registry, lambda: progress, port=0) as endpoint:
+            base = f"http://127.0.0.1:{endpoint.port}"
+            status, headers, body = _get(f"{base}/metrics")
+            assert status == 200
+            assert headers["Content-Type"] == CONTENT_TYPE
+            text = body.decode()
+            assert "repro_sweep_completed_total 7" in text
+            assert text.endswith("# EOF\n")
+
+            status, headers, body = _get(f"{base}/progress")
+            assert status == 200
+            assert headers["Content-Type"].startswith("application/json")
+            assert json.loads(body) == progress
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsEndpoint(registry, port=0) as endpoint:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"http://127.0.0.1:{endpoint.port}/nope")
+            assert excinfo.value.code == 404
+
+    def test_scrape_sees_live_updates(self, registry):
+        with MetricsEndpoint(registry, port=0) as endpoint:
+            base = f"http://127.0.0.1:{endpoint.port}"
+            registry.inc("sweep.completed", 3)
+            _, _, body = _get(f"{base}/metrics")
+            assert "repro_sweep_completed_total 10" in body.decode()
+
+    def test_no_registry_serves_bare_eof(self):
+        endpoint = MetricsEndpoint()
+        assert endpoint.render_metrics() == "# EOF\n"
+        assert endpoint.render_progress() == {}
+
+    def test_raising_progress_callback_reported_not_fatal(self):
+        def bad():
+            raise RuntimeError("mid-sweep state")
+
+        with MetricsEndpoint(progress=bad, port=0) as endpoint:
+            _, _, body = _get(f"http://127.0.0.1:{endpoint.port}/progress")
+            assert json.loads(body) == {"error": "progress callback raised"}
+
+    def test_port_none_before_start_and_stop_idempotent(self):
+        endpoint = MetricsEndpoint()
+        assert endpoint.port is None
+        endpoint.stop()  # never started: no-op
+        port = endpoint.start()
+        assert endpoint.start() == port  # second start is a no-op
+        endpoint.stop()
+        endpoint.stop()
+        assert endpoint.port is None

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Prune sweep-checkpoint directories of entries nothing can resume from.
+
+Standalone wrapper over :func:`repro.runner.gc_store` — the same engine
+behind ``python -m repro checkpoint-gc`` — for operators who manage
+checkpoint directories outside a repro checkout's CLI (cron jobs on a
+shared sweep host, cleanup steps in orchestration scripts).
+
+Removes, reporting reclaimed bytes per category:
+
+* journal entries that are unreadable or carry a stale schema version;
+* journal entries recorded under a worker token not in the ``--worker``
+  keep-list (when given);
+* orphaned ``*.tmp`` files from writers that died mid-write;
+* expired or corrupt ``*.lease`` files from dead dispatchers;
+* everything under ``quarantine/`` (already judged corrupt on read).
+
+Usage::
+
+    PYTHONPATH=src python tools/checkpoint_gc.py CKPT_DIR [--dry-run]
+    PYTHONPATH=src python tools/checkpoint_gc.py CKPT_DIR \
+        --worker repro.experiments.registry._spec_worker
+
+Exit status is 0 even when nothing was pruned; a missing directory is a
+no-op, so the tool is safe to run unconditionally after sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="prune checkpoint entries the current code cannot "
+        "resume from; report reclaimed bytes",
+    )
+    parser.add_argument("directory", help="checkpoint directory to collect")
+    parser.add_argument(
+        "--worker",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        help="worker token to KEEP (repeatable); entries under any other "
+        "token — or recorded before tokens existed — are pruned",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned without deleting anything",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.runner import gc_store
+
+    report = gc_store(
+        args.directory, workers=args.worker or None, dry_run=args.dry_run
+    )
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(
+        f"checkpoint-gc {args.directory}: scanned={report.scanned} "
+        f"pruned={report.pruned} kept={report.kept} "
+        f"{verb} {report.reclaimed_bytes} bytes"
+    )
+    for reason in sorted(report.reasons):
+        print(f"  {reason}: {report.reasons[reason]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the multi-dispatcher sweep fabric (CI: sweep-fabric).
+
+Two dispatcher subprocesses — one on the process-pool backend, one on
+the thread backend — run the same experiment grid against one shared
+checkpoint directory with ``coordinate=True`` and ``on_error="skip"``,
+with a scripted chaos fault on the first cell.  While they run, the
+parent scrapes each dispatcher's live ``/metrics`` and ``/progress``
+endpoints.  The run passes when:
+
+* both dispatchers exit 0 and produce **byte-identical** formatted
+  output (adopted peer results are indistinguishable from local ones);
+* the union of cells executed (``cell.end`` / ``status="ok"`` trace
+  records) covers the grid with **zero duplicates** across dispatchers;
+* every ``/metrics`` scrape is valid OpenMetrics text (correct content
+  type, ``# EOF`` terminator) and ``/progress`` is well-formed JSON;
+* ``checkpoint-gc`` on the shared directory afterwards prunes nothing
+  resumable (only leftover leases at most).
+
+Usage::
+
+    PYTHONPATH=src python tools/sweep_fabric_smoke.py [--experiment NAME]
+
+The dispatcher mode (``--dispatcher``) is internal: the parent respawns
+this file for each dispatcher.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+#: Pace per cell, seconds: long enough that the two dispatchers overlap
+#: and genuinely partition the grid, short enough for a CI smoke.
+CELL_PACE = 0.15
+
+EXPECTED_CONTENT_TYPE = "application/openmetrics-text"
+
+
+class PacedSpecWorker:
+    """The registry spec worker, slowed to ``CELL_PACE`` per cell.
+
+    Module-level and stateless, so it pickles into process-pool workers;
+    advertises the plain spec worker's checkpoint token so both
+    dispatchers (and any later uncoordinated resume) share one journal.
+    """
+
+    def __init__(self):
+        from repro.experiments.registry import _spec_worker
+        from repro.runner.checkpoint import worker_token
+
+        self.checkpoint_token = worker_token(_spec_worker)
+
+    def __call__(self, cell, context):
+        from repro.experiments.registry import _spec_worker
+
+        time.sleep(CELL_PACE)
+        return _spec_worker(cell, context)
+
+
+def run_dispatcher(args) -> int:
+    from repro.experiments.registry import _CellContext, _point_seed, get
+    from repro.obs import MetricsEndpoint, configure, reset
+    from repro.runner import CheckpointStore, SweepRunner
+    from repro.runner.chaos import ChaosWorker, FaultSpec
+
+    workdir = Path(args.workdir)
+    spec = get(args.experiment)
+    points = list(spec.grid(True))
+    telemetry = configure(
+        metrics=True, trace_path=workdir / f"trace-{args.name}.jsonl"
+    )
+    runner = SweepRunner(
+        jobs=2,
+        executor=args.executor,
+        on_error="skip",
+        backoff_base=0.01,
+        checkpoint=CheckpointStore(workdir / "ckpt"),
+        coordinate=True,
+        lease_ttl=120.0,
+    )
+    worker = ChaosWorker(
+        PacedSpecWorker(),
+        # One transient failure on cell 0, wherever it runs: the retry
+        # path must work under coordination (lease held across retries).
+        (FaultSpec(kind="error", indices=(0,), times=1),),
+        state_dir=workdir / "chaos",
+    )
+    endpoint = MetricsEndpoint(
+        telemetry.registry, runner.progress_snapshot, port=0
+    )
+    port = endpoint.start()
+    (workdir / f"port-{args.name}.txt").write_text(str(port))
+    # Wait for the parent's go signal so both dispatchers race for real.
+    deadline = time.time() + 30.0
+    while not (workdir / "go").exists():
+        if time.time() > deadline:
+            print("timed out waiting for go signal", file=sys.stderr)
+            return 2
+        time.sleep(0.01)
+    try:
+        records = runner.run(
+            worker,
+            points,
+            seed_fn=_point_seed,
+            context=_CellContext(experiment=spec.name, backend="reference"),
+        )
+        if any(record is None for record in records):
+            print("a cell was skipped despite retries", file=sys.stderr)
+            return 3
+        result = spec.aggregate(points, records)
+        (workdir / f"out-{args.name}.txt").write_text(result.format())
+        stats = runner.last_stats
+        print(
+            f"dispatcher {args.name} [{stats.backend}]: "
+            f"completed={stats.completed} adopted={stats.resumed} "
+            f"stolen={stats.stolen_cells} retries={stats.retries}"
+        )
+        return 0
+    finally:
+        endpoint.stop()
+        reset()
+
+
+def _scrape(port: int) -> None:
+    """One /metrics + /progress scrape; raises on an invalid exposition."""
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/metrics", timeout=5
+    ) as response:
+        assert response.status == 200
+        content_type = response.headers["Content-Type"]
+        assert content_type.startswith(EXPECTED_CONTENT_TYPE), content_type
+        text = response.read().decode("utf-8")
+        assert text.endswith("# EOF\n"), text[-80:]
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/progress", timeout=5
+    ) as response:
+        progress = json.load(response)
+        assert set(progress) >= {"total", "done", "backend"}, progress
+
+
+def _executed_ok(trace_path: Path) -> list:
+    """Indices of cells this dispatcher *executed* (not adopted/resumed)."""
+    executed = []
+    for line in trace_path.read_text().splitlines():
+        record = json.loads(line)
+        if record.get("type") == "cell.end" and record.get("status") == "ok":
+            executed.append(record["index"])
+    return executed
+
+
+def run_parent(args) -> int:
+    workdir = Path(args.workdir or "fabric-smoke")
+    workdir.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    plans = {"a": "process", "b": "thread"}
+    procs = {}
+    for name, executor in plans.items():
+        procs[name] = subprocess.Popen(
+            [
+                sys.executable, __file__,
+                "--dispatcher", name,
+                "--executor", executor,
+                "--experiment", args.experiment,
+                "--workdir", str(workdir),
+            ],
+            env=env,
+        )
+
+    # Wait for both endpoints, scrape them once, then fire the gun.
+    ports = {}
+    deadline = time.time() + 60.0
+    while len(ports) < len(plans):
+        if time.time() > deadline:
+            raise SystemExit("dispatchers never published their ports")
+        for name in plans:
+            port_file = workdir / f"port-{name}.txt"
+            if name not in ports and port_file.exists():
+                ports[name] = int(port_file.read_text())
+        time.sleep(0.05)
+    scrapes = 0
+    for port in ports.values():
+        _scrape(port)
+        scrapes += 1
+    (workdir / "go").touch()
+
+    # Keep scraping while the dispatchers work.
+    while any(proc.poll() is None for proc in procs.values()):
+        for name, proc in procs.items():
+            if proc.poll() is None:
+                try:
+                    _scrape(ports[name])
+                    scrapes += 1
+                except (OSError, urllib.error.URLError):
+                    pass  # endpoint mid-shutdown: the exit code decides
+        time.sleep(0.1)
+    failures = {name: proc.returncode for name, proc in procs.items()
+                if proc.returncode != 0}
+    if failures:
+        raise SystemExit(f"dispatcher exit codes: {failures}")
+
+    # Zero duplicated executions, full coverage.
+    executed = {
+        name: _executed_ok(workdir / f"trace-{name}.jsonl") for name in plans
+    }
+    combined = executed["a"] + executed["b"]
+    if sorted(combined) != sorted(set(combined)):
+        raise SystemExit(f"duplicated cell executions: {sorted(combined)}")
+    outputs = {
+        name: (workdir / f"out-{name}.txt").read_bytes() for name in plans
+    }
+    if outputs["a"] != outputs["b"]:
+        raise SystemExit("dispatcher outputs differ")
+    total = len(set(combined))
+    print(
+        f"sweep-fabric OK: {total} cells "
+        f"(a executed {len(executed['a'])}, b executed {len(executed['b'])}), "
+        f"0 duplicates, identical outputs, {scrapes} valid scrapes"
+    )
+
+    # The shared directory must be resumable afterwards: gc prunes at
+    # most leftover leases, never a journal entry.
+    from repro.runner import gc_store
+
+    report = gc_store(workdir / "ckpt")
+    journal_reasons = set(report.reasons) - {"expired-lease", "corrupt-lease"}
+    if journal_reasons:
+        raise SystemExit(f"gc pruned journal entries: {report.reasons}")
+    print(f"checkpoint-gc: kept={report.kept} pruned={report.pruned}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="two-dispatcher sweep fabric smoke (CI: sweep-fabric)"
+    )
+    parser.add_argument("--experiment", default="loss-sweep")
+    parser.add_argument("--workdir", default=None)
+    parser.add_argument("--dispatcher", dest="name", default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--executor", default="process",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.name:
+        return run_dispatcher(args)
+    return run_parent(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
